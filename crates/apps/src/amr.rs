@@ -1,0 +1,175 @@
+//! An adaptive-mesh-refinement-style workload.
+//!
+//! The paper motivates next-touch with "highly-dynamic applications such
+//! as adaptive mesh refinement \[whose\] thread/data affinities actually
+//! vary during the execution since the amount of computation in each
+//! buffer depends on earlier results" (§2.2). This module provides that
+//! shape: a set of patches whose weights evolve between phases, a dynamic
+//! `parallel for` that reassigns patches to whichever thread is free, and
+//! a per-phase next-touch hook that lets patch data chase its current
+//! worker.
+
+use numa_machine::{Machine, MemAccessKind, Op, RunResult};
+use numa_rt::{setup, Buffer, MigrationStrategy, Schedule, Team, WorkPlan};
+use numa_sim::Splitmix64;
+use numa_topology::NodeId;
+
+/// Parameters of the AMR-style run.
+#[derive(Debug, Clone)]
+pub struct AmrConfig {
+    /// Number of mesh patches.
+    pub patches: usize,
+    /// Bytes per patch.
+    pub patch_bytes: u64,
+    /// Number of compute phases (weights evolve between phases).
+    pub phases: u32,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Fraction of patches refined (weight doubled) per phase, in
+    /// hundredths (e.g. 10 = 10 %).
+    pub refine_percent: u64,
+    /// Stencil sweeps per phase: each sweep re-reads the whole patch, so
+    /// this controls how much locality pays off once a patch has migrated.
+    pub sweeps: u64,
+    /// Static placement or kernel next-touch redistribution.
+    pub strategy: MigrationStrategy,
+    /// PRNG seed for refinement choices.
+    pub seed: u64,
+}
+
+impl AmrConfig {
+    /// A representative configuration.
+    pub fn demo(strategy: MigrationStrategy) -> Self {
+        AmrConfig {
+            patches: 64,
+            patch_bytes: 1 << 20,
+            phases: 8,
+            threads: 16,
+            refine_percent: 10,
+            sweeps: 16,
+            strategy,
+            seed: 7,
+        }
+    }
+}
+
+/// Run the workload; returns the engine result and the final per-patch
+/// weights.
+pub fn run_amr(machine: &mut Machine, cfg: &AmrConfig) -> (RunResult, Vec<u64>) {
+    let mut buffers = Vec::with_capacity(cfg.patches);
+    for _ in 0..cfg.patches {
+        let b = Buffer::alloc(machine, cfg.patch_bytes);
+        setup::populate_on_node(machine, &b, NodeId(0));
+        buffers.push(b);
+    }
+
+    // Weight evolution is precomputed deterministically so the plan can be
+    // built up front (the *assignment* of patches to threads remains
+    // dynamic, decided at run time by the dynamic schedule).
+    let mut rng = Splitmix64::new(cfg.seed);
+    let mut weights = vec![1u64; cfg.patches];
+    let mut weights_per_phase = Vec::with_capacity(cfg.phases as usize);
+    for _ in 0..cfg.phases {
+        weights_per_phase.push(weights.clone());
+        let refinements = (cfg.patches as u64 * cfg.refine_percent / 100).max(1);
+        for _ in 0..refinements {
+            let p = rng.below(cfg.patches as u64) as usize;
+            weights[p] = (weights[p] * 2).min(64);
+        }
+    }
+
+    let mut plan = WorkPlan::new();
+    for phase_weights in weights_per_phase.iter().take(cfg.phases as usize) {
+        if cfg.strategy == MigrationStrategy::KernelNextTouch {
+            let bufs = buffers.clone();
+            plan.single(move || {
+                bufs.iter()
+                    .flat_map(|b| MigrationStrategy::KernelNextTouch.ops(b, None))
+                    .collect()
+            });
+        }
+        let bufs = buffers.clone();
+        let w = phase_weights.clone();
+        let sweeps = cfg.sweeps;
+        plan.parallel_for(cfg.patches, Schedule::Dynamic(1), move |p| {
+            let b = &bufs[p];
+            let weight = w[p];
+            vec![
+                Op::Access {
+                    addr: b.addr,
+                    bytes: b.len,
+                    traffic: b.len * weight * sweeps,
+                    write: true,
+                    kind: MemAccessKind::Blocked,
+                },
+                Op::Compute {
+                    flops: weight * sweeps * b.len / 4,
+                    efficiency: 0.6,
+                },
+            ]
+        });
+    }
+
+    let team = Team::all_cores(machine).take(cfg.threads);
+    let result = team.run(machine, plan);
+    (result, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_evolve_deterministically() {
+        let mut m1 = Machine::opteron_4p();
+        let mut m2 = Machine::opteron_4p();
+        let cfg = AmrConfig {
+            patches: 16,
+            patch_bytes: 32 << 10,
+            phases: 4,
+            threads: 8,
+            refine_percent: 20,
+            sweeps: 4,
+            strategy: MigrationStrategy::Static,
+            seed: 3,
+        };
+        let (r1, w1) = run_amr(&mut m1, &cfg);
+        let (r2, w2) = run_amr(&mut m2, &cfg);
+        assert_eq!(w1, w2);
+        assert_eq!(r1.makespan, r2.makespan, "simulation must be deterministic");
+        assert!(w1.iter().any(|w| *w > 1), "some patch must have refined");
+    }
+
+    #[test]
+    fn next_touch_spreads_patches_off_node0() {
+        let mut m = Machine::opteron_4p();
+        let cfg = AmrConfig {
+            strategy: MigrationStrategy::KernelNextTouch,
+            ..AmrConfig::demo(MigrationStrategy::KernelNextTouch)
+        };
+        let patches = cfg.patches;
+        let patch_bytes = cfg.patch_bytes;
+        let (_, _) = run_amr(&mut m, &cfg);
+        // After the run, node 0 cannot still hold everything.
+        let total_pages = patches as u64 * patch_bytes.div_ceil(numa_vm::PAGE_SIZE);
+        let on0 = m.frames.live_on(NodeId(0));
+        assert!(
+            on0 < total_pages,
+            "next-touch must have moved some patches off node 0 ({on0}/{total_pages})"
+        );
+    }
+
+    #[test]
+    fn next_touch_helps_the_dynamic_workload() {
+        let time = |strategy| {
+            let mut m = Machine::opteron_4p();
+            run_amr(&mut m, &AmrConfig::demo(strategy)).0.makespan
+        };
+        let stat = time(MigrationStrategy::Static);
+        let nt = time(MigrationStrategy::KernelNextTouch);
+        assert!(
+            nt < stat,
+            "next-touch ({nt}) must beat static ({stat}) on the AMR workload"
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Real (host-executed) BLAS-like kernels over column-major storage.
+//!
+//! These run actual `f64` math when a workload is in `DataMode::Real`, so
+//! the blocked LU can be validated against a reference factorization.
+//! All kernels address a tile at element origin `(i0, j0)` inside an
+//! `n x n` column-major matrix `a` (index `a[j * n + i]`).
+
+/// `C -= A * B` for `bs x bs` tiles at the given origins.
+/// `c(i0c, j0c) -= a(i0a, j0a) * b(i0b, j0b)`.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_block(
+    a: &mut [f64],
+    n: usize,
+    i0c: usize,
+    j0c: usize,
+    i0a: usize,
+    j0a: usize,
+    i0b: usize,
+    j0b: usize,
+    bs: usize,
+) {
+    for j in 0..bs {
+        for k in 0..bs {
+            let bkj = a[(j0b + j) * n + i0b + k];
+            if bkj == 0.0 {
+                continue;
+            }
+            for i in 0..bs {
+                let aik = a[(j0a + k) * n + i0a + i];
+                a[(j0c + j) * n + i0c + i] -= aik * bkj;
+            }
+        }
+    }
+}
+
+/// Unblocked, pivot-free LU of the `bs x bs` tile at `(i0, j0)`:
+/// in place, L unit-lower, U upper.
+pub fn dgetrf_nopiv(a: &mut [f64], n: usize, i0: usize, j0: usize, bs: usize) {
+    for k in 0..bs {
+        let pivot = a[(j0 + k) * n + i0 + k];
+        assert!(
+            pivot.abs() > 1e-300,
+            "zero pivot at {k} — matrix not suitable for pivot-free LU"
+        );
+        for i in (k + 1)..bs {
+            a[(j0 + k) * n + i0 + i] /= pivot;
+        }
+        for j in (k + 1)..bs {
+            let ukj = a[(j0 + j) * n + i0 + k];
+            if ukj == 0.0 {
+                continue;
+            }
+            for i in (k + 1)..bs {
+                let lik = a[(j0 + k) * n + i0 + i];
+                a[(j0 + j) * n + i0 + i] -= lik * ukj;
+            }
+        }
+    }
+}
+
+/// Solve `L * X = B` in place where `L` is the unit-lower triangle of the
+/// tile at `(i0l, j0l)` and `B`/`X` is the tile at `(i0b, j0b)` — the
+/// row-panel update of blocked LU.
+#[allow(clippy::too_many_arguments)]
+pub fn dtrsm_lower_unit(
+    a: &mut [f64],
+    n: usize,
+    i0l: usize,
+    j0l: usize,
+    i0b: usize,
+    j0b: usize,
+    bs: usize,
+) {
+    for j in 0..bs {
+        for k in 0..bs {
+            let xkj = a[(j0b + j) * n + i0b + k];
+            if xkj == 0.0 {
+                continue;
+            }
+            for i in (k + 1)..bs {
+                let lik = a[(j0l + k) * n + i0l + i];
+                a[(j0b + j) * n + i0b + i] -= lik * xkj;
+            }
+        }
+    }
+}
+
+/// Solve `X * U = B` in place where `U` is the upper triangle of the tile
+/// at `(i0u, j0u)` and `B`/`X` is the tile at `(i0b, j0b)` — the
+/// column-panel update of blocked LU.
+#[allow(clippy::too_many_arguments)]
+pub fn dtrsm_upper(
+    a: &mut [f64],
+    n: usize,
+    i0u: usize,
+    j0u: usize,
+    i0b: usize,
+    j0b: usize,
+    bs: usize,
+) {
+    for j in 0..bs {
+        for k in 0..j {
+            let ukj = a[(j0u + j) * n + i0u + k];
+            if ukj == 0.0 {
+                continue;
+            }
+            for i in 0..bs {
+                let xik = a[(j0b + k) * n + i0b + i];
+                a[(j0b + j) * n + i0b + i] -= xik * ukj;
+            }
+        }
+        let ujj = a[(j0u + j) * n + i0u + j];
+        assert!(ujj.abs() > 1e-300, "singular U in dtrsm");
+        for i in 0..bs {
+            a[(j0b + j) * n + i0b + i] /= ujj;
+        }
+    }
+}
+
+/// `y += alpha * x` (BLAS1).
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product (BLAS1).
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col_major(rows: &[&[f64]]) -> (Vec<f64>, usize) {
+        let n = rows.len();
+        let mut a = vec![0.0; n * n];
+        for (i, r) in rows.iter().enumerate() {
+            for (j, v) in r.iter().enumerate() {
+                a[j * n + i] = *v;
+            }
+        }
+        (a, n)
+    }
+
+    #[test]
+    fn gemm_small_known_answer() {
+        // C = I2, A = [[1,2],[3,4]], B = [[1,0],[0,1]] => C -= A.
+        let (mut m, n) = col_major(&[
+            &[1.0, 2.0, 1.0, 0.0, 1.0, 0.0],
+            &[3.0, 4.0, 0.0, 1.0, 0.0, 1.0],
+            &[0.0; 6],
+            &[0.0; 6],
+            &[0.0; 6],
+            &[0.0; 6],
+        ]);
+        // Tiles: A at (0,0), B at (0,2), C at (0,4), bs=2.
+        dgemm_block(&mut m, n, 0, 4, 0, 0, 0, 2, 2);
+        assert_eq!(m[4 * n], 1.0 - 1.0); // C[0][0]
+        assert_eq!(m[5 * n + 1], 1.0 - 4.0); // C[1][1]
+        assert_eq!(m[4 * n + 1], -3.0);
+        assert_eq!(m[5 * n], -2.0);
+    }
+
+    #[test]
+    fn getrf_then_reconstruct() {
+        let (orig, n) = col_major(&[&[4.0, 1.0, 2.0], &[1.0, 5.0, 1.0], &[2.0, 1.0, 6.0]]);
+        let mut f = orig.clone();
+        dgetrf_nopiv(&mut f, n, 0, 0, n);
+        let resid = crate::matrix::SimMatrix::lu_residual(&orig, &f, n);
+        assert!(resid < 1e-12, "residual {resid}");
+    }
+
+    #[test]
+    fn trsm_lower_solves() {
+        // L = [[1,0],[2,1]] (unit lower), B = [[5],[12]] -> X = [[5],[2]].
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        a[0] = 1.0;
+        a[1] = 2.0;
+        a[n + 1] = 1.0;
+        // B tile at (0, 2), bs = 2 with second column zero.
+        a[2 * n] = 5.0;
+        a[2 * n + 1] = 12.0;
+        dtrsm_lower_unit(&mut a, n, 0, 0, 0, 2, 2);
+        assert_eq!(a[2 * n], 5.0);
+        assert_eq!(a[2 * n + 1], 2.0);
+    }
+
+    #[test]
+    fn trsm_upper_solves() {
+        // U = [[2,1],[0,4]], B = [[2, 5]] (1 row padded to bs=2) ->
+        // X*U = B => X = [[1, 1]].
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        a[0] = 2.0;
+        a[n] = 1.0;
+        a[n + 1] = 4.0;
+        a[2 * n] = 2.0;
+        a[3 * n] = 5.0;
+        dtrsm_upper(&mut a, n, 0, 0, 0, 2, 2);
+        assert!((a[2 * n] - 1.0).abs() < 1e-12);
+        assert!((a[3 * n] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_equals_unblocked_lu() {
+        // 6x6 diag-dominant matrix, bs=2 blocked factorization using the
+        // tile kernels must equal the unblocked reference.
+        let n = 6;
+        let bs = 2;
+        let nb = n / bs;
+        let mut orig = vec![0.0; n * n];
+        let mut s = 12345u64;
+        for v in orig.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        }
+        for i in 0..n {
+            orig[i * n + i] += 4.0;
+        }
+        let mut blocked = orig.clone();
+        for k in 0..nb {
+            dgetrf_nopiv(&mut blocked, n, k * bs, k * bs, bs);
+            for i in (k + 1)..nb {
+                dtrsm_upper(&mut blocked, n, k * bs, k * bs, i * bs, k * bs, bs);
+                dtrsm_lower_unit(&mut blocked, n, k * bs, k * bs, k * bs, i * bs, bs);
+            }
+            for i in (k + 1)..nb {
+                for j in (k + 1)..nb {
+                    dgemm_block(
+                        &mut blocked,
+                        n,
+                        i * bs,
+                        j * bs,
+                        i * bs,
+                        k * bs,
+                        k * bs,
+                        j * bs,
+                        bs,
+                    );
+                }
+            }
+        }
+        let mut reference = orig.clone();
+        dgetrf_nopiv(&mut reference, n, 0, 0, n);
+        for (b, r) in blocked.iter().zip(&reference) {
+            assert!((b - r).abs() < 1e-10, "blocked {b} vs reference {r}");
+        }
+    }
+
+    #[test]
+    fn daxpy_and_ddot() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        daxpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        assert_eq!(ddot(&x, &y), 12.0 + 48.0 + 108.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn getrf_rejects_singular() {
+        let mut a = vec![0.0; 4];
+        dgetrf_nopiv(&mut a, 2, 0, 0, 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! The BLAS1 experiment (§4.5, prose): "the performance of BLAS1
+//! operations (vector operations) never improves thanks to memory
+//! migration".
+//!
+//! Each thread repeatedly runs `y += alpha * x` over its own pair of
+//! vectors that initially live on node 0. A vector operation makes only a
+//! single pass over its data, so the one-time migration cost (a full
+//! copy at kernel-copy bandwidth) can never be repaid by the per-pass
+//! remote-access saving — unlike BLAS3, whose traffic exceeds its
+//! footprint by orders of magnitude.
+
+use crate::model;
+use numa_machine::{Machine, MemAccessKind, Op, RunResult};
+use numa_rt::{setup, Buffer, MigrationStrategy, Team, WorkPlan};
+use numa_topology::NodeId;
+
+/// Parameters of one BLAS1 run.
+#[derive(Debug, Clone)]
+pub struct Blas1Config {
+    /// Elements per vector.
+    pub elements: u64,
+    /// Number of threads.
+    pub threads: usize,
+    /// Passes of daxpy over the vectors.
+    pub passes: u32,
+    /// Migration strategy before the compute.
+    pub strategy: MigrationStrategy,
+}
+
+impl Blas1Config {
+    /// The paper-style configuration.
+    pub fn paper(elements: u64, strategy: MigrationStrategy) -> Self {
+        Blas1Config {
+            elements,
+            threads: 16,
+            passes: 1,
+            strategy,
+        }
+    }
+}
+
+/// Run the experiment; returns the engine result.
+pub fn run_daxpy(machine: &mut Machine, cfg: &Blas1Config) -> RunResult {
+    let bytes = cfg.elements * 8;
+    let mut xy = Vec::with_capacity(cfg.threads);
+    for _ in 0..cfg.threads {
+        let x = Buffer::alloc(machine, bytes);
+        let y = Buffer::alloc(machine, bytes);
+        setup::populate_on_node(machine, &x, NodeId(0));
+        setup::populate_on_node(machine, &y, NodeId(0));
+        xy.push([x, y]);
+    }
+
+    let team = Team::all_cores(machine).take(cfg.threads);
+    let topo = machine.topology().clone();
+    let cores = team.cores.clone();
+
+    let mut plan = WorkPlan::new();
+    {
+        let xy2 = xy.clone();
+        let strategy = cfg.strategy;
+        plan.each_thread(move |tid| match strategy {
+            MigrationStrategy::Static => Vec::new(),
+            MigrationStrategy::Sync => {
+                let dest = topo.node_of_core(cores[tid]);
+                xy2[tid]
+                    .iter()
+                    .flat_map(|b| MigrationStrategy::Sync.ops(b, Some(dest)))
+                    .collect()
+            }
+            _ => xy2[tid]
+                .iter()
+                .flat_map(|b| MigrationStrategy::KernelNextTouch.ops(b, None))
+                .collect(),
+        });
+    }
+    {
+        let xy2 = xy.clone();
+        let passes = cfg.passes;
+        let elements = cfg.elements;
+        plan.each_thread(move |tid| {
+            let [x, y] = &xy2[tid];
+            let mut ops = Vec::with_capacity(passes as usize * 3);
+            for _ in 0..passes {
+                ops.push(Op::Access {
+                    addr: x.addr,
+                    bytes: x.len,
+                    traffic: x.len,
+                    write: false,
+                    kind: MemAccessKind::Stream,
+                });
+                ops.push(Op::Access {
+                    addr: y.addr,
+                    bytes: y.len,
+                    traffic: 2 * y.len, // read + write-back
+                    write: true,
+                    kind: MemAccessKind::Stream,
+                });
+                ops.push(Op::Compute {
+                    flops: 2 * elements,
+                    efficiency: model::BLAS3_EFFICIENCY,
+                });
+            }
+            ops
+        });
+    }
+
+    team.run(machine, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's negative result, reproduced: migration never helps the
+    /// vector kernel.
+    #[test]
+    fn migration_never_improves_daxpy() {
+        for elements in [1u64 << 14, 1 << 17] {
+            let time = |strategy| {
+                let mut m = Machine::opteron_4p();
+                run_daxpy(&mut m, &Blas1Config::paper(elements, strategy)).makespan
+            };
+            let stat = time(MigrationStrategy::Static);
+            let nt = time(MigrationStrategy::KernelNextTouch);
+            let sync = time(MigrationStrategy::Sync);
+            assert!(
+                nt >= stat,
+                "NT ({nt}) must not beat static ({stat}) at {elements} elements"
+            );
+            assert!(
+                sync >= stat,
+                "sync ({sync}) must not beat static ({stat}) at {elements} elements"
+            );
+        }
+    }
+
+    #[test]
+    fn daxpy_scales_with_vector_length() {
+        let time = |elements| {
+            let mut m = Machine::opteron_4p();
+            run_daxpy(
+                &mut m,
+                &Blas1Config::paper(elements, MigrationStrategy::Static),
+            )
+            .makespan
+            .ns()
+        };
+        let short = time(1 << 12);
+        let long = time(1 << 16);
+        assert!(long > short * 4, "long {long} vs short {short}");
+    }
+}

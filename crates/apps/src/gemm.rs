@@ -1,0 +1,222 @@
+//! The 16 independent BLAS3 multiplications of Figure 8.
+//!
+//! One thread per core, each with its own `A`, `B`, `C` (size `n x n`
+//! doubles). All matrices are initialised by the main thread, so under
+//! *static allocation* everything sits on node 0 and 12 of the 16 threads
+//! compute against remote memory across shared HyperTransport links. The
+//! next-touch variants redistribute each thread's matrices to its own node
+//! on first touch. The paper's crossover: migration starts paying off at
+//! `n = 512` (working set beyond the 2 MB L3).
+
+use crate::matrix::DataMode;
+use crate::model;
+use numa_machine::{Machine, MemAccessKind, Op, RunResult};
+use numa_rt::{setup, Buffer, MigrationStrategy, Team, UserNextTouch, WorkPlan};
+use numa_topology::NodeId;
+
+/// Parameters of one independent-GEMM run.
+#[derive(Debug, Clone)]
+pub struct IndepGemmConfig {
+    /// Per-thread matrix dimension.
+    pub n: u64,
+    /// Number of threads (paper: 16).
+    pub threads: usize,
+    /// Migration strategy applied before each thread's compute.
+    pub strategy: MigrationStrategy,
+    /// Real math or phantom.
+    pub mode: DataMode,
+}
+
+impl IndepGemmConfig {
+    /// The paper's configuration at matrix size `n` for one strategy.
+    pub fn paper(n: u64, strategy: MigrationStrategy) -> Self {
+        IndepGemmConfig {
+            n,
+            threads: 16,
+            strategy,
+            mode: DataMode::Phantom,
+        }
+    }
+}
+
+/// Per-thread matrices, exposed for tests.
+pub struct GemmBuffers {
+    /// `A`, `B`, `C` per thread.
+    pub abc: Vec<[Buffer; 3]>,
+}
+
+/// Run the experiment; returns the engine result and the buffers.
+pub fn run_indep_gemm(machine: &mut Machine, cfg: &IndepGemmConfig) -> (RunResult, GemmBuffers) {
+    let bytes = cfg.n * cfg.n * 8;
+    let mut abc = Vec::with_capacity(cfg.threads);
+    for _ in 0..cfg.threads {
+        let a = Buffer::alloc(machine, bytes);
+        let b = Buffer::alloc(machine, bytes);
+        let c = Buffer::alloc(machine, bytes);
+        // The main thread initialises every matrix: first-touch places
+        // them all on node 0 (the static baseline's handicap).
+        setup::populate_on_node(machine, &a, NodeId(0));
+        setup::populate_on_node(machine, &b, NodeId(0));
+        setup::populate_on_node(machine, &c, NodeId(0));
+        abc.push([a, b, c]);
+    }
+
+    let user_nt = UserNextTouch::new();
+    if cfg.strategy == MigrationStrategy::UserNextTouch {
+        machine.set_segv_handler(user_nt.handler());
+    }
+
+    let team = Team::all_cores(machine).take(cfg.threads);
+    let topo = machine.topology().clone();
+    let cores = team.cores.clone();
+
+    let mut plan = WorkPlan::new();
+
+    // Phase 1: apply the strategy to each thread's own matrices.
+    {
+        let abc2: Vec<[Buffer; 3]> = abc.clone();
+        let strategy = cfg.strategy;
+        let user_nt2 = user_nt.clone();
+        let cores2 = cores.clone();
+        plan.each_thread(move |tid| {
+            let mine = &abc2[tid];
+            match strategy {
+                MigrationStrategy::Static => Vec::new(),
+                MigrationStrategy::Sync => {
+                    let dest = topo.node_of_core(cores2[tid]);
+                    mine.iter()
+                        .flat_map(|b| MigrationStrategy::Sync.ops(b, Some(dest)))
+                        .collect()
+                }
+                MigrationStrategy::KernelNextTouch => mine
+                    .iter()
+                    .flat_map(|b| MigrationStrategy::KernelNextTouch.ops(b, None))
+                    .collect(),
+                MigrationStrategy::UserNextTouch => user_nt2.mark_regions_ops(mine),
+            }
+        });
+    }
+
+    // Phase 2: each thread multiplies its own matrices.
+    {
+        let abc2: Vec<[Buffer; 3]> = abc.clone();
+        let n = cfg.n;
+        plan.each_thread(move |tid| {
+            let [a, b, c] = &abc2[tid];
+            let flops = model::gemm_flops(n);
+            let traffic = model::gemm_traffic(n);
+            vec![
+                Op::Access {
+                    addr: a.addr,
+                    bytes: a.len,
+                    traffic: traffic * 2 / 5,
+                    write: false,
+                    kind: MemAccessKind::Blocked,
+                },
+                Op::Access {
+                    addr: b.addr,
+                    bytes: b.len,
+                    traffic: traffic * 2 / 5,
+                    write: false,
+                    kind: MemAccessKind::Blocked,
+                },
+                Op::Access {
+                    addr: c.addr,
+                    bytes: c.len,
+                    traffic: traffic / 5,
+                    write: true,
+                    kind: MemAccessKind::Blocked,
+                },
+                Op::Compute {
+                    flops,
+                    efficiency: model::BLAS3_EFFICIENCY,
+                },
+            ]
+        });
+    }
+
+    let result = team.run(machine, plan);
+    if cfg.strategy == MigrationStrategy::UserNextTouch {
+        machine.clear_segv_handler();
+    }
+    (result, GemmBuffers { abc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_rt::setup::residency_histogram;
+
+    #[test]
+    fn static_leaves_data_on_node0() {
+        let mut m = Machine::opteron_4p();
+        let cfg = IndepGemmConfig {
+            n: 64,
+            threads: 8,
+            strategy: MigrationStrategy::Static,
+            mode: DataMode::Phantom,
+        };
+        let (_, bufs) = run_indep_gemm(&mut m, &cfg);
+        for abc in &bufs.abc {
+            for b in abc {
+                let hist = residency_histogram(&m, b);
+                assert_eq!(hist[0], b.pages(), "static data must stay on node 0");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_next_touch_moves_data_to_each_thread() {
+        let mut m = Machine::opteron_4p();
+        let cfg = IndepGemmConfig {
+            n: 64,
+            threads: 16,
+            strategy: MigrationStrategy::KernelNextTouch,
+            mode: DataMode::Phantom,
+        };
+        let (_, bufs) = run_indep_gemm(&mut m, &cfg);
+        // Thread 12 runs on core 12 = node 3: its matrices must be there.
+        let node = m.node_of_core(numa_topology::CoreId(12));
+        for b in &bufs.abc[12] {
+            let hist = residency_histogram(&m, b);
+            assert_eq!(
+                hist[node.index()],
+                b.pages(),
+                "thread 12's data must follow it to {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_touch_beats_static_for_large_matrices() {
+        // The Figure-8 headline: beyond the cache, migration wins.
+        let time = |strategy| {
+            let mut m = Machine::opteron_4p();
+            let cfg = IndepGemmConfig::paper(512, strategy);
+            run_indep_gemm(&mut m, &cfg).0.makespan
+        };
+        let stat = time(MigrationStrategy::Static);
+        let nt = time(MigrationStrategy::KernelNextTouch);
+        assert!(
+            nt < stat,
+            "kernel NT ({nt}) must beat static ({stat}) at n=512"
+        );
+    }
+
+    #[test]
+    fn static_wins_for_tiny_matrices() {
+        // Below the cache the data is read once into L3 and the migration
+        // overhead cannot amortise.
+        let time = |strategy| {
+            let mut m = Machine::opteron_4p();
+            let cfg = IndepGemmConfig::paper(128, strategy);
+            run_indep_gemm(&mut m, &cfg).0.makespan
+        };
+        let stat = time(MigrationStrategy::Static);
+        let nt = time(MigrationStrategy::KernelNextTouch);
+        assert!(
+            stat <= nt,
+            "static ({stat}) must not lose at n=128 (nt {nt})"
+        );
+    }
+}

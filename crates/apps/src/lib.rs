@@ -1,0 +1,28 @@
+//! Workloads for the simulated NUMA machine.
+//!
+//! Everything the paper's evaluation section runs:
+//!
+//! * [`lu`] — the threaded blocked LU factorization of §4.5 / Table 1,
+//!   with the per-iteration next-touch hook, column-major storage (so the
+//!   sub-page block-sharing effect is real) and an optional real-numerics
+//!   mode validated against an oracle;
+//! * [`gemm`] — the 16 independent BLAS3 multiplications of Figure 8;
+//! * [`blas1`] — the BLAS1 (daxpy) experiment the paper describes in
+//!   prose: migration never helps vector operations;
+//! * [`amr`] — an adaptive-mesh-refinement-style stencil, the motivating
+//!   "highly-dynamic application" of §2.2, used by the examples;
+//! * [`blas`] — the real (host-executed) math kernels and their tests;
+//! * [`matrix`] — column-major matrices in simulated memory;
+//! * [`model`] — the traffic model tying flops to DRAM bytes.
+
+pub mod amr;
+pub mod blas;
+pub mod blas1;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod model;
+pub mod pde;
+
+pub use lu::{LuConfig, LuResult};
+pub use matrix::SimMatrix;

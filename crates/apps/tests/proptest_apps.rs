@@ -1,0 +1,111 @@
+//! Property-based tests for the numerics kernels: blocked algorithms
+//! agree with their unblocked references for arbitrary well-conditioned
+//! inputs and block factorizations.
+
+use numa_apps::blas;
+use proptest::prelude::*;
+
+/// Build a random diagonally-dominant column-major matrix.
+fn random_dd(n: usize, seed: u64) -> Vec<f64> {
+    let mut a = vec![0.0; n * n];
+    let mut s = seed | 1;
+    for v in a.iter_mut() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *v = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+    for i in 0..n {
+        a[i * n + i] += n as f64;
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Blocked LU (any block size dividing n) equals the unblocked
+    /// reference elementwise.
+    #[test]
+    fn blocked_lu_equals_reference(nb in 1usize..5, bs in 1usize..7, seed in any::<u64>()) {
+        let n = nb * bs;
+        let orig = random_dd(n, seed);
+        let mut reference = orig.clone();
+        blas::dgetrf_nopiv(&mut reference, n, 0, 0, n);
+
+        let mut blocked = orig.clone();
+        for k in 0..nb {
+            blas::dgetrf_nopiv(&mut blocked, n, k * bs, k * bs, bs);
+            for i in (k + 1)..nb {
+                blas::dtrsm_upper(&mut blocked, n, k * bs, k * bs, i * bs, k * bs, bs);
+                blas::dtrsm_lower_unit(&mut blocked, n, k * bs, k * bs, k * bs, i * bs, bs);
+            }
+            for i in (k + 1)..nb {
+                for j in (k + 1)..nb {
+                    blas::dgemm_block(
+                        &mut blocked, n, i * bs, j * bs, i * bs, k * bs, k * bs, j * bs, bs,
+                    );
+                }
+            }
+        }
+        for (b, r) in blocked.iter().zip(&reference) {
+            prop_assert!((b - r).abs() < 1e-8 * n as f64, "blocked {b} vs ref {r}");
+        }
+    }
+
+    /// L*U reconstructs the original matrix (residual check used by the
+    /// LU app) for any size.
+    #[test]
+    fn lu_reconstructs(n in 1usize..24, seed in any::<u64>()) {
+        let orig = random_dd(n, seed);
+        let mut f = orig.clone();
+        blas::dgetrf_nopiv(&mut f, n, 0, 0, n);
+        let resid = numa_apps::matrix::SimMatrix::lu_residual(&orig, &f, n);
+        prop_assert!(resid < 1e-8 * n as f64, "residual {resid}");
+    }
+
+    /// daxpy then daxpy with the negated alpha is the identity.
+    #[test]
+    fn daxpy_inverts(
+        alpha in -100.0f64..100.0,
+        x in proptest::collection::vec(-1e6f64..1e6, 1..50),
+    ) {
+        let y0: Vec<f64> = x.iter().map(|v| v * 3.0 + 1.0).collect();
+        let mut y = y0.clone();
+        blas::daxpy(alpha, &x, &mut y);
+        blas::daxpy(-alpha, &x, &mut y);
+        for (a, b) in y.iter().zip(&y0) {
+            prop_assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0));
+        }
+    }
+
+    /// ddot is symmetric and positive on a vector with itself.
+    #[test]
+    fn ddot_properties(x in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+        let y: Vec<f64> = x.iter().rev().copied().collect();
+        let xy = blas::ddot(&x, &y);
+        let yx = blas::ddot(&y, &x);
+        prop_assert!((xy - yx).abs() < 1e-9 * xy.abs().max(1.0));
+        let xx = blas::ddot(&x, &x);
+        prop_assert!(xx >= 0.0);
+    }
+
+    /// GEMM distributes over splitting B's columns: updating with B then
+    /// the zero matrix equals updating once.
+    #[test]
+    fn gemm_zero_is_noop(bs in 1usize..6, seed in any::<u64>()) {
+        let n = bs * 3;
+        let mut m = random_dd(n, seed);
+        // Zero tile at (0, bs..): multiply C -= A * 0 must not change C.
+        for j in bs..2 * bs {
+            for i in 0..bs {
+                m[j * n + i] = 0.0;
+            }
+        }
+        let before = m.clone();
+        blas::dgemm_block(&mut m, n, 0, 2 * bs, 0, 0, 0, bs, bs);
+        for (a, b) in m.iter().zip(&before) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

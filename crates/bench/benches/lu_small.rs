@@ -1,0 +1,38 @@
+//! Criterion benches: host-side cost of the LU application simulation
+//! (Table 1 machinery) at reduced sizes, both strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_migrate::apps::lu::{run_lu, LuConfig};
+use numa_migrate::prelude::*;
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu_sim");
+    g.sample_size(10);
+    for strategy in [
+        MigrationStrategy::Static,
+        MigrationStrategy::KernelNextTouch,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("phantom_1024_128", strategy.label()),
+            &strategy,
+            |b, &s| {
+                b.iter(|| {
+                    let mut m = NumaSystem::new().build();
+                    run_lu(&mut m, &LuConfig::sweep(1024, 128, std::hint::black_box(s)))
+                });
+            },
+        );
+    }
+    g.bench_function("real_64_16_validated", |b| {
+        b.iter(|| {
+            let mut m = NumaSystem::new().build();
+            let r = run_lu(&mut m, &LuConfig::small(64, 16));
+            assert!(r.residual.unwrap() < 1e-9);
+            r.time
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lu);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benches: host-side cost of the next-touch simulation paths
+//! (Figures 5-7 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_migrate::experiments::{fig5, fig7};
+
+fn bench_next_touch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("next_touch_sim");
+    for pages in [64u64, 1024] {
+        g.bench_with_input(BenchmarkId::new("kernel_nt", pages), &pages, |b, &p| {
+            b.iter(|| fig5::measure(std::hint::black_box(p), fig5::NtVariant::Kernel));
+        });
+        g.bench_with_input(BenchmarkId::new("user_nt", pages), &pages, |b, &p| {
+            b.iter(|| fig5::measure(std::hint::black_box(p), fig5::NtVariant::User));
+        });
+    }
+    g.bench_function("lazy_4_threads_4096_pages", |b| {
+        b.iter(|| fig7::measure_lazy(std::hint::black_box(4096), 4));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_next_touch);
+criterion_main!(benches);

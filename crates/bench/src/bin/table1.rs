@@ -1,0 +1,38 @@
+//! Regenerates Table 1: execution time of the threaded LU factorization
+//! with 16 OpenMP threads — static interleaved allocation vs the kernel
+//! next-touch policy.
+
+use numa_bench::{percent, secs, Options};
+use numa_migrate::experiments::table1;
+use numa_migrate::stats::Table;
+
+fn main() {
+    let opts = Options::parse("table1", "Table 1 (LU factorization times)");
+    let cases = if opts.full {
+        table1::paper_cases()
+    } else {
+        table1::quick_cases()
+    };
+    let mut table = Table::new([
+        "Matrix size",
+        "Block size",
+        "Static",
+        "Next-touch",
+        "Improvement",
+    ]);
+    for (n, bs) in cases {
+        if opts.verbose {
+            eprintln!("running n={n} bs={bs} ...");
+        }
+        let row = table1::run_case(n, bs);
+        table.row([
+            format!("{}k x {}k", n / 1024, n / 1024),
+            format!("{bs} x {bs}"),
+            secs(row.static_s),
+            secs(row.next_touch_s),
+            percent(row.improvement_percent()),
+        ]);
+    }
+    println!("Table 1: LU factorization time, 16 OpenMP threads (virtual seconds)\n");
+    opts.emit(&table);
+}

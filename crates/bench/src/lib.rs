@@ -1,0 +1,95 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Each binary regenerates one table or figure of the paper (see
+//! DESIGN.md §5) and prints it as an aligned text table, optionally as
+//! CSV. A tiny hand-rolled flag parser keeps the workspace free of CLI
+//! dependencies.
+
+use std::env;
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Emit CSV instead of the aligned table.
+    pub csv: bool,
+    /// Run the full paper-sized parameter sweep (default: a reduced sweep
+    /// that finishes in seconds).
+    pub full: bool,
+    /// Print per-run diagnostics.
+    pub verbose: bool,
+}
+
+impl Options {
+    /// Parse `std::env::args`, exiting with usage on `--help` or unknown
+    /// flags.
+    pub fn parse(binary: &str, what: &str) -> Options {
+        let mut o = Options::default();
+        for arg in env::args().skip(1) {
+            match arg.as_str() {
+                "--csv" => o.csv = true,
+                "--full" => o.full = true,
+                "--verbose" | "-v" => o.verbose = true,
+                "--help" | "-h" => {
+                    eprintln!("{binary}: regenerate {what}");
+                    eprintln!("usage: {binary} [--csv] [--full] [--verbose]");
+                    eprintln!("  --csv      emit CSV instead of an aligned table");
+                    eprintln!("  --full     run the paper-sized sweep (slower)");
+                    eprintln!("  --verbose  per-run diagnostics");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("{binary}: unknown flag {other} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        o
+    }
+
+    /// Print a finished table per the output options.
+    pub fn emit(&self, table: &numa_migrate::stats::Table) {
+        if self.csv {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{table}");
+        }
+    }
+}
+
+/// Format MB/s with one decimal.
+pub fn mbps(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format seconds with adaptive precision (the paper's Table 1 style).
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0} s")
+    } else if v >= 10.0 {
+        format!("{v:.1} s")
+    } else if v >= 0.1 {
+        format!("{v:.2} s")
+    } else {
+        format!("{:.2} ms", v * 1e3)
+    }
+}
+
+/// Format a signed percentage (the paper's Improvement column).
+pub fn percent(v: f64) -> String {
+    format!("{v:+.1} %")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(mbps(612.34), "612.3");
+        assert_eq!(secs(1721.0), "1721 s");
+        assert_eq!(secs(87.5), "87.5 s");
+        assert_eq!(secs(2.6), "2.60 s");
+        assert_eq!(percent(129.0), "+129.0 %");
+        assert_eq!(percent(-47.1), "-47.1 %");
+    }
+}

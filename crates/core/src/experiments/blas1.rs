@@ -1,0 +1,78 @@
+//! §4.5 prose: "We observed that the performance of BLAS1 operations
+//! (vector operations) never improves thanks to memory migration".
+//!
+//! A vector kernel makes only a couple of passes over its data, so the
+//! one-time migration cost cannot be repaid — unlike BLAS3, whose traffic
+//! exceeds its footprint by a factor of the block size.
+
+use crate::system::NumaSystem;
+use numa_apps::blas1::{run_daxpy, Blas1Config};
+use numa_rt::MigrationStrategy;
+
+/// One row of the BLAS1 check.
+#[derive(Debug, Clone, Copy)]
+pub struct Blas1Row {
+    /// Elements per vector.
+    pub elements: u64,
+    /// Static time, seconds (virtual).
+    pub static_s: f64,
+    /// Kernel next-touch time, seconds (virtual).
+    pub next_touch_s: f64,
+    /// Synchronous move_pages time, seconds (virtual).
+    pub sync_s: f64,
+}
+
+impl Blas1Row {
+    /// Next-touch "improvement" — expected to be <= 0 for every size.
+    pub fn nt_improvement_percent(&self) -> f64 {
+        (self.static_s / self.next_touch_s - 1.0) * 100.0
+    }
+}
+
+/// The vector-length axis.
+pub fn paper_sizes() -> Vec<u64> {
+    vec![1 << 12, 1 << 14, 1 << 16, 1 << 18]
+}
+
+/// Run the sweep.
+pub fn run(sizes: &[u64]) -> Vec<Blas1Row> {
+    sizes
+        .iter()
+        .map(|&elements| {
+            let time = |strategy: MigrationStrategy| {
+                let mut m = NumaSystem::new().build();
+                run_daxpy(&mut m, &Blas1Config::paper(elements, strategy))
+                    .makespan
+                    .secs_f64()
+            };
+            Blas1Row {
+                elements,
+                static_s: time(MigrationStrategy::Static),
+                next_touch_s: time(MigrationStrategy::KernelNextTouch),
+                sync_s: time(MigrationStrategy::Sync),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_never_helps_blas1() {
+        for row in run(&[1 << 12, 1 << 16]) {
+            assert!(
+                row.nt_improvement_percent() <= 0.5,
+                "next-touch must not help daxpy at {} elements ({:+.1}%)",
+                row.elements,
+                row.nt_improvement_percent()
+            );
+            assert!(
+                row.sync_s >= row.static_s * 0.995,
+                "sync migration must not help daxpy at {} elements",
+                row.elements
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 6: "Next-touch implementation overhead details" — stacked
+//! percentage breakdowns of where the migration time goes, for the
+//! user-space path (6a) and the kernel path (6b).
+//!
+//! Expected shape (§4.3): in the user path the `move_pages` copy dominates
+//! at scale with control ≈ 38 % and the next-touch additions (signal
+//! handler, both mprotects) almost negligible; in the kernel path the copy
+//! is ~80 % with fault + migration control ≈ 20 % and a small madvise
+//! share.
+
+use super::fig5::{measure, NtVariant};
+use numa_stats::{Breakdown, CostComponent};
+
+/// The cost breakdown of one next-touch episode.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Buffer size in 4 kB pages.
+    pub pages: u64,
+    /// Absolute per-component costs.
+    pub breakdown: Breakdown,
+}
+
+impl Fig6Row {
+    /// Percentage share of `component`.
+    pub fn percent(&self, component: CostComponent) -> f64 {
+        self.breakdown.percent(component)
+    }
+}
+
+/// The components Figure 6(a) stacks for the user-space path, in the
+/// paper's legend order.
+pub const USER_COMPONENTS: [CostComponent; 5] = [
+    CostComponent::MovePagesCopy,
+    CostComponent::MovePagesControl,
+    CostComponent::MprotectRestore,
+    CostComponent::PageFaultSignal,
+    CostComponent::MprotectMark,
+];
+
+/// The components Figure 6(b) stacks for the kernel path.
+pub const KERNEL_COMPONENTS: [CostComponent; 3] = [
+    CostComponent::FaultCopy,
+    CostComponent::FaultControl,
+    CostComponent::Madvise,
+];
+
+/// Breakdown sweep for the user-space path (Figure 6a).
+pub fn run_user(page_counts: &[u64]) -> Vec<Fig6Row> {
+    page_counts
+        .iter()
+        .map(|&pages| Fig6Row {
+            pages,
+            breakdown: measure(pages, NtVariant::User).stats.breakdown,
+        })
+        .collect()
+}
+
+/// Breakdown sweep for the kernel path (Figure 6b).
+pub fn run_kernel(page_counts: &[u64]) -> Vec<Fig6Row> {
+    page_counts
+        .iter()
+        .map(|&pages| Fig6Row {
+            pages,
+            breakdown: measure(pages, NtVariant::Kernel).stats.breakdown,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_breakdown_matches_fig6a() {
+        let rows = run_user(&[1024]);
+        let r = &rows[0];
+        let copy = r.percent(CostComponent::MovePagesCopy);
+        // Control = explicit control + its lock waits + the shootdowns.
+        let control = r.percent(CostComponent::MovePagesControl)
+            + r.percent(CostComponent::LockWait)
+            + r.percent(CostComponent::TlbFlush);
+        let nt_extra = r.percent(CostComponent::MprotectMark)
+            + r.percent(CostComponent::MprotectRestore)
+            + r.percent(CostComponent::PageFaultSignal);
+        assert!((50.0..75.0).contains(&copy), "copy share {copy}");
+        assert!((25.0..48.0).contains(&control), "control share {control}");
+        assert!(
+            nt_extra < 8.0,
+            "next-touch additions {nt_extra} should be small"
+        );
+    }
+
+    #[test]
+    fn kernel_breakdown_matches_fig6b() {
+        let rows = run_kernel(&[1024]);
+        let r = &rows[0];
+        let copy = r.percent(CostComponent::FaultCopy);
+        let control = r.percent(CostComponent::FaultControl) + r.percent(CostComponent::LockWait);
+        let madvise = r.percent(CostComponent::Madvise) + r.percent(CostComponent::TlbFlush);
+        assert!((70.0..90.0).contains(&copy), "copy share {copy}");
+        assert!((12.0..28.0).contains(&control), "control share {control}");
+        assert!(madvise < 12.0, "madvise share {madvise}");
+    }
+
+    #[test]
+    fn madvise_share_shrinks_with_size() {
+        let rows = run_kernel(&[16, 1024]);
+        let small = rows[0].percent(CostComponent::Madvise);
+        let large = rows[1].percent(CostComponent::Madvise);
+        assert!(
+            large < small,
+            "madvise share must shrink: {small} -> {large}"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation section (§4), plus the ablations DESIGN.md calls out.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig4`]   | Fig. 4 — synchronous migration & memcpy throughput |
+//! | [`fig5`]   | Fig. 5 — next-touch throughput comparison |
+//! | [`fig6`]   | Fig. 6 — next-touch cost breakdowns |
+//! | [`fig7`]   | Fig. 7 — threaded migration scalability |
+//! | [`table1`] | Table 1 — LU factorization times |
+//! | [`fig8`]   | Fig. 8 — 16 independent BLAS3 multiplications |
+//! | [`blas1`]  | §4.5 prose — BLAS1 never improves |
+//! | [`scaling`] | §6 outlook — larger NUMA machines |
+//! | [`ablations`] | design-choice sweeps (lookup fix, lock fraction, granularity, extensions) |
+//!
+//! Each experiment returns plain row structs; the `numa-bench` binaries
+//! format them as the paper's tables, and the integration tests assert
+//! the *shapes* (who wins, where the crossovers fall).
+
+pub mod ablations;
+pub mod blas1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod scaling;
+pub mod table1;
+
+use numa_stats::mb_per_s;
+
+/// The page-count sweep used by Figure 4 (1 .. 16384 pages).
+pub fn fig4_page_counts() -> Vec<u64> {
+    (0..=14).map(|e| 1u64 << e).collect()
+}
+
+/// The page-count sweep used by Figure 5 (4 .. 4096 pages).
+pub fn fig5_page_counts() -> Vec<u64> {
+    (2..=12).map(|e| 1u64 << e).collect()
+}
+
+/// The page-count sweep used by Figure 7 (64 .. 32768 pages).
+pub fn fig7_page_counts() -> Vec<u64> {
+    (6..=15).map(|e| 1u64 << e).collect()
+}
+
+/// Throughput in MB/s for migrating `pages` 4 kB pages in `ns`.
+pub fn pages_throughput(pages: u64, ns: u64) -> f64 {
+    mb_per_s(pages * numa_vm::PAGE_SIZE, ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_paper_axes() {
+        let f4 = fig4_page_counts();
+        assert_eq!(*f4.first().unwrap(), 1);
+        assert_eq!(*f4.last().unwrap(), 16384);
+        let f5 = fig5_page_counts();
+        assert_eq!(*f5.first().unwrap(), 4);
+        assert_eq!(*f5.last().unwrap(), 4096);
+        let f7 = fig7_page_counts();
+        assert_eq!(*f7.first().unwrap(), 64);
+        assert_eq!(*f7.last().unwrap(), 32768);
+    }
+
+    #[test]
+    fn throughput_units() {
+        // 1024 pages (4 MiB) in 4194304 ns = 1000 MB/s.
+        let t = pages_throughput(1024, 1024 * 4096);
+        assert!((t - 1000.0).abs() < 1.0, "{t}");
+    }
+}

@@ -1,0 +1,67 @@
+//! # numa-migrate
+//!
+//! High-performance NUMA memory migration with next-touch and lazy
+//! policies — a full simulated reproduction of *Goglin & Furmento,
+//! "Enabling High-Performance Memory Migration for Multithreaded
+//! Applications on Linux"*, MTAAP'09 (IPDPS 2009).
+//!
+//! ## What this crate gives you
+//!
+//! * a deterministic **NUMA machine simulator** (topology, virtual memory,
+//!   caches, HyperTransport-style interconnect with congestion);
+//! * a **simulated Linux kernel** with `move_pages` (both the historical
+//!   quadratic implementation and the paper's linear fix), `migrate_pages`,
+//!   `mbind`, and the paper's `madvise(MADV_MIGRATE_NEXT_TOUCH)` +
+//!   fault-path migration;
+//! * a **user-space runtime**: allocation policies, the mprotect/SIGSEGV
+//!   next-touch library, lazy migration, and an OpenMP-like `parallel_for`;
+//! * **workloads**: the paper's blocked LU factorization (with real,
+//!   validated numerics), independent BLAS3 multiplications, BLAS1, and an
+//!   AMR-style dynamic stencil;
+//! * an **experiment harness** ([`experiments`]) that regenerates every
+//!   table and figure of the paper's evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use numa_migrate::prelude::*;
+//!
+//! // The paper's 4-socket quad-core Opteron.
+//! let mut machine = Machine::opteron_4p();
+//!
+//! // A 1 MB buffer, first-touched on node 0.
+//! let buf = Buffer::alloc(&mut machine, 1 << 20);
+//! numa_rt::setup::populate_on_node(&mut machine, &buf, NodeId(0));
+//!
+//! // Mark migrate-on-next-touch, then touch from a node-2 core: every
+//! // page follows the toucher.
+//! let threads = vec![ThreadSpec::scripted(
+//!     CoreId(8),
+//!     vec![
+//!         Op::MadviseNextTouch { range: buf.page_range() },
+//!         Op::write(buf.addr, buf.len, MemAccessKind::Stream),
+//!     ],
+//! )];
+//! machine.run(threads, &[]);
+//! assert_eq!(machine.page_node(buf.addr), Some(NodeId(2)));
+//! ```
+//!
+//! See `examples/` for larger scenarios and `numa-bench` for the
+//! per-figure experiment binaries.
+
+pub mod experiments;
+pub mod prelude;
+pub mod system;
+
+pub use system::NumaSystem;
+
+// Re-export the component crates under stable names so downstream users
+// need only one dependency.
+pub use numa_apps as apps;
+pub use numa_kernel as kernel;
+pub use numa_machine as machine;
+pub use numa_rt as rt;
+pub use numa_sim as sim;
+pub use numa_stats as stats;
+pub use numa_topology as topology;
+pub use numa_vm as vm;

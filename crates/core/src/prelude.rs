@@ -1,0 +1,15 @@
+//! One-stop imports for applications and experiments.
+
+pub use numa_apps::lu::{run_lu, LuConfig, LuResult};
+pub use numa_apps::matrix::{DataMode, SimMatrix};
+pub use numa_kernel::{Kernel, KernelConfig};
+pub use numa_machine::{
+    Machine, MemAccessKind, Op, Program, RunResult, RunStats, SegvHandler, ThreadSpec,
+};
+pub use numa_rt::{Buffer, MigrationStrategy, Schedule, Team, UserNextTouch, WorkPlan};
+pub use numa_sim::SimTime;
+pub use numa_stats::{Breakdown, CostComponent, Counter, Counters, Table};
+pub use numa_topology::{presets, CoreId, CostModel, NodeId, Topology};
+pub use numa_vm::{MemPolicy, PageRange, Protection, VirtAddr, PAGE_SIZE};
+
+pub use crate::system::NumaSystem;

@@ -1,0 +1,88 @@
+//! Kernel feature switches.
+
+use serde::{Deserialize, Serialize};
+
+/// Which kernel variant is running.
+///
+/// The defaults match the paper's experimental kernel: Linux 2.6.27 **with**
+/// the `move_pages` complexity fix and **with** the next-touch fault path
+/// (§4.1). Experiments flip individual switches: Figure 4's
+/// "move pages (no patch)" curve runs with `patched_move_pages = false`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// `true`: the paper's linear destination-node lookup (merged in
+    /// 2.6.29). `false`: the historical quadratic implementation (§3.1).
+    pub patched_move_pages: bool,
+    /// Whether `madvise(MADV_MIGRATE_NEXT_TOUCH)` and the fault-path
+    /// migration are available (§3.3).
+    pub kernel_next_touch: bool,
+    /// Extension (paper §6 future work): allow next-touch on shared
+    /// mappings and file mappings, not only private anonymous memory.
+    pub next_touch_shared: bool,
+    /// Extension (paper §6 future work): huge-page (2 MB) migration.
+    pub huge_page_migration: bool,
+    /// Extension (paper §6 future work): replication of read-only pages
+    /// across nodes.
+    pub replication: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            patched_move_pages: true,
+            kernel_next_touch: true,
+            next_touch_shared: false,
+            huge_page_migration: false,
+            replication: false,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// The stock 2.6.27 kernel before the paper's work: quadratic
+    /// `move_pages`, no next-touch.
+    pub fn vanilla_2_6_27() -> Self {
+        KernelConfig {
+            patched_move_pages: false,
+            kernel_next_touch: false,
+            ..KernelConfig::default()
+        }
+    }
+
+    /// The paper's kernel with every §6 extension also enabled.
+    pub fn all_extensions() -> Self {
+        KernelConfig {
+            patched_move_pages: true,
+            kernel_next_touch: true,
+            next_touch_shared: true,
+            huge_page_migration: true,
+            replication: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_kernel() {
+        let c = KernelConfig::default();
+        assert!(c.patched_move_pages);
+        assert!(c.kernel_next_touch);
+        assert!(!c.huge_page_migration);
+    }
+
+    #[test]
+    fn vanilla_has_neither_feature() {
+        let c = KernelConfig::vanilla_2_6_27();
+        assert!(!c.patched_move_pages);
+        assert!(!c.kernel_next_touch);
+    }
+
+    #[test]
+    fn all_extensions_enables_everything() {
+        let c = KernelConfig::all_extensions();
+        assert!(c.next_touch_shared && c.huge_page_migration && c.replication);
+    }
+}

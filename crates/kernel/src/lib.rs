@@ -1,0 +1,224 @@
+//! The simulated Linux NUMA kernel layer.
+//!
+//! Implements, over the `numa-vm` structures and with virtual-time cost
+//! charging, the mechanisms the paper studies:
+//!
+//! * [`Kernel::move_pages`] — per-page migration syscall, in **both** the
+//!   historical quadratic implementation and the paper's linear fix (§3.1);
+//! * [`Kernel::migrate_pages`] — whole-process migration (§2.3);
+//! * [`Kernel::madvise_next_touch`] — the new migrate-on-next-touch marking
+//!   (§3.3, Figure 2);
+//! * [`Kernel::mprotect`] — protection changes incl. the `PROT_NONE` trick
+//!   the user-space next-touch library uses (§3.2, Figure 1);
+//! * [`Kernel::handle_fault`] — the page-fault handler: first-touch
+//!   placement, kernel next-touch migration, and SIGSEGV delivery;
+//! * [`Kernel::mbind`] / [`Kernel::set_mempolicy`] — placement policies;
+//! * extensions the paper lists as future work (§6): huge-page migration
+//!   and read-only page replication.
+//!
+//! Costs come from [`numa_topology::CostModel`]; contention comes from
+//! [`locks::LockSet`] (mmap / page-table locks) and [`Interconnect`]
+//! (HyperTransport links and per-node memory controllers), so the
+//! multi-threaded scalability limits of the paper's Figure 7 *emerge* from
+//! the same serialization the real kernel suffers.
+
+pub mod config;
+#[cfg(test)]
+mod extensions_tests;
+pub mod fault;
+pub mod interconnect;
+pub mod locks;
+pub mod syscalls;
+
+pub use config::KernelConfig;
+pub use fault::{AccessKind, FaultResolution};
+pub use interconnect::Interconnect;
+pub use locks::LockSet;
+pub use syscalls::{MovePagesResult, PageStatus, SyscallOutcome};
+
+use numa_stats::Counters;
+use numa_topology::{NodeId, Topology};
+use numa_vm::{FrameAllocator, FrameId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The simulated kernel: configuration, lock set, interconnect model and
+/// event counters. All syscall and fault entry points live in the
+/// [`syscalls`] and [`fault`] modules.
+#[derive(Debug)]
+pub struct Kernel {
+    /// Feature switches (patched vs quadratic `move_pages`, extensions).
+    pub config: KernelConfig,
+    /// Kernel locks (mmap lock, page-table lock).
+    pub locks: LockSet,
+    /// Links and memory controllers.
+    pub interconnect: Interconnect,
+    /// Event counters (faults, migrations, shootdowns, ...).
+    pub counters: Counters,
+    topo: Arc<Topology>,
+    /// Read-only replicas per vpn (replication extension): which nodes hold
+    /// a copy, and in which frame.
+    replicas: HashMap<u64, Vec<(NodeId, FrameId)>>,
+}
+
+impl Kernel {
+    /// A kernel for the given machine with the given configuration.
+    pub fn new(topo: Arc<Topology>, config: KernelConfig) -> Self {
+        let interconnect = Interconnect::new(&topo);
+        Kernel {
+            config,
+            locks: LockSet::new(),
+            interconnect,
+            counters: Counters::new(),
+            topo,
+            replicas: HashMap::new(),
+        }
+    }
+
+    /// The machine topology this kernel runs on.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Allocate a frame on `node`, falling back per `fallback` when the
+    /// bank is full.
+    pub(crate) fn alloc_frame(
+        &mut self,
+        frames: &mut FrameAllocator,
+        node: NodeId,
+        fallback: Option<NodeId>,
+    ) -> Option<FrameId> {
+        let got = frames.alloc(node).or_else(|| {
+            fallback
+                .filter(|f| *f != node)
+                .and_then(|f| frames.alloc(f))
+        });
+        if got.is_some() {
+            self.counters.bump(numa_stats::Counter::FramesAllocated);
+        }
+        got
+    }
+
+    /// The control + copy of one page migration, with the cost-model
+    /// fraction of the **entire** work serialized under the page-table
+    /// lock.
+    ///
+    /// The 2.6.27 migration path held the page-table/zone/LRU locks
+    /// through most of the per-page work — unmapping, copying, remapping —
+    /// which is why the paper measures only a 50–60 % aggregate gain from
+    /// 4 threads (Fig. 7) and why its LU overhead numbers imply nearly
+    /// serialized fault handling at 16 threads. The serialized quantum is
+    /// `pt_lock_fraction * (control + copy)`; the remainder of the control
+    /// runs unlocked and the remainder of the copy streams through the
+    /// interconnect concurrently with other threads.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn locked_migration_copy(
+        &mut self,
+        now: numa_sim::SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        control_ns: u64,
+        control_component: numa_stats::CostComponent,
+        copy_component: numa_stats::CostComponent,
+        b: &mut numa_stats::Breakdown,
+    ) -> numa_sim::SimTime {
+        let topo = self.topo.clone();
+        let cost = topo.cost();
+        let f = cost.pt_lock_fraction.min(0.95);
+        let nominal_copy = cost.kernel_copy_ns(bytes);
+        let serial = (f * (control_ns + nominal_copy) as f64).round() as u64;
+        let acq = self.locks.pt.acquire(now, serial);
+        b.add(control_component, control_ns);
+        b.add(numa_stats::CostComponent::LockWait, acq.wait_ns);
+        let parallel_ctl = control_ns - (f * control_ns as f64).round() as u64;
+        let t = acq.end + parallel_ctl;
+        // The unlocked remainder of the copy: same bytes through the
+        // links, initiator time scaled so control+copy totals are
+        // preserved.
+        let xfer =
+            self.interconnect
+                .transfer(&topo, t, src, dst, bytes, cost.kernel_copy_bw / (1.0 - f));
+        b.add(copy_component, nominal_copy + xfer.wait_ns);
+        xfer.end
+    }
+
+    /// Replica table access for the access-cost model: the nearest replica
+    /// of `vpn` as seen from `from`, if any.
+    pub fn nearest_replica(&self, vpn: u64, from: NodeId) -> Option<(NodeId, FrameId)> {
+        let replicas = self.replicas.get(&vpn)?;
+        replicas
+            .iter()
+            .copied()
+            .min_by_key(|(n, _)| self.topo.hops(from, *n))
+    }
+
+    /// Does `vpn` have any replicas?
+    pub fn has_replicas(&self, vpn: u64) -> bool {
+        self.replicas.contains_key(&vpn)
+    }
+
+    pub(crate) fn replicas_mut(&mut self) -> &mut HashMap<u64, Vec<(NodeId, FrameId)>> {
+        &mut self.replicas
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use numa_topology::presets;
+    use numa_vm::{AddressSpace, MemPolicy, Protection, Tlb, VirtAddr, VmaKind};
+
+    /// A ready-to-use kernel + VM fixture on the paper's 4-socket machine.
+    pub struct Fixture {
+        pub kernel: Kernel,
+        pub space: AddressSpace,
+        pub frames: FrameAllocator,
+        pub tlb: Tlb,
+    }
+
+    impl Fixture {
+        pub fn new() -> Self {
+            Self::with_config(KernelConfig::default())
+        }
+
+        pub fn with_config(config: KernelConfig) -> Self {
+            let topo = Arc::new(presets::opteron_4p());
+            let frames = FrameAllocator::new(topo.node_count(), 1 << 21);
+            let tlb = Tlb::new(topo.core_count());
+            Fixture {
+                kernel: Kernel::new(topo, config),
+                space: AddressSpace::new(),
+                frames,
+                tlb,
+            }
+        }
+
+        /// Map `pages` anonymous RW pages and return the base address.
+        pub fn map_anon(&mut self, pages: u64) -> VirtAddr {
+            self.space
+                .mmap(
+                    pages * numa_vm::PAGE_SIZE,
+                    Protection::ReadWrite,
+                    VmaKind::PrivateAnonymous,
+                    MemPolicy::FirstTouch,
+                )
+                .expect("mmap")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::presets;
+
+    #[test]
+    fn kernel_construction() {
+        let topo = Arc::new(presets::opteron_4p());
+        let k = Kernel::new(topo.clone(), KernelConfig::default());
+        assert_eq!(k.topology().node_count(), 4);
+        assert_eq!(k.interconnect.link_count(), topo.link_count());
+        assert!(!k.has_replicas(0));
+    }
+}

@@ -1,0 +1,1145 @@
+//! The migration and placement syscalls.
+//!
+//! * [`Kernel::move_pages`] — §2.3/§3.1, with the quadratic and patched
+//!   destination-node lookups both implemented (the lookup is *actually
+//!   performed* in host code, so the complexity difference is real, and its
+//!   modelled virtual-time cost is charged on top);
+//! * [`Kernel::migrate_pages`] — §2.3, whole-address-space walk;
+//! * [`Kernel::madvise_next_touch`] — §3.3, Figure 2 left half;
+//! * [`Kernel::mprotect`] — §3.2 (the user-space next-touch building block);
+//! * [`Kernel::mbind`] / [`Kernel::set_mempolicy`] — §2.3 placement;
+//! * [`Kernel::mmap_huge`] and [`Kernel::replicate_read_only`] — the §6
+//!   future-work extensions.
+
+use crate::Kernel;
+use numa_sim::SimTime;
+use numa_stats::{Breakdown, CostComponent, Counter};
+use numa_topology::{CoreId, NodeId};
+use numa_vm::{
+    AddressSpace, FrameAllocator, MemPolicy, PageRange, Protection, PteFlags, Tlb, VirtAddr,
+    VmError, VmaKind, PAGES_PER_HUGE, PAGE_SIZE,
+};
+
+/// Completion time and cost decomposition of one syscall.
+#[derive(Debug, Clone)]
+pub struct SyscallOutcome {
+    /// Virtual time at which the syscall returns.
+    pub end: SimTime,
+    /// Where the time went.
+    pub breakdown: Breakdown,
+}
+
+/// Per-page status reported by `move_pages` (the syscall's status array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageStatus {
+    /// Page migrated; now on this node.
+    Moved(NodeId),
+    /// Page was already on the requested node.
+    AlreadyThere(NodeId),
+    /// Page not present (never touched) — `-ENOENT`.
+    NotPresent,
+    /// Address not covered by any mapping — `-EFAULT`.
+    NoVma,
+    /// Destination node out of frames — `-ENOMEM`.
+    NoMemory,
+}
+
+/// Result of a `move_pages` call.
+#[derive(Debug, Clone)]
+pub struct MovePagesResult {
+    /// Timing.
+    pub outcome: SyscallOutcome,
+    /// One status per requested page, in request order.
+    pub status: Vec<PageStatus>,
+    /// Number of pages actually copied.
+    pub moved: u64,
+}
+
+impl Kernel {
+    /// `move_pages(2)`: migrate each `pages[i]` to `dest[i]`.
+    ///
+    /// With `config.patched_move_pages == false` this performs (and
+    /// charges for) the historical per-page linear scan over the
+    /// destination-node array, reproducing the quadratic complexity the
+    /// paper diagnosed (§3.1, Fig. 4 "no patch" curve).
+    #[allow(clippy::too_many_arguments)]
+    pub fn move_pages(
+        &mut self,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        tlb: &mut Tlb,
+        now: SimTime,
+        core: CoreId,
+        pages: &[VirtAddr],
+        dest: &[NodeId],
+    ) -> Result<MovePagesResult, VmError> {
+        if pages.len() != dest.len() {
+            return Err(VmError::Unsupported("pages/dest length mismatch"));
+        }
+        let (mut t, mut b) = self.move_pages_begin(now);
+
+        let n = pages.len();
+        let unpatched_n = if self.config.patched_move_pages { 0 } else { n };
+        let mut status = Vec::with_capacity(n);
+        let mut moved = 0u64;
+        for (i, addr) in pages.iter().enumerate() {
+            // Destination lookup: the bug vs the fix. With the historical
+            // implementation the scan is really executed, so host-side
+            // profiles show the same quadratic shape the paper saw; its
+            // modelled virtual-time cost is charged by `move_page_step`.
+            let dst = if self.config.patched_move_pages {
+                dest[i]
+            } else {
+                quadratic_lookup(dest, i)
+            };
+            let (end, sb, st) = self.move_page_step(space, frames, t, *addr, dst, unpatched_n);
+            t = end;
+            b.merge(&sb);
+            if matches!(st, PageStatus::Moved(_)) {
+                moved += 1;
+            }
+            status.push(st);
+        }
+
+        // One batched shootdown for the whole call.
+        let (end, sb) = self.migration_shootdown(tlb, t, core);
+        t = end;
+        b.merge(&sb);
+
+        Ok(MovePagesResult {
+            outcome: SyscallOutcome {
+                end: t,
+                breakdown: b,
+            },
+            status,
+            moved,
+        })
+    }
+
+    /// The base bookkeeping of a `move_pages` call (taking the mmap lock),
+    /// exposed so the machine engine can execute syscalls page-by-page and
+    /// keep concurrent callers correctly interleaved in virtual time.
+    pub fn move_pages_begin(&mut self, now: SimTime) -> (SimTime, Breakdown) {
+        let mut b = Breakdown::new();
+        let cost = self.topology().cost();
+        let base = cost.move_pages_base_ns;
+        let end = if cost.mmap_lock_serializes_base {
+            self.locks
+                .mmap_locked(now, base, CostComponent::MovePagesControl, &mut b)
+        } else {
+            b.add(CostComponent::MovePagesControl, base);
+            now + base
+        };
+        (end, b)
+    }
+
+    /// Migrate one page of an in-progress `move_pages` call (engine
+    /// micro-step). `unpatched_n` is the destination-array length, used to
+    /// charge the historical quadratic lookup when the kernel is
+    /// un-patched. Returns the completion time, costs, and the page status.
+    #[allow(clippy::too_many_arguments)]
+    pub fn move_page_step(
+        &mut self,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        now: SimTime,
+        addr: VirtAddr,
+        dest: NodeId,
+        unpatched_n: usize,
+    ) -> (SimTime, Breakdown, PageStatus) {
+        let cost = self.topology().cost().clone();
+        let mut b = Breakdown::new();
+        let mut t = now;
+        if !self.config.patched_move_pages && unpatched_n > 0 {
+            let lookup_ns =
+                (cost.unpatched_lookup_ns_per_entry * unpatched_n as f64).round() as u64;
+            b.add(CostComponent::QuadraticLookup, lookup_ns);
+            t += lookup_ns;
+        }
+        let status = self.move_one_page(space, frames, &mut t, &mut b, addr, dest, &cost);
+        if matches!(status, PageStatus::Moved(_)) {
+            self.counters.add(Counter::PagesMovedSyscall, 1);
+        }
+        (t, b, status)
+    }
+
+    /// The batched TLB shootdown that ends a migration syscall (engine
+    /// micro-step).
+    pub fn migration_shootdown(
+        &mut self,
+        tlb: &mut Tlb,
+        now: SimTime,
+        core: CoreId,
+    ) -> (SimTime, Breakdown) {
+        let mut b = Breakdown::new();
+        let hit = tlb.shootdown_all(core);
+        self.counters.bump(Counter::TlbShootdowns);
+        let flush = self.topology().cost().tlb_flush_ns(hit);
+        b.add(CostComponent::TlbFlush, flush);
+        (now + flush, b)
+    }
+
+    /// The base bookkeeping of `migrate_pages` (engine micro-path).
+    pub fn migrate_pages_begin(&mut self, now: SimTime) -> (SimTime, Breakdown) {
+        let mut b = Breakdown::new();
+        let cost = self.topology().cost();
+        let base = cost.migrate_pages_base_ns;
+        let end = if cost.mmap_lock_serializes_base {
+            self.locks
+                .mmap_locked(now, base, CostComponent::MigratePagesWalk, &mut b)
+        } else {
+            b.add(CostComponent::MigratePagesWalk, base);
+            now + base
+        };
+        (end, b)
+    }
+
+    /// Migrate one page of an in-progress `migrate_pages` walk (engine
+    /// micro-step): move the page at `vpn` if its frame is on a node in
+    /// `from`, to the positionally-corresponding node in `to`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn migrate_page_step(
+        &mut self,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        now: SimTime,
+        vpn: u64,
+        from: &[NodeId],
+        to: &[NodeId],
+    ) -> (SimTime, Breakdown, Option<PageStatus>) {
+        let cost = self.topology().cost().clone();
+        let mut b = Breakdown::new();
+        let mut t = now;
+        let Some(pte) = space.page_table.get(vpn) else {
+            return (t, b, None);
+        };
+        if pte.flags.contains(PteFlags::HUGE) && !self.config.huge_page_migration {
+            return (t, b, None);
+        }
+        let old_frame = pte.frame;
+        let huge = pte.flags.contains(PteFlags::HUGE);
+        let src = frames.node_of(old_frame);
+        let Some(pos) = from.iter().position(|n| *n == src) else {
+            return (t, b, None);
+        };
+        let dst = to[pos];
+        if src == dst {
+            t = self.locks.pt_serialized(
+                t,
+                cost.migrate_pages_control_ns,
+                cost.pt_lock_fraction,
+                CostComponent::MigratePagesWalk,
+                &mut b,
+            );
+            self.counters.bump(Counter::PagesAlreadyPlaced);
+            return (t, b, Some(PageStatus::AlreadyThere(dst)));
+        }
+        let Some(new_frame) = self.alloc_frame(frames, dst, None) else {
+            return (t, b, Some(PageStatus::NoMemory));
+        };
+        let bytes = if huge { cost.huge_page_size } else { PAGE_SIZE };
+        t = self.locked_migration_copy(
+            t,
+            src,
+            dst,
+            bytes,
+            cost.migrate_pages_control_ns,
+            CostComponent::MigratePagesWalk,
+            CostComponent::FaultCopy,
+            &mut b,
+        );
+        frames.copy_contents(old_frame, new_frame);
+        frames.free(old_frame);
+        self.counters.bump(Counter::FramesFreed);
+        space.page_table.get_mut(vpn).expect("pte exists").frame = new_frame;
+        self.counters.add(Counter::PagesMovedProcess, 1);
+        (t, b, Some(PageStatus::Moved(dst)))
+    }
+
+    /// Migrate a single page for `move_pages`; shared by the huge-page
+    /// extension (which moves `PAGES_PER_HUGE` base pages at once).
+    #[allow(clippy::too_many_arguments)]
+    fn move_one_page(
+        &mut self,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        t: &mut SimTime,
+        b: &mut Breakdown,
+        addr: VirtAddr,
+        dst: NodeId,
+        cost: &numa_topology::CostModel,
+    ) -> PageStatus {
+        let Some(vma) = space.find_vma(addr) else {
+            return PageStatus::NoVma;
+        };
+        let huge = vma.huge;
+        let vma_start = vma.range.start_vpn;
+        let vpn = if huge {
+            huge_head(vma_start, addr.vpn())
+        } else {
+            addr.vpn()
+        };
+        let Some(pte) = space.page_table.get(vpn) else {
+            return PageStatus::NotPresent;
+        };
+        let old_frame = pte.frame;
+        let src = frames.node_of(old_frame);
+
+        if src == dst {
+            // Control work only, partially serialized on the page-table
+            // lock (§4.2: "intensive locking and page-table
+            // manipulations").
+            *t = self.locks.pt_serialized(
+                *t,
+                cost.move_pages_control_ns,
+                cost.pt_lock_fraction,
+                CostComponent::MovePagesControl,
+                b,
+            );
+            self.counters.bump(Counter::PagesAlreadyPlaced);
+            return PageStatus::AlreadyThere(dst);
+        }
+
+        let Some(new_frame) = self.alloc_frame(frames, dst, None) else {
+            return PageStatus::NoMemory;
+        };
+        let bytes = if huge { cost.huge_page_size } else { PAGE_SIZE };
+        *t = self.locked_migration_copy(
+            *t,
+            src,
+            dst,
+            bytes,
+            cost.move_pages_control_ns,
+            CostComponent::MovePagesControl,
+            CostComponent::MovePagesCopy,
+            b,
+        );
+
+        frames.copy_contents(old_frame, new_frame);
+        frames.free(old_frame);
+        self.counters.bump(Counter::FramesFreed);
+        if huge {
+            self.counters.bump(Counter::HugePagesMoved);
+        }
+        space
+            .page_table
+            .get_mut(vpn)
+            .expect("pte checked above")
+            .frame = new_frame;
+        PageStatus::Moved(dst)
+    }
+
+    /// `migrate_pages(2)`: move every page currently on a node in `from`
+    /// to the positionally-corresponding node in `to`, walking the whole
+    /// address space in order (§2.3, §4.2).
+    #[allow(clippy::too_many_arguments)]
+    pub fn migrate_pages(
+        &mut self,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        tlb: &mut Tlb,
+        now: SimTime,
+        core: CoreId,
+        from: &[NodeId],
+        to: &[NodeId],
+    ) -> Result<MovePagesResult, VmError> {
+        if from.is_empty() || from.len() != to.len() {
+            return Err(VmError::Unsupported("from/to node sets mismatch"));
+        }
+        let (mut t, mut b) = self.migrate_pages_begin(now);
+
+        let mut moved = 0u64;
+        let mut status = Vec::new();
+        // The ordered walk is what gives migrate_pages its better locality
+        // and lower per-page control cost (§4.2).
+        for vpn in space.page_table.sorted_vpns() {
+            let (end, sb, st) = self.migrate_page_step(space, frames, t, vpn, from, to);
+            t = end;
+            b.merge(&sb);
+            if let Some(st) = st {
+                if matches!(st, PageStatus::Moved(_)) {
+                    moved += 1;
+                }
+                status.push(st);
+            }
+        }
+
+        let (end, sb) = self.migration_shootdown(tlb, t, core);
+        t = end;
+        b.merge(&sb);
+
+        Ok(MovePagesResult {
+            outcome: SyscallOutcome {
+                end: t,
+                breakdown: b,
+            },
+            status,
+            moved,
+        })
+    }
+
+    /// `madvise(addr, len, MADV_MIGRATE_NEXT_TOUCH)` (§3.3): clear the
+    /// access bits of every *present* page in the range and set the
+    /// next-touch PTE flag; the next touching thread's fault migrates the
+    /// page to its node. Pages not yet faulted in are untouched — they
+    /// will first-touch correctly anyway.
+    #[allow(clippy::too_many_arguments)]
+    pub fn madvise_next_touch(
+        &mut self,
+        space: &mut AddressSpace,
+        tlb: &mut Tlb,
+        now: SimTime,
+        core: CoreId,
+        range: PageRange,
+    ) -> Result<SyscallOutcome, VmError> {
+        if !self.config.kernel_next_touch {
+            return Err(VmError::Unsupported("kernel next-touch disabled"));
+        }
+        // The paper's implementation only supports private anonymous
+        // memory (§6); the extension lifts that.
+        if !self.config.next_touch_shared {
+            let mut vpn = range.start_vpn;
+            while vpn < range.end_vpn {
+                let Some(vma) = space.find_vma(VirtAddr::from_vpn(vpn)) else {
+                    return Err(VmError::NoVma(VirtAddr::from_vpn(vpn)));
+                };
+                if vma.kind != VmaKind::PrivateAnonymous {
+                    return Err(VmError::Unsupported(
+                        "next-touch on non-private mapping (enable next_touch_shared)",
+                    ));
+                }
+                vpn = vma.range.end_vpn;
+            }
+        }
+
+        let cost = self.topology().cost().clone();
+        let mut b = Breakdown::new();
+        let mut marked = 0u64;
+        for vpn in range.iter() {
+            if let Some(pte) = space.page_table.get_mut(vpn) {
+                if pte.flags.contains(PteFlags::HUGE) || !pte.is_next_touch() {
+                    pte.mark_next_touch();
+                    marked += 1;
+                }
+            }
+        }
+        let ns = cost.madvise_base_ns + cost.madvise_per_page_ns * marked;
+        b.add(CostComponent::Madvise, ns);
+        let mut t = now + ns;
+
+        // Removing access bits requires a shootdown so no stale TLB entry
+        // lets a core skip the fault.
+        if marked > 0 {
+            let hit = tlb.shootdown_all(core);
+            self.counters.bump(Counter::TlbShootdowns);
+            let flush = cost.tlb_flush_ns(hit);
+            b.add(CostComponent::TlbFlush, flush);
+            t += flush;
+        }
+        self.counters.add(Counter::PagesMarkedNextTouch, marked);
+        Ok(SyscallOutcome {
+            end: t,
+            breakdown: b,
+        })
+    }
+
+    /// `mprotect(2)` over a page range. `component` states why the caller
+    /// is changing protection so the Figure-6 breakdown can distinguish
+    /// the user-space next-touch *mark* from its *restore*.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mprotect(
+        &mut self,
+        space: &mut AddressSpace,
+        tlb: &mut Tlb,
+        now: SimTime,
+        core: CoreId,
+        range: PageRange,
+        prot: Protection,
+        component: CostComponent,
+    ) -> Result<SyscallOutcome, VmError> {
+        space.mprotect(range, prot)?;
+        // Keep PTE access bits consistent with the new VMA protection
+        // (preserving the next-touch and huge flags).
+        for vpn in range.iter() {
+            if let Some(pte) = space.page_table.get_mut(vpn) {
+                let keep = pte.flags & (PteFlags::NEXT_TOUCH | PteFlags::HUGE | PteFlags::REPLICA);
+                let mut flags = PteFlags::PRESENT | keep;
+                match prot {
+                    Protection::None => {}
+                    Protection::ReadOnly => flags |= PteFlags::READ,
+                    Protection::ReadWrite => flags |= PteFlags::READ | PteFlags::WRITE,
+                }
+                // A next-touch-marked page stays fault-on-touch.
+                if pte.flags.contains(PteFlags::NEXT_TOUCH) {
+                    flags = (flags & !(PteFlags::READ | PteFlags::WRITE)) | PteFlags::NEXT_TOUCH;
+                }
+                pte.flags = flags;
+            }
+        }
+        let cost = self.topology().cost().clone();
+        let mut b = Breakdown::new();
+        let ns = cost.mprotect_base_ns + cost.mprotect_per_page_ns * range.pages();
+        b.add(component, ns);
+        let mut t = now + ns;
+
+        // Every mprotect flushes the TLB on all processors (§3.3 names
+        // this as a key overhead of the user-space model).
+        let hit = tlb.shootdown_all(core);
+        self.counters.bump(Counter::TlbShootdowns);
+        let flush = cost.tlb_flush_ns(hit);
+        b.add(CostComponent::TlbFlush, flush);
+        t += flush;
+
+        self.counters.bump(Counter::MprotectCalls);
+        Ok(SyscallOutcome {
+            end: t,
+            breakdown: b,
+        })
+    }
+
+    /// `mbind(2)`: set the placement policy of a range.
+    pub fn mbind(
+        &mut self,
+        space: &mut AddressSpace,
+        now: SimTime,
+        range: PageRange,
+        policy: MemPolicy,
+    ) -> Result<SyscallOutcome, VmError> {
+        space.for_each_vma_in(range, |vma| vma.policy = policy.clone())?;
+        let cost = self.topology().cost();
+        let mut b = Breakdown::new();
+        b.add(CostComponent::Other, cost.mbind_base_ns);
+        Ok(SyscallOutcome {
+            end: now + cost.mbind_base_ns,
+            breakdown: b,
+        })
+    }
+
+    /// `mbind(2)` with `MPOL_MF_MOVE`: set the policy **and** migrate the
+    /// already-populated pages that violate it, like the real flag. Pages
+    /// land where the policy would have placed them at fault time (with
+    /// the caller's node standing in for "local").
+    #[allow(clippy::too_many_arguments)]
+    pub fn mbind_move(
+        &mut self,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        tlb: &mut Tlb,
+        now: SimTime,
+        core: CoreId,
+        range: PageRange,
+        policy: MemPolicy,
+    ) -> Result<MovePagesResult, VmError> {
+        self.mbind(space, now, range, policy.clone())?;
+        let local = self.topology().node_of_core(core);
+        let (mut t, mut b) = self.move_pages_begin(now);
+        let mut moved = 0u64;
+        let mut status = Vec::new();
+        for vpn in range.iter() {
+            let Some(pte) = space.page_table.get(vpn) else {
+                continue;
+            };
+            let want = policy.choose_node(vpn, local);
+            if frames.node_of(pte.frame) == want {
+                self.counters.bump(Counter::PagesAlreadyPlaced);
+                status.push(PageStatus::AlreadyThere(want));
+                continue;
+            }
+            let (end, sb, st) =
+                self.move_page_step(space, frames, t, VirtAddr::from_vpn(vpn), want, 0);
+            t = end;
+            b.merge(&sb);
+            if matches!(st, PageStatus::Moved(_)) {
+                moved += 1;
+            }
+            status.push(st);
+        }
+        let (end, sb) = self.migration_shootdown(tlb, t, core);
+        t = end;
+        b.merge(&sb);
+        Ok(MovePagesResult {
+            outcome: SyscallOutcome {
+                end: t,
+                breakdown: b,
+            },
+            status,
+            moved,
+        })
+    }
+
+    /// `set_mempolicy(2)`: set the process-default policy.
+    pub fn set_mempolicy(
+        &mut self,
+        space: &mut AddressSpace,
+        now: SimTime,
+        policy: MemPolicy,
+    ) -> SyscallOutcome {
+        space.set_default_policy(policy);
+        let cost = self.topology().cost();
+        let mut b = Breakdown::new();
+        b.add(CostComponent::Other, cost.mbind_base_ns);
+        SyscallOutcome {
+            end: now + cost.mbind_base_ns,
+            breakdown: b,
+        }
+    }
+
+    /// Map `len` bytes backed by huge pages (extension). Requires
+    /// `config.huge_page_migration`; the mapping length is rounded up to a
+    /// whole number of huge pages.
+    pub fn mmap_huge(
+        &mut self,
+        space: &mut AddressSpace,
+        len: u64,
+        policy: MemPolicy,
+    ) -> Result<VirtAddr, VmError> {
+        if !self.config.huge_page_migration {
+            return Err(VmError::Unsupported("huge pages disabled"));
+        }
+        let cost = self.topology().cost();
+        let rounded = len.div_ceil(cost.huge_page_size) * cost.huge_page_size;
+        let addr = space.mmap(
+            rounded,
+            Protection::ReadWrite,
+            VmaKind::PrivateAnonymous,
+            policy,
+        )?;
+        space.find_vma_mut(addr).expect("vma just created").huge = true;
+        Ok(addr)
+    }
+
+    /// Replicate every present read-only page of `range` onto all nodes
+    /// (extension, §6: "replicating read-only pages among NUMA nodes so as
+    /// to achieve local access performance from anywhere"). The range's
+    /// protection must already be read-only; writes to replicated pages
+    /// are not supported.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replicate_read_only(
+        &mut self,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        now: SimTime,
+        range: PageRange,
+    ) -> Result<SyscallOutcome, VmError> {
+        if !self.config.replication {
+            return Err(VmError::Unsupported("replication disabled"));
+        }
+        // Validate protection first.
+        let mut vpn = range.start_vpn;
+        while vpn < range.end_vpn {
+            let Some(vma) = space.find_vma(VirtAddr::from_vpn(vpn)) else {
+                return Err(VmError::NoVma(VirtAddr::from_vpn(vpn)));
+            };
+            if vma.prot != Protection::ReadOnly {
+                return Err(VmError::Unsupported("replication requires read-only range"));
+            }
+            vpn = vma.range.end_vpn;
+        }
+        let topo = self.topology().clone();
+        let cost = topo.cost().clone();
+        let mut b = Breakdown::new();
+        let mut t = now;
+        let mut replicated = 0u64;
+        for vpn in range.iter() {
+            let Some(pte) = space.page_table.get(vpn) else {
+                continue;
+            };
+            let home_frame = pte.frame;
+            let home = frames.node_of(home_frame);
+            let mut copies = Vec::new();
+            for node in topo.node_ids() {
+                if node == home {
+                    continue;
+                }
+                let Some(f) = self.alloc_frame(frames, node, None) else {
+                    continue;
+                };
+                let xfer = self.interconnect.transfer(
+                    &topo,
+                    t,
+                    home,
+                    node,
+                    PAGE_SIZE,
+                    cost.kernel_copy_bw,
+                );
+                b.add(CostComponent::Other, xfer.end.since(t));
+                t = xfer.end;
+                frames.copy_contents(home_frame, f);
+                copies.push((node, f));
+            }
+            if !copies.is_empty() {
+                copies.push((home, home_frame));
+                self.replicas_mut().insert(vpn, copies);
+                replicated += 1;
+                space.page_table.get_mut(vpn).expect("pte exists").flags |= PteFlags::REPLICA;
+            }
+        }
+        self.counters.add(Counter::PagesReplicated, replicated);
+        Ok(SyscallOutcome {
+            end: t,
+            breakdown: b,
+        })
+    }
+
+    /// Drop all replicas in `range`, freeing their frames (needed before a
+    /// replicated page can be written or migrated).
+    pub fn unreplicate(
+        &mut self,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        range: PageRange,
+    ) {
+        for vpn in range.iter() {
+            let Some(pte) = space.page_table.get(vpn) else {
+                continue;
+            };
+            let home_frame = pte.frame;
+            if let Some(copies) = self.replicas_mut().remove(&vpn) {
+                for (_, f) in copies {
+                    if f != home_frame {
+                        frames.free(f);
+                    }
+                }
+            }
+            let pte = space.page_table.get_mut(vpn).expect("pte exists");
+            pte.flags = pte.flags & !PteFlags::REPLICA;
+        }
+    }
+}
+
+/// The historical `do_pages_move` lookup: scan the whole destination array
+/// to find slot `i`'s node. Deliberately O(n): the host really pays it.
+fn quadratic_lookup(dest: &[NodeId], i: usize) -> NodeId {
+    let mut found = dest[0];
+    for (j, node) in dest.iter().enumerate() {
+        // The real code compared user-space pointers per chunk; the
+        // structural point is the full scan per processed page.
+        if j == i {
+            found = *node;
+        }
+    }
+    found
+}
+
+/// Head vpn of the huge page containing `vpn` within a VMA starting at
+/// `vma_start` (huge framing is relative to the VMA base).
+pub(crate) fn huge_head(vma_start: u64, vpn: u64) -> u64 {
+    vma_start + (vpn - vma_start) / PAGES_PER_HUGE * PAGES_PER_HUGE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::Fixture;
+    use crate::FaultResolution;
+
+    fn touch_all(fx: &mut Fixture, base: VirtAddr, pages: u64, core: CoreId) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for p in 0..pages {
+            match fx.kernel.handle_fault(
+                &mut fx.space,
+                &mut fx.frames,
+                &mut fx.tlb,
+                t,
+                core,
+                base + p * PAGE_SIZE,
+                true,
+            ) {
+                FaultResolution::Resolved { end, .. } => t = end,
+                other => panic!("unexpected fault outcome {other:?}"),
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn move_pages_moves_to_requested_nodes() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(4);
+        // Populate on node 0 (core 0).
+        touch_all(&mut fx, base, 4, CoreId(0));
+        let pages: Vec<VirtAddr> = (0..4).map(|p| base + p * PAGE_SIZE).collect();
+        let dest = vec![NodeId(1); 4];
+        let r = fx
+            .kernel
+            .move_pages(
+                &mut fx.space,
+                &mut fx.frames,
+                &mut fx.tlb,
+                SimTime(1_000_000),
+                CoreId(0),
+                &pages,
+                &dest,
+            )
+            .unwrap();
+        assert_eq!(r.moved, 4);
+        assert!(r.status.iter().all(|s| *s == PageStatus::Moved(NodeId(1))));
+        for p in &pages {
+            let pte = fx.space.page_table.get(p.vpn()).unwrap();
+            assert_eq!(fx.frames.node_of(pte.frame), NodeId(1));
+        }
+    }
+
+    #[test]
+    fn move_pages_preserves_contents() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(1);
+        touch_all(&mut fx, base, 1, CoreId(0));
+        let tag_before = {
+            let pte = fx.space.page_table.get(base.vpn()).unwrap();
+            fx.frames.get(pte.frame).unwrap().content_tag
+        };
+        fx.kernel
+            .move_pages(
+                &mut fx.space,
+                &mut fx.frames,
+                &mut fx.tlb,
+                SimTime::ZERO,
+                CoreId(0),
+                &[base],
+                &[NodeId(2)],
+            )
+            .unwrap();
+        let pte = fx.space.page_table.get(base.vpn()).unwrap();
+        assert_eq!(fx.frames.get(pte.frame).unwrap().content_tag, tag_before);
+    }
+
+    #[test]
+    fn move_pages_statuses() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(3);
+        // Only page 0 populated.
+        touch_all(&mut fx, base, 1, CoreId(0));
+        let pages = vec![
+            base,             // present, on node 0
+            base + PAGE_SIZE, // not present
+            VirtAddr(0x10),   // no vma
+        ];
+        let dest = vec![NodeId(0), NodeId(1), NodeId(1)];
+        let r = fx
+            .kernel
+            .move_pages(
+                &mut fx.space,
+                &mut fx.frames,
+                &mut fx.tlb,
+                SimTime::ZERO,
+                CoreId(0),
+                &pages,
+                &dest,
+            )
+            .unwrap();
+        assert_eq!(r.status[0], PageStatus::AlreadyThere(NodeId(0)));
+        assert_eq!(r.status[1], PageStatus::NotPresent);
+        assert_eq!(r.status[2], PageStatus::NoVma);
+        assert_eq!(r.moved, 0);
+    }
+
+    #[test]
+    fn move_pages_length_mismatch_rejected() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(1);
+        let err = fx
+            .kernel
+            .move_pages(
+                &mut fx.space,
+                &mut fx.frames,
+                &mut fx.tlb,
+                SimTime::ZERO,
+                CoreId(0),
+                &[base],
+                &[],
+            )
+            .unwrap_err();
+        assert!(matches!(err, VmError::Unsupported(_)));
+    }
+
+    #[test]
+    fn unpatched_is_slower_and_quadratic() {
+        // Same workload through both kernels; the unpatched one must charge
+        // the extra lookup time, superlinearly in page count.
+        let cost_of = |patched: bool, pages: u64| -> u64 {
+            let mut fx = Fixture::with_config(KernelConfigPatched(patched));
+            let base = fx.map_anon(pages);
+            touch_all(&mut fx, base, pages, CoreId(0));
+            let addrs: Vec<VirtAddr> = (0..pages).map(|p| base + p * PAGE_SIZE).collect();
+            let dest = vec![NodeId(1); pages as usize];
+            let r = fx
+                .kernel
+                .move_pages(
+                    &mut fx.space,
+                    &mut fx.frames,
+                    &mut fx.tlb,
+                    SimTime(10_000_000),
+                    CoreId(0),
+                    &addrs,
+                    &dest,
+                )
+                .unwrap();
+            r.outcome.end.since(SimTime(10_000_000))
+        };
+        #[allow(non_snake_case)]
+        fn KernelConfigPatched(patched: bool) -> crate::KernelConfig {
+            crate::KernelConfig {
+                patched_move_pages: patched,
+                ..crate::KernelConfig::default()
+            }
+        }
+        let p256 = cost_of(true, 256);
+        let u256 = cost_of(false, 256);
+        let p1024 = cost_of(true, 1024);
+        let u1024 = cost_of(false, 1024);
+        assert!(u256 > p256);
+        // Patched scales ~linearly; unpatched superlinearly.
+        let patched_ratio = p1024 as f64 / p256 as f64;
+        let unpatched_ratio = u1024 as f64 / u256 as f64;
+        assert!(patched_ratio < 5.0, "patched ratio {patched_ratio}");
+        assert!(
+            unpatched_ratio > patched_ratio * 1.5,
+            "unpatched {unpatched_ratio} vs patched {patched_ratio}"
+        );
+    }
+
+    #[test]
+    fn migrate_pages_moves_whole_space() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(8);
+        touch_all(&mut fx, base, 8, CoreId(0)); // all on node 0
+        let r = fx
+            .kernel
+            .migrate_pages(
+                &mut fx.space,
+                &mut fx.frames,
+                &mut fx.tlb,
+                SimTime::ZERO,
+                CoreId(0),
+                &[NodeId(0)],
+                &[NodeId(2)],
+            )
+            .unwrap();
+        assert_eq!(r.moved, 8);
+        for p in 0..8u64 {
+            let pte = fx.space.page_table.get(base.vpn() + p).unwrap();
+            assert_eq!(fx.frames.node_of(pte.frame), NodeId(2));
+        }
+    }
+
+    #[test]
+    fn migrate_pages_ignores_other_nodes() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(2);
+        // Page 0 touched from node 0, page 1 from node 1 (core 4 is on
+        // node 1 in the 4x4 preset).
+        touch_all(&mut fx, base, 1, CoreId(0));
+        fx.kernel.handle_fault(
+            &mut fx.space,
+            &mut fx.frames,
+            &mut fx.tlb,
+            SimTime::ZERO,
+            CoreId(4),
+            base + PAGE_SIZE,
+            true,
+        );
+        let r = fx
+            .kernel
+            .migrate_pages(
+                &mut fx.space,
+                &mut fx.frames,
+                &mut fx.tlb,
+                SimTime::ZERO,
+                CoreId(0),
+                &[NodeId(0)],
+                &[NodeId(3)],
+            )
+            .unwrap();
+        assert_eq!(r.moved, 1);
+        let pte1 = fx.space.page_table.get(base.vpn() + 1).unwrap();
+        assert_eq!(
+            fx.frames.node_of(pte1.frame),
+            NodeId(1),
+            "node-1 page untouched"
+        );
+    }
+
+    #[test]
+    fn madvise_marks_only_present_pages() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(4);
+        touch_all(&mut fx, base, 2, CoreId(0));
+        let range = PageRange::new(base.vpn(), base.vpn() + 4);
+        fx.kernel
+            .madvise_next_touch(&mut fx.space, &mut fx.tlb, SimTime::ZERO, CoreId(0), range)
+            .unwrap();
+        assert!(fx.space.page_table.get(base.vpn()).unwrap().is_next_touch());
+        assert!(fx
+            .space
+            .page_table
+            .get(base.vpn() + 1)
+            .unwrap()
+            .is_next_touch());
+        assert!(fx.space.page_table.get(base.vpn() + 2).is_none());
+        assert_eq!(fx.kernel.counters.get(Counter::PagesMarkedNextTouch), 2);
+    }
+
+    #[test]
+    fn madvise_requires_feature_and_private_mapping() {
+        let mut fx = Fixture::with_config(crate::KernelConfig {
+            kernel_next_touch: false,
+            ..crate::KernelConfig::default()
+        });
+        let base = fx.map_anon(1);
+        let range = PageRange::new(base.vpn(), base.vpn() + 1);
+        assert!(fx
+            .kernel
+            .madvise_next_touch(&mut fx.space, &mut fx.tlb, SimTime::ZERO, CoreId(0), range)
+            .is_err());
+
+        // Shared mapping without the extension.
+        let mut fx = Fixture::new();
+        let addr = fx
+            .space
+            .mmap(
+                PAGE_SIZE,
+                Protection::ReadWrite,
+                VmaKind::SharedAnonymous,
+                MemPolicy::FirstTouch,
+            )
+            .unwrap();
+        let range = PageRange::new(addr.vpn(), addr.vpn() + 1);
+        let err = fx
+            .kernel
+            .madvise_next_touch(&mut fx.space, &mut fx.tlb, SimTime::ZERO, CoreId(0), range)
+            .unwrap_err();
+        assert!(matches!(err, VmError::Unsupported(_)));
+    }
+
+    #[test]
+    fn mprotect_updates_pte_bits_and_counts_flush() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(2);
+        touch_all(&mut fx, base, 2, CoreId(0));
+        let range = PageRange::new(base.vpn(), base.vpn() + 2);
+        fx.kernel
+            .mprotect(
+                &mut fx.space,
+                &mut fx.tlb,
+                SimTime::ZERO,
+                CoreId(0),
+                range,
+                Protection::None,
+                CostComponent::MprotectMark,
+            )
+            .unwrap();
+        let pte = fx.space.page_table.get(base.vpn()).unwrap();
+        assert!(!pte.permits(false) && !pte.permits(true));
+        assert!(fx.tlb.episodes() >= 1);
+
+        fx.kernel
+            .mprotect(
+                &mut fx.space,
+                &mut fx.tlb,
+                SimTime::ZERO,
+                CoreId(0),
+                range,
+                Protection::ReadWrite,
+                CostComponent::MprotectRestore,
+            )
+            .unwrap();
+        let pte = fx.space.page_table.get(base.vpn()).unwrap();
+        assert!(pte.permits(true));
+    }
+
+    #[test]
+    fn mbind_move_relocates_offenders() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(8);
+        touch_all(&mut fx, base, 8, CoreId(0)); // all on node 0
+        let range = PageRange::new(base.vpn(), base.vpn() + 8);
+        let r = fx
+            .kernel
+            .mbind_move(
+                &mut fx.space,
+                &mut fx.frames,
+                &mut fx.tlb,
+                SimTime::ZERO,
+                CoreId(0),
+                range,
+                MemPolicy::interleave_all(4),
+            )
+            .unwrap();
+        // vpn % 4 == 0 pages were already right (if base vpn aligned
+        // appropriately, 2 of 8); the rest moved.
+        assert_eq!(
+            r.moved + fx.kernel.counters.get(Counter::PagesAlreadyPlaced),
+            8
+        );
+        for p in 0..8u64 {
+            let vpn = base.vpn() + p;
+            let pte = fx.space.page_table.get(vpn).unwrap();
+            assert_eq!(
+                fx.frames.node_of(pte.frame),
+                NodeId((vpn % 4) as u16),
+                "page {p} must satisfy the interleave policy"
+            );
+        }
+        // Policy itself also set for future faults.
+        assert!(matches!(
+            fx.space.find_vma(base).unwrap().policy,
+            MemPolicy::Interleave(_)
+        ));
+    }
+
+    #[test]
+    fn mbind_sets_policy() {
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(4);
+        let range = PageRange::new(base.vpn(), base.vpn() + 4);
+        fx.kernel
+            .mbind(
+                &mut fx.space,
+                SimTime::ZERO,
+                range,
+                MemPolicy::Bind(NodeId(3)),
+            )
+            .unwrap();
+        assert_eq!(
+            fx.space.find_vma(base).unwrap().policy,
+            MemPolicy::Bind(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn huge_mmap_requires_feature() {
+        let mut fx = Fixture::new();
+        assert!(fx
+            .kernel
+            .mmap_huge(&mut fx.space, 1 << 20, MemPolicy::FirstTouch)
+            .is_err());
+        let mut fx = Fixture::with_config(crate::KernelConfig {
+            huge_page_migration: true,
+            ..crate::KernelConfig::default()
+        });
+        let addr = fx
+            .kernel
+            .mmap_huge(&mut fx.space, 1 << 20, MemPolicy::FirstTouch)
+            .unwrap();
+        let vma = fx.space.find_vma(addr).unwrap();
+        assert!(vma.huge);
+        // Rounded up to one huge page.
+        assert_eq!(vma.range.pages(), PAGES_PER_HUGE);
+    }
+
+    #[test]
+    fn quadratic_lookup_finds_right_slot() {
+        let dest = vec![NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(quadratic_lookup(&dest, 0), NodeId(0));
+        assert_eq!(quadratic_lookup(&dest, 2), NodeId(2));
+    }
+
+    #[test]
+    fn huge_head_math() {
+        assert_eq!(huge_head(0, 0), 0);
+        assert_eq!(huge_head(0, 511), 0);
+        assert_eq!(huge_head(0, 512), 512);
+        assert_eq!(huge_head(100, 100 + 513), 100 + 512);
+    }
+}

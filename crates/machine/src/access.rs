@@ -1,0 +1,543 @@
+//! Memory-access execution: translation, fault handling, signal delivery,
+//! cache lookup and cost charging.
+
+use crate::engine::RunStats;
+use crate::op::MemAccessKind;
+use crate::Machine;
+use numa_kernel::FaultResolution;
+use numa_sim::SimTime;
+use numa_stats::{CostComponent, Counter};
+use numa_topology::{CoreId, NodeId};
+use numa_vm::{PageRange, VirtAddr, PAGE_SIZE};
+
+/// Upper bound on fault-retry loops per touch; exceeding it means the
+/// fault handler is not making progress (a runtime bug, loudly reported).
+const MAX_FAULT_RETRIES: u32 = 8;
+
+impl Machine {
+    /// Resolve the page-table vpn that backs `addr` (huge mappings are
+    /// keyed by their head page).
+    pub fn resolve_vpn(&self, addr: VirtAddr) -> u64 {
+        match self.space.find_vma(addr) {
+            Some(vma) if vma.huge => {
+                let rel = addr.vpn() - vma.range.start_vpn;
+                vma.range.start_vpn + rel / numa_vm::PAGES_PER_HUGE * numa_vm::PAGES_PER_HUGE
+            }
+            _ => addr.vpn(),
+        }
+    }
+
+    /// Make sure `addr` is mapped with sufficient permission, taking
+    /// faults (and delivering SIGSEGV to the registered handler) as
+    /// needed. Returns the time after fault processing and the node now
+    /// holding the page.
+    pub(crate) fn ensure_mapped(
+        &mut self,
+        tid: usize,
+        core: CoreId,
+        mut now: SimTime,
+        addr: VirtAddr,
+        write: bool,
+        stats: &mut RunStats,
+    ) -> (SimTime, NodeId) {
+        let cost = self.topology().cost().clone();
+        for _ in 0..MAX_FAULT_RETRIES {
+            let vpn = self.resolve_vpn(addr);
+            if let Some(pte) = self.space.page_table.get(vpn) {
+                if pte.permits(write) {
+                    return (now, self.frames.node_of(pte.frame));
+                }
+            }
+            match self.kernel.handle_fault(
+                &mut self.space,
+                &mut self.frames,
+                &mut self.tlb,
+                now,
+                core,
+                addr,
+                write,
+            ) {
+                FaultResolution::Resolved { end, breakdown, .. } => {
+                    stats.breakdown.merge(&breakdown);
+                    now = end;
+                    self.trace
+                        .record(now, tid, format!("fault resolved at {addr}"));
+                }
+                FaultResolution::Segv { end } => {
+                    now = end + cost.sigsegv_deliver_ns;
+                    stats
+                        .breakdown
+                        .add(CostComponent::PageFaultSignal, cost.sigsegv_deliver_ns);
+                    self.trace.record(now, tid, format!("SIGSEGV at {addr}"));
+                    let mut handler = self.segv_handler.take().unwrap_or_else(|| {
+                        panic!(
+                            "thread {tid} took SIGSEGV at {addr} with no handler registered \
+                             (a protected page was touched outside any next-touch run)"
+                        )
+                    });
+                    now = handler.on_segv(self, tid, core, addr, now, stats);
+                    self.segv_handler = Some(handler);
+                }
+                FaultResolution::Fatal(e) => {
+                    panic!("thread {tid} fatal memory fault at {addr}: {e}");
+                }
+            }
+        }
+        panic!(
+            "thread {tid} fault at {addr} did not resolve after {MAX_FAULT_RETRIES} retries \
+             (handler restored protection without fixing access?)"
+        );
+    }
+
+    /// Execute an access atomically: touch every page of
+    /// `[addr, addr+bytes)`, charging `traffic` bytes of DRAM movement
+    /// spread uniformly over the pages.
+    ///
+    /// This is the single-threaded convenience path (tools, tests,
+    /// signal handlers); engine-run threads expand accesses into per-page
+    /// micro-ops instead so concurrent threads interleave correctly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn exec_access(
+        &mut self,
+        tid: usize,
+        core: CoreId,
+        now: SimTime,
+        addr: VirtAddr,
+        bytes: u64,
+        traffic: u64,
+        write: bool,
+        kind: MemAccessKind,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        if bytes == 0 {
+            return now;
+        }
+        let touches = build_touches(addr, bytes);
+        self.exec_access_touches(tid, core, now, &touches, traffic, write, kind, stats)
+    }
+
+    /// Strided variant of [`Machine::exec_access`]: touch `count`
+    /// segments of `seg_bytes` every `stride` bytes, visiting each
+    /// distinct page once. Atomic; see [`Machine::exec_access`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn exec_access_strided(
+        &mut self,
+        tid: usize,
+        core: CoreId,
+        now: SimTime,
+        base: VirtAddr,
+        seg_bytes: u64,
+        stride: u64,
+        count: u64,
+        traffic: u64,
+        write: bool,
+        kind: MemAccessKind,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        if seg_bytes == 0 || count == 0 {
+            return now;
+        }
+        let touches = build_strided_touches(base, seg_bytes, stride, count);
+        self.exec_access_touches(tid, core, now, &touches, traffic, write, kind, stats)
+    }
+
+    /// Shared core of the *atomic* access paths: fault in and charge each
+    /// touched page sequentially. Multi-threaded runs go through the
+    /// engine's micro-op expansion instead, which interleaves page touches
+    /// of different threads in virtual-time order.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_access_touches(
+        &mut self,
+        tid: usize,
+        core: CoreId,
+        mut now: SimTime,
+        touches: &[VirtAddr],
+        traffic: u64,
+        write: bool,
+        kind: MemAccessKind,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        let pages = touches.len() as u64;
+        let per_page = traffic / pages.max(1);
+        let remainder = traffic - per_page * pages;
+        let fits = self.operand_fits_in_cache(core, pages);
+        for (i, page_addr) in touches.iter().copied().enumerate() {
+            let portion = per_page + if (i as u64) < remainder { 1 } else { 0 };
+            now = self.touch_page(tid, core, now, page_addr, portion, write, kind, fits, stats);
+        }
+        now
+    }
+
+    /// Does an operand of `pages` pages fit in the per-core share of the
+    /// accessing core's L3? If so, only one fill pass per page goes to
+    /// DRAM; the remaining charged traffic is cache reuse served at L3
+    /// bandwidth. This is the mechanism behind the paper's 512 threshold
+    /// (Fig. 8): a 512x512-double operand (2 MB) is the first size to
+    /// overflow the shared L3, suddenly exposing DRAM and NUMA costs for
+    /// *all* of its reuse traffic.
+    pub(crate) fn operand_fits_in_cache(&self, core: CoreId, pages: u64) -> bool {
+        let topo = self.topology();
+        let core_node = topo.node_of_core(core);
+        let cores_on_node = topo.cores_of_node(core_node).len().max(1) as u64;
+        let l3_share = topo.node(core_node).l3_bytes / cores_on_node;
+        pages * PAGE_SIZE <= l3_share
+    }
+
+    /// Touch one page: resolve faults, then charge `portion` bytes of
+    /// traffic through the cache/DRAM/interconnect model. The engine's
+    /// per-page micro-op executor.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn touch_page(
+        &mut self,
+        tid: usize,
+        core: CoreId,
+        now: SimTime,
+        page_addr: VirtAddr,
+        portion: u64,
+        write: bool,
+        kind: MemAccessKind,
+        fits_in_cache: bool,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        let topo = self.topology().clone();
+        let cost = topo.cost().clone();
+        let core_node = topo.node_of_core(core);
+        let vpn = page_addr.vpn();
+
+        let (mut now, mut home) = self.ensure_mapped(tid, core, now, page_addr, write, stats);
+
+        // Reads may be served by a closer replica (extension).
+        if !write && self.kernel.has_replicas(self.resolve_vpn(page_addr)) {
+            if let Some((node, _)) = self
+                .kernel
+                .nearest_replica(self.resolve_vpn(page_addr), core_node)
+            {
+                home = node;
+            }
+        }
+        if portion == 0 {
+            return now;
+        }
+
+        let start = now;
+        if self.caches[core_node.index()].touch(vpn) {
+            // Served from the node's shared L3.
+            stats.counters.bump(Counter::CacheHits);
+            now += (portion as f64 / cost.l3_bw).round() as u64;
+        } else {
+            stats.counters.bump(Counter::CacheMisses);
+            // Split the charged traffic into the DRAM part (the fill,
+            // plus all reuse when the operand cannot stay resident) and
+            // the L3-served reuse part.
+            let dram_bytes = if fits_in_cache {
+                portion.min(PAGE_SIZE)
+            } else {
+                portion
+            };
+            let l3_bytes = portion - dram_bytes;
+            let factor = topo.numa_factor(core_node, home);
+            let lines = dram_bytes.div_ceil(cost.cache_line).max(1);
+            let exposure = match kind {
+                MemAccessKind::Stream => cost.stream_latency_exposure,
+                MemAccessKind::Blocked => cost.blocked_latency_exposure,
+                MemAccessKind::Random => cost.random_latency_exposure,
+            };
+            let latency_ns =
+                (lines as f64 * cost.dram_latency_ns * exposure * factor).round() as u64;
+            let bw_ns = (dram_bytes as f64 / cost.core_mem_bw * factor).round() as u64;
+            let xfer = self.kernel.interconnect.access(
+                &topo,
+                now,
+                core_node,
+                home,
+                dram_bytes,
+                latency_ns + bw_ns,
+            );
+            now = xfer.end;
+            now += (l3_bytes as f64 / cost.l3_bw).round() as u64;
+            if home == core_node {
+                stats.counters.bump(Counter::LocalAccesses);
+            } else {
+                stats.counters.bump(Counter::RemoteAccesses);
+            }
+        }
+        stats
+            .breakdown
+            .add(CostComponent::MemoryAccess, now.since(start));
+        now
+    }
+
+    /// Execute an `Op::Memcpy`: a user-space SSE-class copy between two
+    /// simulated buffers (the paper's Fig. 4 baseline).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_memcpy(
+        &mut self,
+        tid: usize,
+        core: CoreId,
+        mut now: SimTime,
+        src: VirtAddr,
+        dst: VirtAddr,
+        bytes: u64,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        let topo = self.topology().clone();
+        let cost = topo.cost().clone();
+        let mut off = 0u64;
+        while off < bytes {
+            let chunk = (PAGE_SIZE - (src + off).page_offset()).min(bytes - off);
+            let (t1, src_node) = self.ensure_mapped(tid, core, now, src + off, false, stats);
+            let (t2, dst_node) = self.ensure_mapped(tid, core, t1, dst + off, true, stats);
+            now = t2;
+            let start = now;
+            let xfer = self.kernel.interconnect.transfer(
+                &topo,
+                now,
+                src_node,
+                dst_node,
+                chunk,
+                cost.user_copy_bw,
+            );
+            now = xfer.end;
+            stats
+                .breakdown
+                .add(CostComponent::MemoryAccess, now.since(start));
+            off += chunk;
+        }
+        now
+    }
+}
+
+/// The distinct page-touch addresses of a contiguous access.
+pub(crate) fn build_touches(addr: VirtAddr, bytes: u64) -> Vec<VirtAddr> {
+    PageRange::covering(addr, bytes)
+        .iter()
+        .map(|vpn| VirtAddr::from_vpn(vpn).max_addr(addr))
+        .collect()
+}
+
+/// The distinct page-touch addresses of a strided access, preserving
+/// first-touch order (consecutive segments often share a page).
+pub(crate) fn build_strided_touches(
+    base: VirtAddr,
+    seg_bytes: u64,
+    stride: u64,
+    count: u64,
+) -> Vec<VirtAddr> {
+    let mut touches: Vec<VirtAddr> = Vec::new();
+    let mut last_vpn = u64::MAX;
+    for s in 0..count {
+        let seg_start = base + s * stride;
+        for vpn in PageRange::covering(seg_start, seg_bytes).iter() {
+            if vpn != last_vpn {
+                last_vpn = vpn;
+                touches.push(VirtAddr::from_vpn(vpn).max_addr(seg_start));
+            }
+        }
+    }
+    touches
+}
+
+/// Small helper: clamp a page's base address so the first touched byte of
+/// the first page is the caller's `addr` (faults must hit the exact
+/// address the program touches, not the page base below a mapping).
+trait MaxAddr {
+    fn max_addr(self, other: VirtAddr) -> VirtAddr;
+}
+
+impl MaxAddr for VirtAddr {
+    fn max_addr(self, other: VirtAddr) -> VirtAddr {
+        if other.raw() > self.raw() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RunStats;
+    use numa_vm::MemPolicy;
+
+    #[test]
+    fn access_populates_and_charges() {
+        let mut m = Machine::two_node();
+        let a = m.alloc(4 * PAGE_SIZE, MemPolicy::FirstTouch);
+        let mut stats = RunStats::default();
+        let end = m.exec_access(
+            0,
+            CoreId(0),
+            SimTime::ZERO,
+            a,
+            4 * PAGE_SIZE,
+            4 * PAGE_SIZE,
+            true,
+            MemAccessKind::Stream,
+            &mut stats,
+        );
+        assert!(end > SimTime::ZERO);
+        assert_eq!(m.page_node(a), Some(NodeId(0)));
+        assert!(stats.breakdown.get(CostComponent::MemoryAccess) > 0);
+        assert_eq!(stats.counters.get(Counter::CacheMisses), 4);
+    }
+
+    #[test]
+    fn second_pass_hits_cache_and_is_cheaper() {
+        let mut m = Machine::two_node();
+        let a = m.alloc(4 * PAGE_SIZE, MemPolicy::FirstTouch);
+        let mut stats = RunStats::default();
+        let t1 = m.exec_access(
+            0,
+            CoreId(0),
+            SimTime::ZERO,
+            a,
+            4 * PAGE_SIZE,
+            4 * PAGE_SIZE,
+            false,
+            MemAccessKind::Stream,
+            &mut stats,
+        );
+        let t2 = m.exec_access(
+            0,
+            CoreId(0),
+            t1,
+            a,
+            4 * PAGE_SIZE,
+            4 * PAGE_SIZE,
+            false,
+            MemAccessKind::Stream,
+            &mut stats,
+        );
+        assert!(t2.since(t1) < t1.since(SimTime::ZERO));
+        assert_eq!(stats.counters.get(Counter::CacheHits), 4);
+    }
+
+    #[test]
+    fn remote_access_slower_than_local() {
+        let mut m = Machine::two_node();
+        let a = m.alloc(PAGE_SIZE, MemPolicy::Bind(NodeId(1)));
+        let b = m.alloc(PAGE_SIZE, MemPolicy::Bind(NodeId(0)));
+        let mut stats = RunStats::default();
+        // Populate both from core 0 (node 0); policies pin the frames.
+        let t = m.exec_access(
+            0,
+            CoreId(0),
+            SimTime::ZERO,
+            a,
+            8,
+            8,
+            true,
+            MemAccessKind::Blocked,
+            &mut stats,
+        );
+        let t = m.exec_access(
+            0,
+            CoreId(0),
+            t,
+            b,
+            8,
+            8,
+            true,
+            MemAccessKind::Blocked,
+            &mut stats,
+        );
+        m.flush_caches();
+        // Timed, cold accesses.
+        let t1 = m.exec_access(
+            0,
+            CoreId(0),
+            t,
+            a,
+            8,
+            PAGE_SIZE,
+            false,
+            MemAccessKind::Blocked,
+            &mut stats,
+        );
+        let remote_ns = t1.since(t);
+        m.flush_caches();
+        let t2 = m.exec_access(
+            0,
+            CoreId(0),
+            t1,
+            b,
+            8,
+            PAGE_SIZE,
+            false,
+            MemAccessKind::Blocked,
+            &mut stats,
+        );
+        let local_ns = t2.since(t1);
+        assert!(
+            remote_ns > local_ns,
+            "remote {remote_ns} must exceed local {local_ns}"
+        );
+        let ratio = remote_ns as f64 / local_ns as f64;
+        assert!((1.1..1.6).contains(&ratio), "NUMA factor band, got {ratio}");
+    }
+
+    #[test]
+    fn memcpy_between_nodes_populates_both_sides() {
+        let mut m = Machine::two_node();
+        let src = m.alloc(2 * PAGE_SIZE, MemPolicy::Bind(NodeId(0)));
+        let dst = m.alloc(2 * PAGE_SIZE, MemPolicy::Bind(NodeId(1)));
+        let mut stats = RunStats::default();
+        let end = m.exec_memcpy(
+            0,
+            CoreId(0),
+            SimTime::ZERO,
+            src,
+            dst,
+            2 * PAGE_SIZE,
+            &mut stats,
+        );
+        assert!(end > SimTime::ZERO);
+        assert_eq!(m.page_node(src), Some(NodeId(0)));
+        assert_eq!(m.page_node(dst), Some(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no handler registered")]
+    fn segv_without_handler_panics() {
+        use numa_stats::CostComponent;
+        use numa_vm::Protection;
+        let mut m = Machine::two_node();
+        let a = m.alloc(PAGE_SIZE, MemPolicy::FirstTouch);
+        let mut stats = RunStats::default();
+        let t = m.exec_access(
+            0,
+            CoreId(0),
+            SimTime::ZERO,
+            a,
+            8,
+            8,
+            true,
+            MemAccessKind::Stream,
+            &mut stats,
+        );
+        let range = PageRange::new(a.vpn(), a.vpn() + 1);
+        m.kernel
+            .mprotect(
+                &mut m.space,
+                &mut m.tlb,
+                t,
+                CoreId(0),
+                range,
+                Protection::None,
+                CostComponent::MprotectMark,
+            )
+            .unwrap();
+        m.exec_access(
+            0,
+            CoreId(0),
+            t,
+            a,
+            8,
+            8,
+            false,
+            MemAccessKind::Stream,
+            &mut stats,
+        );
+    }
+}

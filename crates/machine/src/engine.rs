@@ -1,0 +1,608 @@
+//! The discrete-event thread engine.
+//!
+//! Threads are op generators pinned to cores. The engine pops the thread
+//! with the earliest virtual clock, asks it for its next [`Op`], executes
+//! the op (advancing the clock through the kernel/memory cost model), and
+//! re-queues it — classic conservative DES. Barriers park threads until
+//! the whole team arrives (OpenMP semantics).
+
+use crate::op::Op;
+use crate::Machine;
+use numa_sim::{BarrierOutcome, BarrierState, ReadyQueue, SimTime};
+use numa_stats::{Breakdown, CostComponent, Counter, Counters};
+use numa_topology::CoreId;
+
+/// Context passed to a program when the engine asks for its next op.
+pub struct ProgramCtx<'a> {
+    /// This thread's id within the run.
+    pub tid: usize,
+    /// The core the thread is pinned to.
+    pub core: CoreId,
+    /// The thread's current virtual clock.
+    pub now: SimTime,
+    /// Read access to the machine (e.g. to query page placement).
+    pub machine: &'a Machine,
+}
+
+/// A simulated thread body: yields ops until `None`.
+pub type Program = Box<dyn FnMut(&mut ProgramCtx<'_>) -> Option<Op>>;
+
+/// One thread of a run: a core binding plus a program.
+pub struct ThreadSpec {
+    /// Core to pin the thread to.
+    pub core: CoreId,
+    /// The op generator.
+    pub program: Program,
+}
+
+impl ThreadSpec {
+    /// A thread on `core` running `program`.
+    pub fn new(core: CoreId, program: Program) -> Self {
+        ThreadSpec { core, program }
+    }
+
+    /// A thread that executes a fixed op list.
+    pub fn scripted(core: CoreId, ops: Vec<Op>) -> Self {
+        let mut iter = ops.into_iter();
+        ThreadSpec::new(core, Box::new(move |_| iter.next()))
+    }
+}
+
+/// Aggregated statistics of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Virtual time per cost component, summed over all threads.
+    pub breakdown: Breakdown,
+    /// Machine-level event counters (accesses, cache hits, ...). Kernel
+    /// counters are kept separately in `Machine::kernel.counters`.
+    pub counters: Counters,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completion time of the whole run (max over threads).
+    pub makespan: SimTime,
+    /// Per-thread completion times.
+    pub thread_end: Vec<SimTime>,
+    /// Aggregated statistics.
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Makespan in nanoseconds.
+    pub fn makespan_ns(&self) -> u64 {
+        self.makespan.ns()
+    }
+}
+
+/// One scheduling quantum of an expanded op.
+///
+/// Multi-page ops (syscalls, accesses) expand into per-page micro-ops so
+/// that concurrent threads' resource acquisitions happen in virtual-time
+/// order. Executing a 16k-page `move_pages` atomically would push every
+/// lock/link watermark to its own completion time, invisibly serializing
+/// any logically-concurrent caller — exactly the artifact a single
+/// `busy_until` resource model is prone to.
+enum Micro {
+    /// A small op that is safe to execute atomically.
+    Whole(Op),
+    /// `move_pages` base bookkeeping.
+    MovePagesBegin,
+    /// Migrate one page of a `move_pages` call.
+    MovePage {
+        addr: numa_vm::VirtAddr,
+        dest: numa_topology::NodeId,
+        unpatched_n: usize,
+    },
+    /// `migrate_pages` base bookkeeping.
+    MigratePagesBegin,
+    /// One page of a `migrate_pages` walk.
+    MigratePage {
+        vpn: u64,
+        from: std::rc::Rc<Vec<numa_topology::NodeId>>,
+        to: std::rc::Rc<Vec<numa_topology::NodeId>>,
+    },
+    /// The batched TLB shootdown ending a migration syscall.
+    MigrationShootdown,
+    /// Touch one page of an access op.
+    Touch {
+        page_addr: numa_vm::VirtAddr,
+        portion: u64,
+        write: bool,
+        kind: crate::op::MemAccessKind,
+        fits: bool,
+    },
+    /// Copy one page-sized chunk of a user-space memcpy.
+    MemcpyChunk {
+        src: numa_vm::VirtAddr,
+        dst: numa_vm::VirtAddr,
+        bytes: u64,
+    },
+}
+
+struct ThreadState {
+    core: CoreId,
+    clock: SimTime,
+    done: bool,
+    program: Program,
+    micro: std::collections::VecDeque<Micro>,
+}
+
+impl Machine {
+    /// Run `threads` to completion with the given barrier team sizes
+    /// (barrier *i* in [`Op::Barrier`] refers to `barrier_sizes[i]`).
+    ///
+    /// Threads all start at virtual time zero. Returns when every program
+    /// has yielded `None`.
+    pub fn run(&mut self, threads: Vec<ThreadSpec>, barrier_sizes: &[usize]) -> RunResult {
+        let mut stats = RunStats::default();
+        let mut barriers: Vec<BarrierState> = barrier_sizes
+            .iter()
+            .map(|s| BarrierState::new(*s))
+            .collect();
+        let mut states: Vec<ThreadState> = threads
+            .into_iter()
+            .map(|t| ThreadState {
+                core: t.core,
+                clock: SimTime::ZERO,
+                done: false,
+                program: t.program,
+                micro: std::collections::VecDeque::new(),
+            })
+            .collect();
+        let n = states.len();
+        let mut queue = ReadyQueue::new();
+        for tid in 0..n {
+            queue.push(SimTime::ZERO, tid);
+        }
+        let mut thread_end = vec![SimTime::ZERO; n];
+
+        while let Some((t, tid)) = queue.pop() {
+            let state = &mut states[tid];
+            if state.done {
+                continue;
+            }
+            state.clock = state.clock.max(t);
+            let (core, now) = (state.core, state.clock);
+
+            // Drain one pending micro-op if there is one.
+            if let Some(micro) = state.micro.pop_front() {
+                let end = self.exec_micro(tid, core, now, micro, &mut stats);
+                states[tid].clock = end;
+                queue.push(end, tid);
+                continue;
+            }
+
+            // Ask the program for the next op. The context borrows the
+            // machine immutably; execution below borrows it mutably.
+            let op = {
+                let mut ctx = ProgramCtx {
+                    tid,
+                    core,
+                    now,
+                    machine: self,
+                };
+                (state.program)(&mut ctx)
+            };
+            let Some(op) = op else {
+                state.done = true;
+                thread_end[tid] = state.clock;
+                continue;
+            };
+
+            match op {
+                Op::Barrier(id) => {
+                    assert!(
+                        id < barriers.len(),
+                        "thread {tid} hit unregistered barrier {id}"
+                    );
+                    match barriers[id].arrive(tid, now) {
+                        BarrierOutcome::Wait => {
+                            // Parked: re-queued when the barrier releases.
+                        }
+                        BarrierOutcome::Release {
+                            release_at,
+                            waiters,
+                        } => {
+                            stats.counters.bump(Counter::BarriersCompleted);
+                            for w in waiters {
+                                states[w].clock = release_at;
+                                queue.push(release_at, w);
+                            }
+                            states[tid].clock = release_at;
+                            queue.push(release_at, tid);
+                        }
+                    }
+                }
+                other => {
+                    let micros = self.expand_op(core, other);
+                    states[tid].micro = micros;
+                    queue.push(now, tid);
+                }
+            }
+        }
+
+        let makespan = thread_end.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        RunResult {
+            makespan,
+            thread_end,
+            stats,
+        }
+    }
+
+    /// Expand an op into its scheduling quanta.
+    fn expand_op(&mut self, core: CoreId, op: Op) -> std::collections::VecDeque<Micro> {
+        use crate::access::{build_strided_touches, build_touches};
+        use numa_vm::PAGE_SIZE;
+        let mut micros = std::collections::VecDeque::new();
+        match op {
+            Op::Access {
+                addr,
+                bytes,
+                traffic,
+                write,
+                kind,
+            } => {
+                if bytes == 0 {
+                    return micros;
+                }
+                let touches = build_touches(addr, bytes);
+                push_touches(&mut micros, self, core, touches, traffic, write, kind);
+            }
+            Op::AccessStrided {
+                base,
+                seg_bytes,
+                stride,
+                count,
+                traffic,
+                write,
+                kind,
+            } => {
+                if seg_bytes == 0 || count == 0 {
+                    return micros;
+                }
+                let touches = build_strided_touches(base, seg_bytes, stride, count);
+                push_touches(&mut micros, self, core, touches, traffic, write, kind);
+            }
+            Op::Memcpy { src, dst, bytes } => {
+                let mut off = 0u64;
+                while off < bytes {
+                    let chunk = (PAGE_SIZE - (src + off).page_offset()).min(bytes - off);
+                    micros.push_back(Micro::MemcpyChunk {
+                        src: src + off,
+                        dst: dst + off,
+                        bytes: chunk,
+                    });
+                    off += chunk;
+                }
+            }
+            Op::MovePages { pages, dest } => {
+                assert_eq!(pages.len(), dest.len(), "pages/dest length mismatch");
+                micros.push_back(Micro::MovePagesBegin);
+                let n = pages.len();
+                let unpatched_n = if self.kernel.config.patched_move_pages {
+                    0
+                } else {
+                    n
+                };
+                for (addr, d) in pages.into_iter().zip(dest) {
+                    micros.push_back(Micro::MovePage {
+                        addr,
+                        dest: d,
+                        unpatched_n,
+                    });
+                }
+                micros.push_back(Micro::MigrationShootdown);
+            }
+            Op::MigratePages { from, to } => {
+                assert!(
+                    !from.is_empty() && from.len() == to.len(),
+                    "from/to node sets mismatch"
+                );
+                micros.push_back(Micro::MigratePagesBegin);
+                let from = std::rc::Rc::new(from);
+                let to = std::rc::Rc::new(to);
+                // The ordered address-space walk (§4.2).
+                for vpn in self.space.page_table.sorted_vpns() {
+                    micros.push_back(Micro::MigratePage {
+                        vpn,
+                        from: std::rc::Rc::clone(&from),
+                        to: std::rc::Rc::clone(&to),
+                    });
+                }
+                micros.push_back(Micro::MigrationShootdown);
+            }
+            other => micros.push_back(Micro::Whole(other)),
+        }
+        micros
+    }
+
+    /// Execute one micro-op, returning its completion time.
+    fn exec_micro(
+        &mut self,
+        tid: usize,
+        core: CoreId,
+        now: SimTime,
+        micro: Micro,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        match micro {
+            Micro::Whole(op) => self.exec_whole(tid, core, now, op, stats),
+            Micro::MovePagesBegin => {
+                let (end, b) = self.kernel.move_pages_begin(now);
+                stats.breakdown.merge(&b);
+                end
+            }
+            Micro::MovePage {
+                addr,
+                dest,
+                unpatched_n,
+            } => {
+                let (end, b, _status) = self.kernel.move_page_step(
+                    &mut self.space,
+                    &mut self.frames,
+                    now,
+                    addr,
+                    dest,
+                    unpatched_n,
+                );
+                stats.breakdown.merge(&b);
+                end
+            }
+            Micro::MigratePagesBegin => {
+                let (end, b) = self.kernel.migrate_pages_begin(now);
+                stats.breakdown.merge(&b);
+                end
+            }
+            Micro::MigratePage { vpn, from, to } => {
+                let (end, b, _status) = self.kernel.migrate_page_step(
+                    &mut self.space,
+                    &mut self.frames,
+                    now,
+                    vpn,
+                    &from,
+                    &to,
+                );
+                stats.breakdown.merge(&b);
+                end
+            }
+            Micro::MigrationShootdown => {
+                let (end, b) = self.kernel.migration_shootdown(&mut self.tlb, now, core);
+                stats.breakdown.merge(&b);
+                end
+            }
+            Micro::Touch {
+                page_addr,
+                portion,
+                write,
+                kind,
+                fits,
+            } => self.touch_page(tid, core, now, page_addr, portion, write, kind, fits, stats),
+            Micro::MemcpyChunk { src, dst, bytes } => {
+                self.exec_memcpy(tid, core, now, src, dst, bytes, stats)
+            }
+        }
+    }
+
+    /// Execute a small op atomically.
+    fn exec_whole(
+        &mut self,
+        tid: usize,
+        core: CoreId,
+        now: SimTime,
+        op: Op,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        match op {
+            Op::Compute { flops, efficiency } => {
+                debug_assert!(efficiency > 0.0 && efficiency <= 1.0);
+                let rate = self.topology().core(core).flops_per_ns() * efficiency;
+                let ns = (flops as f64 / rate).round() as u64;
+                stats.breakdown.add(CostComponent::Compute, ns);
+                now + ns
+            }
+            Op::ComputeNs(ns) => {
+                stats.breakdown.add(CostComponent::Compute, ns);
+                now + ns
+            }
+            Op::MadviseNextTouch { range } => {
+                let r = self
+                    .kernel
+                    .madvise_next_touch(&mut self.space, &mut self.tlb, now, core, range)
+                    .unwrap_or_else(|e| panic!("thread {tid} madvise failed: {e}"));
+                stats.breakdown.merge(&r.breakdown);
+                r.end
+            }
+            Op::Mprotect {
+                range,
+                prot,
+                component,
+            } => {
+                let r = self
+                    .kernel
+                    .mprotect(
+                        &mut self.space,
+                        &mut self.tlb,
+                        now,
+                        core,
+                        range,
+                        prot,
+                        component,
+                    )
+                    .unwrap_or_else(|e| panic!("thread {tid} mprotect failed: {e}"));
+                stats.breakdown.merge(&r.breakdown);
+                r.end
+            }
+            Op::Mbind { range, policy } => {
+                let r = self
+                    .kernel
+                    .mbind(&mut self.space, now, range, policy)
+                    .unwrap_or_else(|e| panic!("thread {tid} mbind failed: {e}"));
+                stats.breakdown.merge(&r.breakdown);
+                r.end
+            }
+            Op::Nop => now,
+            Op::Barrier(_) => unreachable!("barriers are handled by the engine loop"),
+            Op::Access { .. }
+            | Op::AccessStrided { .. }
+            | Op::Memcpy { .. }
+            | Op::MovePages { .. }
+            | Op::MigratePages { .. } => {
+                unreachable!("multi-page ops are expanded into micro-ops")
+            }
+        }
+    }
+}
+
+/// Queue one `Micro::Touch` per page, spreading `traffic` uniformly.
+fn push_touches(
+    micros: &mut std::collections::VecDeque<Micro>,
+    machine: &Machine,
+    core: CoreId,
+    touches: Vec<numa_vm::VirtAddr>,
+    traffic: u64,
+    write: bool,
+    kind: crate::op::MemAccessKind,
+) {
+    let pages = touches.len() as u64;
+    let per_page = traffic / pages.max(1);
+    let remainder = traffic - per_page * pages;
+    let fits = machine.operand_fits_in_cache(core, pages);
+    for (i, page_addr) in touches.into_iter().enumerate() {
+        let portion = per_page + if (i as u64) < remainder { 1 } else { 0 };
+        micros.push_back(Micro::Touch {
+            page_addr,
+            portion,
+            write,
+            kind,
+            fits,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::MemAccessKind;
+    use numa_vm::{MemPolicy, VirtAddr, PAGE_SIZE};
+
+    #[test]
+    fn scripted_threads_run_to_completion() {
+        let mut m = Machine::two_node();
+        let a = m.alloc(4 * PAGE_SIZE, MemPolicy::FirstTouch);
+        let threads = vec![
+            ThreadSpec::scripted(
+                CoreId(0),
+                vec![
+                    Op::read(a, PAGE_SIZE, MemAccessKind::Stream),
+                    Op::ComputeNs(100),
+                ],
+            ),
+            ThreadSpec::scripted(CoreId(2), vec![Op::ComputeNs(5000)]),
+        ];
+        let r = m.run(threads, &[]);
+        assert_eq!(r.thread_end.len(), 2);
+        assert!(r.makespan >= SimTime(5000));
+        assert!(r.stats.breakdown.get(CostComponent::Compute) >= 5100);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let mut m = Machine::two_node();
+        let r = m.run(vec![], &[]);
+        assert_eq!(r.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn barrier_synchronises_clocks() {
+        let mut m = Machine::two_node();
+        let threads = vec![
+            ThreadSpec::scripted(
+                CoreId(0),
+                vec![Op::ComputeNs(100), Op::Barrier(0), Op::ComputeNs(10)],
+            ),
+            ThreadSpec::scripted(
+                CoreId(2),
+                vec![Op::ComputeNs(9000), Op::Barrier(0), Op::ComputeNs(10)],
+            ),
+        ];
+        let r = m.run(threads, &[2]);
+        // Both threads finish 10ns after the 9000ns barrier release.
+        assert_eq!(r.thread_end[0], SimTime(9010));
+        assert_eq!(r.thread_end[1], SimTime(9010));
+        assert_eq!(r.stats.counters.get(Counter::BarriersCompleted), 1);
+    }
+
+    #[test]
+    fn repeated_barrier_episodes() {
+        let mut m = Machine::two_node();
+        let mk = |core: u16, work: u64| {
+            ThreadSpec::scripted(
+                CoreId(core),
+                vec![
+                    Op::ComputeNs(work),
+                    Op::Barrier(0),
+                    Op::ComputeNs(work),
+                    Op::Barrier(0),
+                ],
+            )
+        };
+        let r = m.run(vec![mk(0, 10), mk(2, 30)], &[2]);
+        assert_eq!(r.stats.counters.get(Counter::BarriersCompleted), 2);
+        assert_eq!(r.makespan, SimTime(60));
+    }
+
+    #[test]
+    fn compute_rate_honours_core_spec() {
+        let mut m = Machine::two_node();
+        // 3.8 flops/ns at efficiency 1.0: 3800 flops take 1000 ns.
+        let threads = vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![Op::Compute {
+                flops: 3800,
+                efficiency: 1.0,
+            }],
+        )];
+        let r = m.run(threads, &[]);
+        assert_eq!(r.makespan, SimTime(1000));
+    }
+
+    #[test]
+    fn generator_programs_see_context() {
+        let mut m = Machine::two_node();
+        let mut emitted = 0u32;
+        let program: Program = Box::new(move |ctx| {
+            assert_eq!(ctx.core, CoreId(2));
+            if emitted < 3 {
+                emitted += 1;
+                Some(Op::ComputeNs(10))
+            } else {
+                None
+            }
+        });
+        let r = m.run(vec![ThreadSpec::new(CoreId(2), program)], &[]);
+        assert_eq!(r.makespan, SimTime(30));
+    }
+
+    #[test]
+    fn syscall_op_moves_pages() {
+        use numa_topology::NodeId;
+        let mut m = Machine::two_node();
+        let a = m.alloc(2 * PAGE_SIZE, MemPolicy::FirstTouch);
+        let pages: Vec<VirtAddr> = (0..2).map(|p| a + p * PAGE_SIZE).collect();
+        let threads = vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![
+                Op::write(a, 2 * PAGE_SIZE, MemAccessKind::Stream),
+                Op::MovePages {
+                    pages: pages.clone(),
+                    dest: vec![NodeId(1); 2],
+                },
+            ],
+        )];
+        m.run(threads, &[]);
+        assert_eq!(m.page_node(a), Some(NodeId(1)));
+        assert_eq!(m.page_node(a + PAGE_SIZE), Some(NodeId(1)));
+    }
+}

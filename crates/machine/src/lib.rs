@@ -1,0 +1,240 @@
+//! The machine composition layer.
+//!
+//! A [`Machine`] assembles the whole simulated host: topology, virtual
+//! memory, kernel, per-node last-level caches, and the discrete-event
+//! thread engine. Simulated threads are op generators (closures yielding
+//! [`Op`]s); the engine executes them in virtual-time order, taking page
+//! faults through the kernel, delivering SIGSEGV to a registered
+//! [`SegvHandler`] (the user-space next-touch library), and charging every
+//! nanosecond to the run's [`RunStats`].
+//!
+//! The engine runs on a single host thread — determinism is a correctness
+//! requirement for regenerating the paper's tables (DESIGN.md §7).
+//! Concurrency *inside the simulation* is expressed through virtual time
+//! and the contended resources of `numa-kernel`.
+
+pub mod access;
+pub mod cache;
+pub mod engine;
+pub mod op;
+
+pub use engine::{Program, RunResult, RunStats, ThreadSpec};
+pub use op::{MemAccessKind, Op};
+
+use numa_kernel::{Kernel, KernelConfig};
+use numa_sim::{SimTime, Trace};
+use numa_topology::{CoreId, NodeId, Topology};
+use numa_vm::{AddressSpace, FrameAllocator, MemPolicy, Protection, Tlb, VirtAddr, VmaKind};
+use std::sync::Arc;
+
+/// A SIGSEGV handler registered by the user-space runtime (the mprotect
+/// based next-touch library, paper §3.2 / Figure 1).
+///
+/// Receives the machine so it can issue syscalls; must return the virtual
+/// time at which the handler returns (the faulting access is then retried
+/// by the engine — "touch retry" in Figure 1).
+pub trait SegvHandler {
+    /// Handle a protection fault raised by thread `tid` (running on
+    /// `core`) at `addr`, starting at `now`. Costs of any syscalls the
+    /// handler issues should be merged into `stats`.
+    fn on_segv(
+        &mut self,
+        machine: &mut Machine,
+        tid: usize,
+        core: CoreId,
+        addr: VirtAddr,
+        now: SimTime,
+        stats: &mut RunStats,
+    ) -> SimTime;
+}
+
+/// The assembled simulated host.
+pub struct Machine {
+    topo: Arc<Topology>,
+    /// The simulated kernel (public: the runtime layer calls syscalls).
+    pub kernel: Kernel,
+    /// The single simulated process's address space.
+    pub space: AddressSpace,
+    /// Physical frames.
+    pub frames: FrameAllocator,
+    /// TLB shootdown bookkeeping.
+    pub tlb: Tlb,
+    /// Per-node last-level caches.
+    pub caches: Vec<cache::L3Cache>,
+    /// Event trace (disabled by default).
+    pub trace: Trace,
+    pub(crate) segv_handler: Option<Box<dyn SegvHandler>>,
+}
+
+impl Machine {
+    /// Build a machine from a topology and kernel configuration. Frame
+    /// capacity per node follows the topology's `memory_bytes`.
+    pub fn new(topo: Arc<Topology>, config: KernelConfig) -> Self {
+        let cost = topo.cost();
+        assert_eq!(
+            cost.page_size,
+            numa_vm::PAGE_SIZE,
+            "cost-model page size must match the VM page size"
+        );
+        let frames_per_node = topo.node(NodeId(0)).memory_bytes / cost.page_size;
+        let caches = topo
+            .node_ids()
+            .map(|n| cache::L3Cache::new((topo.node(n).l3_bytes / cost.page_size) as usize))
+            .collect();
+        Machine {
+            kernel: Kernel::new(topo.clone(), config),
+            space: AddressSpace::new(),
+            frames: FrameAllocator::new(topo.node_count(), frames_per_node),
+            tlb: Tlb::new(topo.core_count()),
+            caches,
+            trace: Trace::disabled(),
+            segv_handler: None,
+            topo,
+        }
+    }
+
+    /// The paper's 4-socket Opteron with the paper's kernel.
+    pub fn opteron_4p() -> Self {
+        Machine::new(
+            Arc::new(numa_topology::presets::opteron_4p()),
+            KernelConfig::default(),
+        )
+    }
+
+    /// A small two-node machine for tests.
+    pub fn two_node() -> Self {
+        Machine::new(
+            Arc::new(numa_topology::presets::two_node()),
+            KernelConfig::default(),
+        )
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The NUMA node `core` belongs to.
+    pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        self.topo.node_of_core(core)
+    }
+
+    /// Register the user-space SIGSEGV handler (replaces any previous one).
+    pub fn set_segv_handler(&mut self, handler: Box<dyn SegvHandler>) {
+        self.segv_handler = Some(handler);
+    }
+
+    /// Remove the SIGSEGV handler.
+    pub fn clear_segv_handler(&mut self) -> Option<Box<dyn SegvHandler>> {
+        self.segv_handler.take()
+    }
+
+    /// Allocate an anonymous RW buffer of `len` bytes with `policy`.
+    /// Convenience used by runtimes and tests.
+    pub fn alloc(&mut self, len: u64, policy: MemPolicy) -> VirtAddr {
+        self.space
+            .mmap(
+                len,
+                Protection::ReadWrite,
+                VmaKind::PrivateAnonymous,
+                policy,
+            )
+            .expect("mmap in simulation")
+    }
+
+    /// The node currently holding the page at `addr`, if populated
+    /// (huge mappings resolve through their head page).
+    pub fn page_node(&self, addr: VirtAddr) -> Option<NodeId> {
+        let pte = self.space.page_table.get(self.resolve_vpn(addr))?;
+        Some(self.frames.node_of(pte.frame))
+    }
+
+    /// Reset all contention state — interconnect watermarks and kernel
+    /// locks — without touching memory contents or placement. Call
+    /// between an experiment's (untimed) setup phase and its timed run,
+    /// so setup traffic does not queue ahead of measured traffic.
+    pub fn reset_contention(&mut self) {
+        self.kernel.interconnect.reset();
+        self.kernel.locks.reset();
+    }
+
+    /// Drop all cached page-residency state (between experiment phases
+    /// that should not share cache warmth).
+    pub fn flush_caches(&mut self) {
+        for c in &mut self.caches {
+            c.clear();
+        }
+    }
+
+    /// Snapshot the congestion state: busy nanoseconds per interconnect
+    /// link and per node memory controller. This is the instrumentation
+    /// behind the paper's §4.5 diagnosis that the big LU wins come from
+    /// removing "congestion when multiple threads access each others'
+    /// NUMA memory across a single HyperTransport link".
+    pub fn congestion_report(&self) -> CongestionReport {
+        CongestionReport {
+            link_busy_ns: (0..self.topo.link_count())
+                .map(|l| self.kernel.interconnect.link_busy_ns(l))
+                .collect(),
+            mem_busy_ns: self
+                .topo
+                .node_ids()
+                .map(|n| self.kernel.interconnect.mem_busy_ns(n))
+                .collect(),
+        }
+    }
+}
+
+/// Busy-time snapshot of the shared memory-system resources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CongestionReport {
+    /// Busy nanoseconds per link, in link-id order.
+    pub link_busy_ns: Vec<u64>,
+    /// Busy nanoseconds per node memory controller, in node-id order.
+    pub mem_busy_ns: Vec<u64>,
+}
+
+impl CongestionReport {
+    /// Total traffic-time across all links.
+    pub fn total_link_ns(&self) -> u64 {
+        self.link_busy_ns.iter().sum()
+    }
+
+    /// Total memory-controller busy time.
+    pub fn total_mem_ns(&self) -> u64 {
+        self.mem_busy_ns.iter().sum()
+    }
+
+    /// Ratio between the busiest and least-busy memory controller — a
+    /// quick imbalance indicator (1.0 = perfectly balanced).
+    pub fn mem_imbalance(&self) -> f64 {
+        let max = self.mem_busy_ns.iter().copied().max().unwrap_or(0);
+        let min = self.mem_busy_ns.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_assembles() {
+        let m = Machine::opteron_4p();
+        assert_eq!(m.topology().node_count(), 4);
+        assert_eq!(m.caches.len(), 4);
+        // 2 MB L3 / 4 kB pages = 512 page slots.
+        assert_eq!(m.caches[0].capacity(), 512);
+    }
+
+    #[test]
+    fn alloc_and_page_node() {
+        let mut m = Machine::two_node();
+        let a = m.alloc(numa_vm::PAGE_SIZE, MemPolicy::FirstTouch);
+        assert_eq!(m.page_node(a), None, "not yet touched");
+    }
+}

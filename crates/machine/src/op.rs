@@ -1,0 +1,182 @@
+//! The op ISA simulated threads execute.
+
+use numa_stats::CostComponent;
+use numa_topology::NodeId;
+use numa_vm::{MemPolicy, PageRange, Protection, VirtAddr};
+
+/// How an access pattern exposes DRAM latency.
+///
+/// The distinction carries the paper's §4.5 observation: BLAS1-style
+/// streaming is prefetch-friendly ("the processor cache hides the remote
+/// access latency"), blocked BLAS3 traffic is partially latency-bound, and
+/// dependent pointer chasing pays full latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccessKind {
+    /// Sequential streaming (hardware prefetch hides most latency).
+    Stream,
+    /// Blocked/tiled traffic (partial latency exposure).
+    Blocked,
+    /// Dependent random access (full latency exposure).
+    Random,
+}
+
+/// One step of a simulated thread.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Pure computation: `flops` at the core's peak rate scaled by
+    /// `efficiency` (0 < efficiency <= 1).
+    Compute {
+        /// Floating-point operations to retire.
+        flops: u64,
+        /// Fraction of peak the kernel class achieves.
+        efficiency: f64,
+    },
+    /// Busy time that is not memory or flops (claim loops, bookkeeping).
+    ComputeNs(u64),
+    /// Touch `bytes` of memory starting at `addr`, charging `traffic`
+    /// bytes of DRAM movement spread uniformly across the touched pages.
+    ///
+    /// `traffic == bytes` models a single pass; a blocked GEMM that sweeps
+    /// a tile many times sets `traffic` to its true byte volume so the
+    /// bandwidth pressure (and NUMA penalty) is honest while faults are
+    /// still taken per page.
+    Access {
+        /// First byte touched.
+        addr: VirtAddr,
+        /// Extent of the touched region.
+        bytes: u64,
+        /// Total DRAM traffic to charge across the region.
+        traffic: u64,
+        /// Store (true) or load (false).
+        write: bool,
+        /// Latency-exposure class.
+        kind: MemAccessKind,
+    },
+    /// Touch `count` segments of `seg_bytes` each, `stride` bytes apart,
+    /// starting at `base` — the access pattern of a matrix *tile* inside a
+    /// column-major matrix (each block column is one segment). `traffic`
+    /// bytes of DRAM movement are spread uniformly over the touched pages.
+    ///
+    /// This is what makes the paper's Table-1 sub-page effect reproducible:
+    /// with blocks smaller than 512×512 doubles, one 4 kB page holds
+    /// segments of *several* blocks, so next-touch migrations drag
+    /// neighbouring blocks' rows along (§4.5).
+    AccessStrided {
+        /// First byte of the first segment.
+        base: VirtAddr,
+        /// Bytes per segment.
+        seg_bytes: u64,
+        /// Distance between segment starts.
+        stride: u64,
+        /// Number of segments.
+        count: u64,
+        /// Total DRAM traffic to charge across the touched pages.
+        traffic: u64,
+        /// Store (true) or load (false).
+        write: bool,
+        /// Latency-exposure class.
+        kind: MemAccessKind,
+    },
+    /// User-space `memcpy` between two simulated buffers (Fig. 4's
+    /// baseline curve): SSE-class copy bandwidth, page faults taken on
+    /// both sides as needed.
+    Memcpy {
+        /// Source base.
+        src: VirtAddr,
+        /// Destination base.
+        dst: VirtAddr,
+        /// Bytes to copy.
+        bytes: u64,
+    },
+    /// `move_pages(2)`.
+    MovePages {
+        /// Pages to migrate.
+        pages: Vec<VirtAddr>,
+        /// Destination per page.
+        dest: Vec<NodeId>,
+    },
+    /// `migrate_pages(2)`.
+    MigratePages {
+        /// Source node set.
+        from: Vec<NodeId>,
+        /// Destination node set.
+        to: Vec<NodeId>,
+    },
+    /// `madvise(MADV_MIGRATE_NEXT_TOUCH)`.
+    MadviseNextTouch {
+        /// Pages to mark.
+        range: PageRange,
+    },
+    /// `mprotect(2)`, attributed to `component` in the cost breakdown.
+    Mprotect {
+        /// Pages to re-protect.
+        range: PageRange,
+        /// New protection.
+        prot: Protection,
+        /// Breakdown attribution (mark vs restore).
+        component: CostComponent,
+    },
+    /// `mbind(2)`.
+    Mbind {
+        /// Pages whose VMA policy changes.
+        range: PageRange,
+        /// The new policy.
+        policy: MemPolicy,
+    },
+    /// Arrive at barrier `id` (sized by
+    /// the barrier sizes passed to [`crate::Machine::run`]).
+    Barrier(usize),
+    /// Do nothing (placeholder emitted by empty loop bodies).
+    Nop,
+}
+
+impl Op {
+    /// A one-pass read over `[addr, addr+bytes)`.
+    pub fn read(addr: VirtAddr, bytes: u64, kind: MemAccessKind) -> Op {
+        Op::Access {
+            addr,
+            bytes,
+            traffic: bytes,
+            write: false,
+            kind,
+        }
+    }
+
+    /// A one-pass write over `[addr, addr+bytes)`.
+    pub fn write(addr: VirtAddr, bytes: u64, kind: MemAccessKind) -> Op {
+        Op::Access {
+            addr,
+            bytes,
+            traffic: bytes,
+            write: true,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_helpers_single_pass() {
+        let a = VirtAddr(0x1000);
+        match Op::read(a, 64, MemAccessKind::Stream) {
+            Op::Access {
+                bytes,
+                traffic,
+                write,
+                ..
+            } => {
+                assert_eq!(bytes, 64);
+                assert_eq!(traffic, 64);
+                assert!(!write);
+            }
+            _ => unreachable!(),
+        }
+        match Op::write(a, 64, MemAccessKind::Blocked) {
+            Op::Access { write, .. } => assert!(write),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Edge cases of the machine engine: huge mappings through the op path,
+//! unaligned memcpy, tracing, contention reset, and cache flushing.
+
+use numa_kernel::KernelConfig;
+use numa_machine::{Machine, MemAccessKind, Op, ThreadSpec};
+use numa_sim::Trace;
+use numa_topology::{presets, CoreId, NodeId};
+use numa_vm::{MemPolicy, PAGES_PER_HUGE, PAGE_SIZE};
+use std::sync::Arc;
+
+fn huge_machine() -> Machine {
+    Machine::new(
+        Arc::new(presets::opteron_4p()),
+        KernelConfig {
+            huge_page_migration: true,
+            ..KernelConfig::default()
+        },
+    )
+}
+
+#[test]
+fn huge_mapping_lazy_migrates_through_the_engine() {
+    let mut m = huge_machine();
+    let addr = m
+        .kernel
+        .mmap_huge(&mut m.space, 4 << 20, MemPolicy::Bind(NodeId(0)))
+        .unwrap();
+    // Populate both huge pages.
+    let r = m.run(
+        vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![Op::write(addr, 4 << 20, MemAccessKind::Stream)],
+        )],
+        &[],
+    );
+    assert!(r.makespan.ns() > 0);
+    assert_eq!(m.frames.live_on(NodeId(0)), 2, "two huge frames");
+
+    // Mark + touch from node 2.
+    let range = numa_vm::PageRange::new(addr.vpn(), addr.vpn() + 2 * PAGES_PER_HUGE);
+    m.run(
+        vec![ThreadSpec::scripted(
+            CoreId(8),
+            vec![
+                Op::MadviseNextTouch { range },
+                Op::read(addr, 4 << 20, MemAccessKind::Stream),
+            ],
+        )],
+        &[],
+    );
+    assert_eq!(m.frames.live_on(NodeId(2)), 2, "both huge pages followed");
+    assert_eq!(m.page_node(addr + (3 << 20)), Some(NodeId(2)));
+}
+
+#[test]
+fn unaligned_memcpy_copies_exactly() {
+    let mut m = Machine::two_node();
+    let src = m.alloc(4 * PAGE_SIZE, MemPolicy::Bind(NodeId(0)));
+    let dst = m.alloc(4 * PAGE_SIZE, MemPolicy::Bind(NodeId(1)));
+    // Start 100 bytes into the source, copy a page and a half.
+    let r = m.run(
+        vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![Op::Memcpy {
+                src: src + 100,
+                dst: dst + 100,
+                bytes: PAGE_SIZE + PAGE_SIZE / 2,
+            }],
+        )],
+        &[],
+    );
+    // Both touched pages of each side populated, none beyond.
+    assert!(m.page_node(src + 100).is_some());
+    assert!(m.page_node(src + PAGE_SIZE + 100).is_some());
+    assert!(m.page_node(dst + PAGE_SIZE + 100).is_some());
+    assert_eq!(m.page_node(dst + 3 * PAGE_SIZE), None);
+    // Duration roughly bytes / 2 GB/s plus fault costs.
+    let copy_ns = (PAGE_SIZE + PAGE_SIZE / 2) as f64 / 2.0;
+    assert!(r.makespan.ns() as f64 > copy_ns);
+}
+
+#[test]
+fn zero_byte_ops_are_free() {
+    let mut m = Machine::two_node();
+    let buf = m.alloc(PAGE_SIZE, MemPolicy::FirstTouch);
+    let r = m.run(
+        vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![
+                Op::Access {
+                    addr: buf,
+                    bytes: 0,
+                    traffic: 0,
+                    write: false,
+                    kind: MemAccessKind::Stream,
+                },
+                Op::Memcpy {
+                    src: buf,
+                    dst: buf,
+                    bytes: 0,
+                },
+                Op::Nop,
+            ],
+        )],
+        &[],
+    );
+    assert_eq!(r.makespan.ns(), 0);
+}
+
+#[test]
+fn trace_records_faults_when_enabled() {
+    let mut m = Machine::two_node();
+    m.trace = Trace::with_capacity(64);
+    let buf = m.alloc(2 * PAGE_SIZE, MemPolicy::FirstTouch);
+    m.run(
+        vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![Op::write(buf, 2 * PAGE_SIZE, MemAccessKind::Stream)],
+        )],
+        &[],
+    );
+    let fault_events = m
+        .trace
+        .events()
+        .filter(|e| e.what.contains("fault resolved"))
+        .count();
+    assert_eq!(fault_events, 2, "one trace event per first-touch fault");
+}
+
+#[test]
+fn reset_contention_clears_watermarks_but_not_placement() {
+    let mut m = Machine::two_node();
+    let buf = m.alloc(16 * PAGE_SIZE, MemPolicy::Bind(NodeId(0)));
+    numa_rt_populate(&mut m, buf, 16);
+    // Heavy traffic to stain the watermarks.
+    m.run(
+        vec![ThreadSpec::scripted(
+            CoreId(2),
+            vec![Op::read(buf, 16 * PAGE_SIZE, MemAccessKind::Blocked)],
+        )],
+        &[],
+    );
+    assert!(m.kernel.interconnect.mem_busy_ns(NodeId(0)) > 0);
+    m.reset_contention();
+    assert_eq!(m.kernel.interconnect.mem_busy_ns(NodeId(0)), 0);
+    // Placement untouched.
+    assert_eq!(m.page_node(buf), Some(NodeId(0)));
+}
+
+// Local helper to avoid a dev-dependency on numa-rt from numa-machine.
+fn numa_rt_populate(m: &mut Machine, addr: numa_vm::VirtAddr, pages: u64) {
+    for p in 0..pages {
+        m.kernel.handle_fault(
+            &mut m.space,
+            &mut m.frames,
+            &mut m.tlb,
+            numa_sim::SimTime::ZERO,
+            CoreId(0),
+            addr + p * PAGE_SIZE,
+            true,
+        );
+    }
+}
+
+#[test]
+fn barrier_only_threads_finish_at_zero() {
+    let mut m = Machine::two_node();
+    let specs = vec![
+        ThreadSpec::scripted(CoreId(0), vec![Op::Barrier(0)]),
+        ThreadSpec::scripted(CoreId(1), vec![Op::Barrier(0)]),
+    ];
+    let r = m.run(specs, &[2]);
+    assert_eq!(r.makespan.ns(), 0);
+}
+
+#[test]
+#[should_panic(expected = "unregistered barrier")]
+fn unregistered_barrier_panics() {
+    let mut m = Machine::two_node();
+    m.run(
+        vec![ThreadSpec::scripted(CoreId(0), vec![Op::Barrier(3)])],
+        &[1],
+    );
+}
+
+#[test]
+fn flush_caches_forces_refill() {
+    let mut m = Machine::two_node();
+    let buf = m.alloc(4 * PAGE_SIZE, MemPolicy::FirstTouch);
+    let mk_read = || {
+        vec![Op::read(buf, 4 * PAGE_SIZE, MemAccessKind::Blocked)]
+    };
+    m.run(vec![ThreadSpec::scripted(CoreId(0), mk_read())], &[]);
+    let warm = {
+        let r = m.run(vec![ThreadSpec::scripted(CoreId(0), mk_read())], &[]);
+        r.makespan.ns()
+    };
+    m.flush_caches();
+    m.reset_contention();
+    let cold = {
+        let r = m.run(vec![ThreadSpec::scripted(CoreId(0), mk_read())], &[]);
+        r.makespan.ns()
+    };
+    assert!(cold > warm, "cold rerun ({cold}) must exceed warm ({warm})");
+}
+
+#[test]
+fn congestion_report_reflects_traffic() {
+    let mut m = Machine::two_node();
+    let buf = m.alloc(8 * PAGE_SIZE, MemPolicy::Bind(NodeId(0)));
+    numa_rt_populate(&mut m, buf, 8);
+    m.reset_contention();
+    let before = m.congestion_report();
+    assert_eq!(before.total_link_ns(), 0);
+    assert_eq!(before.total_mem_ns(), 0);
+    // Remote read from node 1 crosses the link and hits node 0's MC.
+    m.run(
+        vec![ThreadSpec::scripted(
+            CoreId(2),
+            vec![Op::read(buf, 8 * PAGE_SIZE, MemAccessKind::Blocked)],
+        )],
+        &[],
+    );
+    let after = m.congestion_report();
+    assert!(after.total_link_ns() > 0, "remote traffic must use the link");
+    assert!(after.mem_busy_ns[0] > 0, "home controller busy");
+    assert_eq!(after.mem_busy_ns[1], 0, "node 1's controller untouched");
+    assert!(after.mem_imbalance().is_infinite());
+}

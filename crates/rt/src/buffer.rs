@@ -1,0 +1,165 @@
+//! NUMA-aware buffers (the `numa_alloc_onnode` / `numa_alloc_interleaved`
+//! analogues from libnuma, §2.3).
+
+use numa_machine::Machine;
+use numa_topology::NodeId;
+use numa_vm::{MemPolicy, PageRange, VirtAddr, PAGE_SIZE};
+
+/// A simulated user-space buffer: base address plus length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer {
+    /// First byte.
+    pub addr: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Buffer {
+    /// Allocate `len` bytes with first-touch placement.
+    pub fn alloc(machine: &mut Machine, len: u64) -> Buffer {
+        let addr = machine.alloc(len, MemPolicy::FirstTouch);
+        Buffer { addr, len }
+    }
+
+    /// Allocate `len` bytes bound to `node` (`numa_alloc_onnode`).
+    pub fn alloc_on(machine: &mut Machine, len: u64, node: NodeId) -> Buffer {
+        let addr = machine.alloc(len, MemPolicy::Bind(node));
+        Buffer { addr, len }
+    }
+
+    /// Allocate `len` bytes interleaved across all nodes
+    /// (`numa_alloc_interleaved` — the paper's best static policy for LU,
+    /// §4.5).
+    pub fn alloc_interleaved(machine: &mut Machine, len: u64) -> Buffer {
+        let nodes = machine.topology().node_count();
+        let addr = machine.alloc(len, MemPolicy::interleave_all(nodes));
+        Buffer { addr, len }
+    }
+
+    /// The pages spanned by this buffer.
+    pub fn page_range(&self) -> PageRange {
+        PageRange::covering(self.addr, self.len)
+    }
+
+    /// Number of pages.
+    pub fn pages(&self) -> u64 {
+        self.page_range().pages()
+    }
+
+    /// A sub-buffer at `[offset, offset+len)`.
+    pub fn slice(&self, offset: u64, len: u64) -> Buffer {
+        assert!(
+            offset + len <= self.len,
+            "slice [{offset}, {}) exceeds buffer of {} bytes",
+            offset + len,
+            self.len
+        );
+        Buffer {
+            addr: self.addr + offset,
+            len,
+        }
+    }
+
+    /// Split into `n` contiguous, page-aligned chunks (last chunk takes
+    /// the remainder). Used to hand one chunk per migration thread
+    /// (Fig. 7).
+    pub fn split_pages(&self, n: usize) -> Vec<Buffer> {
+        let total_pages = self.pages();
+        let per = total_pages / n as u64;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let start_page = i * per;
+            let end_page = if i == n as u64 - 1 {
+                total_pages
+            } else {
+                (i + 1) * per
+            };
+            if end_page <= start_page {
+                continue;
+            }
+            let off = start_page * PAGE_SIZE;
+            let len = ((end_page - start_page) * PAGE_SIZE).min(self.len - off);
+            out.push(self.slice(off, len));
+        }
+        out
+    }
+
+    /// Addresses of every page in the buffer (inputs for `move_pages`).
+    pub fn page_addrs(&self) -> Vec<VirtAddr> {
+        self.page_range()
+            .iter()
+            .map(VirtAddr::from_vpn)
+            .map(|a| {
+                if a.raw() < self.addr.raw() {
+                    self.addr
+                } else {
+                    a
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_variants_have_expected_policies() {
+        let mut m = Machine::two_node();
+        let a = Buffer::alloc(&mut m, 4 * PAGE_SIZE);
+        assert_eq!(
+            m.space.find_vma(a.addr).unwrap().policy,
+            MemPolicy::FirstTouch
+        );
+        let b = Buffer::alloc_on(&mut m, PAGE_SIZE, NodeId(1));
+        assert_eq!(
+            m.space.find_vma(b.addr).unwrap().policy,
+            MemPolicy::Bind(NodeId(1))
+        );
+        let c = Buffer::alloc_interleaved(&mut m, PAGE_SIZE);
+        assert!(matches!(
+            m.space.find_vma(c.addr).unwrap().policy,
+            MemPolicy::Interleave(_)
+        ));
+    }
+
+    #[test]
+    fn page_math() {
+        let mut m = Machine::two_node();
+        let b = Buffer::alloc(&mut m, 3 * PAGE_SIZE + 1);
+        assert_eq!(b.pages(), 4);
+        assert_eq!(b.page_addrs().len(), 4);
+    }
+
+    #[test]
+    fn slice_and_split() {
+        let mut m = Machine::two_node();
+        let b = Buffer::alloc(&mut m, 8 * PAGE_SIZE);
+        let s = b.slice(2 * PAGE_SIZE, PAGE_SIZE);
+        assert_eq!(s.addr, b.addr + 2 * PAGE_SIZE);
+        let parts = b.split_pages(3);
+        assert_eq!(parts.len(), 3);
+        let total: u64 = parts.iter().map(|p| p.pages()).sum();
+        assert_eq!(total, 8);
+        // Chunks are disjoint and ordered.
+        assert!(parts[0].addr < parts[1].addr && parts[1].addr < parts[2].addr);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn oversized_slice_panics() {
+        let mut m = Machine::two_node();
+        let b = Buffer::alloc(&mut m, PAGE_SIZE);
+        b.slice(0, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn split_more_chunks_than_pages() {
+        let mut m = Machine::two_node();
+        let b = Buffer::alloc(&mut m, 2 * PAGE_SIZE);
+        let parts = b.split_pages(4);
+        let total: u64 = parts.iter().map(|p| p.pages()).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Zero-cost experiment setup.
+//!
+//! Microbenchmarks need buffers pre-populated on chosen nodes *before* the
+//! timed region (the paper times migration from node #0 with data already
+//! resident there, Fig. 4/5/7). These helpers drive the kernel fault path
+//! directly at virtual time zero and discard the costs, so the timed run
+//! starts from a clean, known placement.
+
+use crate::buffer::Buffer;
+use numa_kernel::FaultResolution;
+use numa_machine::Machine;
+use numa_sim::SimTime;
+use numa_topology::{CoreId, NodeId};
+use numa_vm::VirtAddr;
+#[cfg(test)]
+use numa_vm::PAGE_SIZE;
+
+/// Populate every page of `buffer` on `node` (fault from one of that
+/// node's cores), without charging any virtual time.
+///
+/// Panics if the node has no cores or a fault cannot be resolved — both
+/// are experiment-configuration bugs.
+pub fn populate_on_node(machine: &mut Machine, buffer: &Buffer, node: NodeId) {
+    let core = *machine
+        .topology()
+        .cores_of_node(node)
+        .first()
+        .unwrap_or_else(|| panic!("{node} has no cores to populate from"));
+    populate_from_core(machine, buffer, core);
+}
+
+/// Populate every page of `buffer` by faulting from `core` (placement
+/// follows the buffer's policy), without charging any virtual time.
+pub fn populate_from_core(machine: &mut Machine, buffer: &Buffer, core: CoreId) {
+    for vpn in buffer.page_range().iter() {
+        let addr = page_touch_addr(buffer, vpn);
+        if machine
+            .space
+            .page_table
+            .get(machine.resolve_vpn(addr))
+            .map(|p| p.permits(true))
+            .unwrap_or(false)
+        {
+            continue;
+        }
+        match machine.kernel.handle_fault(
+            &mut machine.space,
+            &mut machine.frames,
+            &mut machine.tlb,
+            SimTime::ZERO,
+            core,
+            addr,
+            true,
+        ) {
+            FaultResolution::Resolved { .. } => {}
+            other => panic!("setup fault at {addr} not resolved: {other:?}"),
+        }
+    }
+}
+
+/// Assert that every page of `buffer` resides on `node` (test/bench
+/// postcondition).
+pub fn assert_resident_on(machine: &Machine, buffer: &Buffer, node: NodeId) {
+    for vpn in buffer.page_range().iter() {
+        let addr = page_touch_addr(buffer, vpn);
+        let got = machine.page_node(addr);
+        assert_eq!(
+            got,
+            Some(node),
+            "page {vpn} of buffer at {} is on {got:?}, expected {node}",
+            buffer.addr
+        );
+    }
+}
+
+/// Count pages of `buffer` per node, in node order (diagnostics).
+pub fn residency_histogram(machine: &Machine, buffer: &Buffer) -> Vec<u64> {
+    let mut hist = vec![0u64; machine.topology().node_count()];
+    for vpn in buffer.page_range().iter() {
+        if let Some(node) = machine.page_node(page_touch_addr(buffer, vpn)) {
+            hist[node.index()] += 1;
+        }
+    }
+    hist
+}
+
+fn page_touch_addr(buffer: &Buffer, vpn: u64) -> VirtAddr {
+    let a = VirtAddr::from_vpn(vpn);
+    if a.raw() < buffer.addr.raw() {
+        buffer.addr
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populate_places_all_pages() {
+        let mut m = Machine::opteron_4p();
+        let b = Buffer::alloc(&mut m, 16 * PAGE_SIZE);
+        populate_on_node(&mut m, &b, NodeId(2));
+        assert_resident_on(&m, &b, NodeId(2));
+        let hist = residency_histogram(&m, &b);
+        assert_eq!(hist, vec![0, 0, 16, 0]);
+    }
+
+    #[test]
+    fn populate_is_idempotent() {
+        let mut m = Machine::two_node();
+        let b = Buffer::alloc(&mut m, 4 * PAGE_SIZE);
+        populate_on_node(&mut m, &b, NodeId(1));
+        let allocated = m.frames.allocated_total();
+        populate_on_node(&mut m, &b, NodeId(1));
+        assert_eq!(m.frames.allocated_total(), allocated, "no re-allocation");
+    }
+
+    #[test]
+    fn histogram_counts_unpopulated_as_nothing() {
+        let mut m = Machine::two_node();
+        let b = Buffer::alloc(&mut m, 4 * PAGE_SIZE);
+        assert_eq!(residency_histogram(&m, &b), vec![0, 0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the runtime: OpenMP-like schedules cover
+//! every iteration exactly once, buffers split losslessly, and the user
+//! next-touch registry behaves.
+
+use numa_machine::{Machine, Op};
+use numa_rt::{Buffer, Schedule, Team, WorkPlan};
+use numa_vm::PAGE_SIZE;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any schedule, any team size, any iteration count: each iteration
+    /// body runs exactly once.
+    #[test]
+    fn schedules_cover_iterations_exactly_once(
+        iters in 0usize..200,
+        team in 1usize..16,
+        dynamic in any::<bool>(),
+        chunk in 1usize..8,
+    ) {
+        let mut m = Machine::opteron_4p();
+        let seen = Rc::new(RefCell::new(vec![0u32; iters]));
+        let seen2 = Rc::clone(&seen);
+        let schedule = if dynamic { Schedule::Dynamic(chunk) } else { Schedule::Static };
+        let mut plan = WorkPlan::new();
+        plan.parallel_for(iters, schedule, move |i| {
+            seen2.borrow_mut()[i] += 1;
+            vec![Op::ComputeNs(10)]
+        });
+        Team::all_cores(&m).take(team).run(&mut m, plan);
+        prop_assert!(
+            seen.borrow().iter().all(|c| *c == 1),
+            "coverage: {:?}",
+            seen.borrow()
+        );
+    }
+
+    /// Multi-phase plans preserve phase ordering for every thread count:
+    /// all of phase k generates before any of phase k+1.
+    #[test]
+    fn phases_are_ordered(team in 1usize..16, phases in 1usize..5, iters in 1usize..20) {
+        let mut m = Machine::opteron_4p();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut plan = WorkPlan::new();
+        for ph in 0..phases {
+            let l = Rc::clone(&log);
+            plan.parallel_for(iters, Schedule::Dynamic(1), move |_| {
+                l.borrow_mut().push(ph);
+                vec![Op::ComputeNs(7)]
+            });
+        }
+        Team::all_cores(&m).take(team).run(&mut m, plan);
+        let v = log.borrow();
+        prop_assert_eq!(v.len(), phases * iters);
+        for w in v.windows(2) {
+            prop_assert!(w[0] <= w[1], "phase order violated: {:?}", &v[..]);
+        }
+    }
+
+    /// Buffer::split_pages is a lossless partition: chunks are disjoint,
+    /// ordered, page-aligned and cover every page.
+    #[test]
+    fn split_pages_partitions(pages in 1u64..200, parts in 1usize..20) {
+        let mut m = Machine::two_node();
+        let buf = Buffer::alloc(&mut m, pages * PAGE_SIZE);
+        let chunks = buf.split_pages(parts);
+        let mut covered = Vec::new();
+        let mut prev_end = buf.page_range().start_vpn;
+        for c in &chunks {
+            let r = c.page_range();
+            prop_assert_eq!(r.start_vpn, prev_end, "contiguous");
+            prop_assert!(c.addr.is_page_aligned() || c.addr == buf.addr);
+            prev_end = r.end_vpn;
+            covered.extend(r.iter());
+        }
+        prop_assert_eq!(prev_end, buf.page_range().end_vpn);
+        prop_assert_eq!(covered.len() as u64, pages);
+    }
+
+    /// Slicing is closed: any in-bounds slice has the right base and
+    /// length, and page addresses stay within the parent.
+    #[test]
+    fn slices_stay_in_bounds(
+        len in 1u64..100_000,
+        off_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let mut m = Machine::two_node();
+        let buf = Buffer::alloc(&mut m, len);
+        let off = (len as f64 * off_frac) as u64;
+        let slen = (((len - off) as f64) * len_frac).max(1.0) as u64;
+        prop_assume!(off + slen <= len);
+        let s = buf.slice(off, slen);
+        prop_assert_eq!(s.addr.raw(), buf.addr.raw() + off);
+        for a in s.page_addrs() {
+            prop_assert!(a.raw() >= buf.addr.raw());
+            prop_assert!(a.raw() < buf.addr.raw() + len);
+        }
+    }
+}

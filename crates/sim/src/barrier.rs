@@ -1,0 +1,154 @@
+//! Barrier bookkeeping for OpenMP-style parallel regions.
+
+use crate::SimTime;
+
+/// Outcome of a thread arriving at a barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BarrierOutcome {
+    /// The thread must block; it will be released later.
+    Wait,
+    /// This arrival completed the barrier: every listed thread resumes at
+    /// `release_at` (the latest arrival time).
+    Release {
+        /// Instant at which all participants resume.
+        release_at: SimTime,
+        /// Thread ids of the previously-blocked participants (the caller
+        /// itself is *not* included — it simply continues).
+        waiters: Vec<usize>,
+    },
+}
+
+/// State of one reusable barrier.
+///
+/// A barrier is created for a fixed team `size`; threads [`arrive`] and
+/// either wait or trigger the release. The barrier then resets for the next
+/// episode (OpenMP barriers are reused once per loop iteration, which Table 1
+/// exercises thousands of times).
+///
+/// [`arrive`]: BarrierState::arrive
+#[derive(Debug, Clone)]
+pub struct BarrierState {
+    size: usize,
+    arrived: Vec<(usize, SimTime)>,
+    episodes: u64,
+}
+
+impl BarrierState {
+    /// A barrier for a team of `size` threads. `size` must be nonzero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "barrier team size must be nonzero");
+        BarrierState {
+            size,
+            arrived: Vec::with_capacity(size),
+            episodes: 0,
+        }
+    }
+
+    /// Team size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Completed episodes so far.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Number of threads currently blocked at the barrier.
+    pub fn waiting(&self) -> usize {
+        self.arrived.len()
+    }
+
+    /// Thread `tid` arrives at time `now`.
+    ///
+    /// Panics if the same thread arrives twice in one episode — that is
+    /// always a runtime bug, not a workload property.
+    pub fn arrive(&mut self, tid: usize, now: SimTime) -> BarrierOutcome {
+        assert!(
+            !self.arrived.iter().any(|(t, _)| *t == tid),
+            "thread {tid} arrived twice at the same barrier episode"
+        );
+        if self.arrived.len() + 1 == self.size {
+            let release_at = self.arrived.iter().map(|(_, t)| *t).fold(now, SimTime::max);
+            let waiters = self.arrived.drain(..).map(|(t, _)| t).collect();
+            self.episodes += 1;
+            BarrierOutcome::Release {
+                release_at,
+                waiters,
+            }
+        } else {
+            self.arrived.push((tid, now));
+            BarrierOutcome::Wait
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_arrival_releases_at_max_time() {
+        let mut b = BarrierState::new(3);
+        assert_eq!(b.arrive(0, SimTime(10)), BarrierOutcome::Wait);
+        assert_eq!(b.arrive(1, SimTime(50)), BarrierOutcome::Wait);
+        match b.arrive(2, SimTime(30)) {
+            BarrierOutcome::Release {
+                release_at,
+                waiters,
+            } => {
+                assert_eq!(release_at, SimTime(50));
+                assert_eq!(waiters, vec![0, 1]);
+            }
+            other => panic!("expected release, got {other:?}"),
+        }
+        assert_eq!(b.episodes(), 1);
+        assert_eq!(b.waiting(), 0);
+    }
+
+    #[test]
+    fn single_thread_barrier_releases_immediately() {
+        let mut b = BarrierState::new(1);
+        match b.arrive(0, SimTime(5)) {
+            BarrierOutcome::Release {
+                release_at,
+                waiters,
+            } => {
+                assert_eq!(release_at, SimTime(5));
+                assert!(waiters.is_empty());
+            }
+            other => panic!("expected release, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let mut b = BarrierState::new(2);
+        assert_eq!(b.arrive(0, SimTime(1)), BarrierOutcome::Wait);
+        assert!(matches!(
+            b.arrive(1, SimTime(2)),
+            BarrierOutcome::Release { .. }
+        ));
+        // Second episode works with the same state.
+        assert_eq!(b.arrive(1, SimTime(3)), BarrierOutcome::Wait);
+        assert!(matches!(
+            b.arrive(0, SimTime(4)),
+            BarrierOutcome::Release { .. }
+        ));
+        assert_eq!(b.episodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut b = BarrierState::new(3);
+        b.arrive(0, SimTime(1));
+        b.arrive(0, SimTime(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_rejected() {
+        let _ = BarrierState::new(0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic discrete-event simulation primitives.
+//!
+//! The `numa-machine` crate drives simulated threads through virtual time;
+//! this crate provides the building blocks it needs:
+//!
+//! * [`SimTime`] — virtual nanoseconds;
+//! * [`Resource`] — a contended serial resource (interconnect link, memory
+//!   controller, kernel lock) with busy-until semantics and wait accounting;
+//! * [`ReadyQueue`] — the time-ordered run queue with deterministic
+//!   tie-breaking;
+//! * [`BarrierState`] — OpenMP-style barrier bookkeeping;
+//! * [`Splitmix64`] — a tiny deterministic PRNG so simulations never depend
+//!   on ambient randomness;
+//! * [`trace`] — an optional event trace for debugging runs.
+//!
+//! Everything here is single-threaded on purpose: determinism is a
+//! correctness requirement for regenerating the paper's tables
+//! (DESIGN.md §7).
+
+pub mod barrier;
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use barrier::{BarrierOutcome, BarrierState};
+pub use queue::ReadyQueue;
+pub use resource::{Acquisition, Resource};
+pub use rng::Splitmix64;
+pub use time::SimTime;
+pub use trace::{Trace, TraceEvent};

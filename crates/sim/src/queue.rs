@@ -1,0 +1,121 @@
+//! The time-ordered run queue.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(time, item)` pairs with deterministic FIFO tie-breaking.
+///
+/// When several simulated threads become runnable at the same virtual
+/// instant, the one that was *enqueued first* runs first. Plain
+/// `BinaryHeap` ordering on `(time, item)` would instead break ties by item
+/// id, which silently couples simulation results to thread numbering — a
+/// determinism hazard the sequence counter removes.
+#[derive(Debug, Clone)]
+pub struct ReadyQueue<T> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, OrdWrap<T>)>>,
+    seq: u64,
+}
+
+/// Wrapper that deliberately ignores `T` in the ordering so ties are broken
+/// purely by the sequence number.
+#[derive(Debug, Clone)]
+struct OrdWrap<T>(T);
+
+impl<T> PartialEq for OrdWrap<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for OrdWrap<T> {}
+impl<T> PartialOrd for OrdWrap<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OrdWrap<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> Default for ReadyQueue<T> {
+    fn default() -> Self {
+        ReadyQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> ReadyQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        ReadyQueue::default()
+    }
+
+    /// Schedule `item` to run at `time`.
+    pub fn push(&mut self, time: SimTime, item: T) {
+        self.heap.push(Reverse((time, self.seq, OrdWrap(item))));
+        self.seq += 1;
+    }
+
+    /// Remove and return the earliest `(time, item)`.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse((t, _, w))| (t, w.0))
+    }
+
+    /// The earliest scheduled time without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = ReadyQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo_not_by_value() {
+        let mut q = ReadyQueue::new();
+        // Push in an order that differs from the natural value ordering.
+        q.push(SimTime(5), 9u32);
+        q.push(SimTime(5), 1u32);
+        q.push(SimTime(5), 4u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![9, 1, 4]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = ReadyQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Optional event tracing.
+//!
+//! When enabled, the machine layer records one [`TraceEvent`] per
+//! interesting transition (fault, migration, barrier, syscall). Disabled
+//! tracing is free apart from a branch; enabled tracing is ring-buffered so
+//! long runs can keep the tail without unbounded memory growth.
+
+use crate::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced transition in a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Simulated thread id (usize::MAX for system-wide events).
+    pub tid: usize,
+    /// Event description (static category + formatted detail).
+    pub what: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12} ns] t{:<3} {}",
+            self.at.ns(),
+            self.tid,
+            self.what
+        )
+    }
+}
+
+/// A bounded trace buffer.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+impl Trace {
+    /// A trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            capacity: 0,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A trace that keeps the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Is tracing on?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, tid: usize, what: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            tid,
+            what: what.into(),
+        });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime(1), 0, "fault");
+        assert!(t.is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let mut t = Trace::with_capacity(2);
+        t.record(SimTime(1), 0, "a");
+        t.record(SimTime(2), 0, "b");
+        t.record(SimTime(3), 0, "c");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let kinds: Vec<&str> = t.events().map(|e| e.what.as_str()).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            at: SimTime(42),
+            tid: 3,
+            what: "migrate page 7".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("t3"));
+        assert!(s.contains("migrate page 7"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the discrete-event primitives.
+
+use numa_sim::{BarrierOutcome, BarrierState, ReadyQueue, Resource, SimTime, Splitmix64};
+use proptest::prelude::*;
+
+proptest! {
+    /// Resource FIFO semantics: for requests issued in nondecreasing
+    /// time order, every acquisition starts no earlier than requested,
+    /// never overlaps the previous one, and total busy time equals the
+    /// sum of service times.
+    #[test]
+    fn resource_fifo_invariants(
+        reqs in proptest::collection::vec((0u64..1000, 1u64..100), 1..50)
+    ) {
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        let mut r = Resource::new("r");
+        let mut prev_end = SimTime::ZERO;
+        let mut total_svc = 0u64;
+        for (t, svc) in sorted {
+            let a = r.acquire(SimTime(t), svc);
+            prop_assert!(a.start >= SimTime(t));
+            prop_assert!(a.start >= prev_end, "no overlap");
+            prop_assert_eq!(a.end, a.start + svc);
+            prop_assert_eq!(a.wait_ns, a.start.since(SimTime(t)));
+            prev_end = a.end;
+            total_svc += svc;
+        }
+        prop_assert_eq!(r.total_busy_ns(), total_svc);
+    }
+
+    /// The wait time of a request equals exactly the unfinished service
+    /// ahead of it (work conservation for same-instant bursts).
+    #[test]
+    fn resource_burst_wait(svcs in proptest::collection::vec(1u64..50, 1..20)) {
+        let mut r = Resource::new("r");
+        let mut ahead = 0u64;
+        for svc in svcs {
+            let a = r.acquire(SimTime::ZERO, svc);
+            prop_assert_eq!(a.wait_ns, ahead);
+            ahead += svc;
+        }
+    }
+
+    /// ReadyQueue is a stable priority queue: pops come out sorted by
+    /// time, and equal times preserve insertion order.
+    #[test]
+    fn ready_queue_stable_sort(items in proptest::collection::vec(0u64..20, 1..100)) {
+        let mut q = ReadyQueue::new();
+        for (i, t) in items.iter().enumerate() {
+            q.push(SimTime(*t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut count = 0;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time order");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO among equal times");
+                }
+            }
+            prop_assert_eq!(SimTime(items[idx]), t, "payload matches its key");
+            last = Some((t, idx));
+            count += 1;
+        }
+        prop_assert_eq!(count, items.len());
+    }
+
+    /// A barrier of size n releases exactly once per episode, at the max
+    /// arrival time, naming every earlier arriver.
+    #[test]
+    fn barrier_release_complete(
+        n in 1usize..10,
+        times in proptest::collection::vec(0u64..1000, 10)
+    ) {
+        let mut b = BarrierState::new(n);
+        let mut released = false;
+        for tid in 0..n {
+            match b.arrive(tid, SimTime(times[tid])) {
+                BarrierOutcome::Wait => prop_assert!(tid + 1 < n, "only last releases"),
+                BarrierOutcome::Release { release_at, waiters } => {
+                    prop_assert_eq!(tid + 1, n);
+                    let max = times[..n].iter().copied().max().unwrap();
+                    prop_assert_eq!(release_at, SimTime(max));
+                    let mut w = waiters;
+                    w.sort();
+                    prop_assert_eq!(w, (0..n - 1).collect::<Vec<_>>());
+                    released = true;
+                }
+            }
+        }
+        prop_assert!(released);
+        prop_assert_eq!(b.episodes(), 1);
+    }
+
+    /// Splitmix64 is a pure function of its seed: identical streams, and
+    /// `below(b)` stays in range while hitting more than one residue for
+    /// non-trivial bounds.
+    #[test]
+    fn rng_determinism_and_range(seed in any::<u64>(), bound in 2u64..1000) {
+        let mut a = Splitmix64::new(seed);
+        let mut b = Splitmix64::new(seed);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let x = a.below(bound);
+            prop_assert_eq!(x, b.below(bound));
+            prop_assert!(x < bound);
+            seen.insert(x);
+        }
+        prop_assert!(seen.len() > 1, "200 draws from [0,{bound}) hit one value");
+    }
+
+    /// Shuffle is a permutation for any content.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), mut v in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        Splitmix64::new(seed).shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, expected);
+    }
+
+    /// SimTime arithmetic never panics and saturates instead of wrapping.
+    #[test]
+    fn simtime_saturates(a in any::<u64>(), b in any::<u64>()) {
+        let t = SimTime(a) + b;
+        prop_assert!(t.ns() >= a || t.ns() == u64::MAX);
+        prop_assert_eq!(SimTime(a).since(SimTime(b)), a.saturating_sub(b));
+    }
+}

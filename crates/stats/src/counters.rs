@@ -1,0 +1,156 @@
+//! Named event counters.
+//!
+//! The kernel and VM layers count discrete events — page faults, migrations,
+//! TLB shootdowns, pages allocated per node — and the tests assert on them.
+//! Counters are plain `u64`s behind a small fixed registry; the simulator is
+//! single-threaded by design (determinism, see DESIGN.md §7) so no atomics
+//! are needed.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The discrete events tracked across the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Counter {
+    /// Minor page faults taken (first-touch allocation).
+    FirstTouchFaults,
+    /// Page faults that hit the kernel next-touch flag and migrated a page.
+    NextTouchFaults,
+    /// Protection faults delivered to user space as SIGSEGV.
+    SegvSignals,
+    /// Pages migrated by `move_pages`.
+    PagesMovedSyscall,
+    /// Pages migrated by the kernel next-touch fault path.
+    PagesMovedFault,
+    /// Pages migrated by `migrate_pages`.
+    PagesMovedProcess,
+    /// Pages that were already on their destination node (no copy needed).
+    PagesAlreadyPlaced,
+    /// TLB shootdowns issued.
+    TlbShootdowns,
+    /// Frames allocated.
+    FramesAllocated,
+    /// Frames freed.
+    FramesFreed,
+    /// `madvise` next-touch markings (pages marked).
+    PagesMarkedNextTouch,
+    /// `mprotect` calls.
+    MprotectCalls,
+    /// Remote (off-node) memory accesses.
+    RemoteAccesses,
+    /// Local (on-node) memory accesses.
+    LocalAccesses,
+    /// Last-level cache hits in the access model.
+    CacheHits,
+    /// Last-level cache misses in the access model.
+    CacheMisses,
+    /// Read-only page replications performed (extension, §6 future work).
+    PagesReplicated,
+    /// Huge pages migrated (extension, §6 future work).
+    HugePagesMoved,
+    /// parallel_for iterations executed.
+    OmpIterations,
+    /// Barrier episodes completed.
+    BarriersCompleted,
+}
+
+/// A registry of [`Counter`] values.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    values: BTreeMap<Counter, u64>,
+}
+
+impl Counters {
+    /// An empty registry (all counters read as zero).
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Increment `counter` by 1.
+    pub fn bump(&mut self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Increment `counter` by `n`.
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        *self.values.entry(counter).or_insert(0) += n;
+    }
+
+    /// Current value of `counter`.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values.get(&counter).copied().unwrap_or(0)
+    }
+
+    /// Merge another registry into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.values {
+            *self.values.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+
+    /// Iterate over non-zero counters in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:?}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let mut c = Counters::new();
+        assert_eq!(c.get(Counter::NextTouchFaults), 0);
+        c.bump(Counter::NextTouchFaults);
+        c.add(Counter::NextTouchFaults, 2);
+        assert_eq!(c.get(Counter::NextTouchFaults), 3);
+    }
+
+    #[test]
+    fn merge_sums_disjoint_and_shared() {
+        let mut a = Counters::new();
+        a.add(Counter::CacheHits, 10);
+        let mut b = Counters::new();
+        b.add(Counter::CacheHits, 5);
+        b.add(Counter::CacheMisses, 7);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::CacheHits), 15);
+        assert_eq!(a.get(Counter::CacheMisses), 7);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut c = Counters::new();
+        c.add(Counter::TlbShootdowns, 4);
+        c.clear();
+        assert_eq!(c.get(Counter::TlbShootdowns), 0);
+        assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_is_stable_and_nonzero_only() {
+        let mut c = Counters::new();
+        c.add(Counter::LocalAccesses, 1);
+        c.add(Counter::RemoteAccesses, 2);
+        let keys: Vec<_> = c.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

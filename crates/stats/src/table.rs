@@ -1,0 +1,157 @@
+//! Aligned text tables and CSV emission for experiment output.
+//!
+//! Every `numa-bench` binary prints its result through [`Table`], so the
+//! harness output looks like the paper's tables (e.g. Table 1: matrix size,
+//! block size, static time, next-touch time, improvement).
+
+use std::fmt;
+
+/// A simple column-aligned table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the table width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV (RFC-4180-ish: cells containing commas or quotes are
+    /// quoted, quotes doubled).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for c in cells {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                if c.contains(',') || c.contains('"') || c.contains('\n') {
+                    out.push('"');
+                    out.push_str(&c.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(c);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for r in &self.rows {
+            emit(&mut out, r);
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            write_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_separator() {
+        let mut t = Table::new(["size", "MB/s"]);
+        t.row(["4", "612.0"]);
+        t.row(["16384", "598.2"]);
+        let s = format!("{t}");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // All rendered rows share the same width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn ragged_rows_allowed() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2", "3"]);
+        let s = format!("{t}");
+        assert!(s.contains('3'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["only"]);
+        let s = format!("{t}");
+        assert!(s.contains("only"));
+        assert!(t.is_empty());
+    }
+}

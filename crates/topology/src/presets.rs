@@ -1,0 +1,115 @@
+//! Ready-made machine descriptions.
+//!
+//! [`opteron_4p`] reproduces the paper's experimentation platform (§4.1,
+//! Figure 3); the others are smaller/larger machines used by tests and the
+//! scaling extensions ("We are now running similar experiments on larger
+//! NUMA machines", §6).
+
+use crate::spec::{CoreSpec, Link, NodeSpec};
+use crate::{CostModel, NodeId, Topology};
+
+/// The paper's platform: four quad-core 1.9 GHz Opteron 8347HE processors,
+/// 8 GB and 2 MB L3 per node, HyperTransport square interconnect
+/// (nodes 0–1, 0–2, 1–3, 2–3; opposite corners route through two hops).
+pub fn opteron_4p() -> Topology {
+    opteron_4p_with_cost(CostModel::default())
+}
+
+/// [`opteron_4p`] with a custom cost model (ablations).
+pub fn opteron_4p_with_cost(cost: CostModel) -> Topology {
+    let nodes = vec![NodeSpec::opteron_8347he(); 4];
+    let mut cores = Vec::with_capacity(16);
+    for n in 0..4u16 {
+        for _ in 0..4 {
+            cores.push(CoreSpec::opteron_8347he(NodeId(n)));
+        }
+    }
+    let links = vec![
+        Link::hypertransport(NodeId(0), NodeId(1)),
+        Link::hypertransport(NodeId(0), NodeId(2)),
+        Link::hypertransport(NodeId(1), NodeId(3)),
+        Link::hypertransport(NodeId(2), NodeId(3)),
+    ];
+    Topology::new(nodes, cores, links, cost).expect("preset is valid")
+}
+
+/// A small two-node machine (2 cores per node) for fast unit tests.
+pub fn two_node() -> Topology {
+    two_node_with_cost(CostModel::default())
+}
+
+/// [`two_node`] with a custom cost model.
+pub fn two_node_with_cost(cost: CostModel) -> Topology {
+    let nodes = vec![NodeSpec::opteron_8347he(); 2];
+    let cores = vec![
+        CoreSpec::opteron_8347he(NodeId(0)),
+        CoreSpec::opteron_8347he(NodeId(0)),
+        CoreSpec::opteron_8347he(NodeId(1)),
+        CoreSpec::opteron_8347he(NodeId(1)),
+    ];
+    let links = vec![Link::hypertransport(NodeId(0), NodeId(1))];
+    Topology::new(nodes, cores, links, cost).expect("preset is valid")
+}
+
+/// An eight-node machine (4 cores per node) arranged as a twisted ladder —
+/// the "larger NUMA machines where data locality is more critical" that the
+/// paper's conclusion points to.
+pub fn eight_node() -> Topology {
+    let nodes = vec![NodeSpec::opteron_8347he(); 8];
+    let mut cores = Vec::with_capacity(32);
+    for n in 0..8u16 {
+        for _ in 0..4 {
+            cores.push(CoreSpec::opteron_8347he(NodeId(n)));
+        }
+    }
+    // Two squares (0-1-3-2, 4-5-7-6) joined by vertical links.
+    let links = vec![
+        Link::hypertransport(NodeId(0), NodeId(1)),
+        Link::hypertransport(NodeId(0), NodeId(2)),
+        Link::hypertransport(NodeId(1), NodeId(3)),
+        Link::hypertransport(NodeId(2), NodeId(3)),
+        Link::hypertransport(NodeId(4), NodeId(5)),
+        Link::hypertransport(NodeId(4), NodeId(6)),
+        Link::hypertransport(NodeId(5), NodeId(7)),
+        Link::hypertransport(NodeId(6), NodeId(7)),
+        Link::hypertransport(NodeId(0), NodeId(4)),
+        Link::hypertransport(NodeId(3), NodeId(7)),
+    ];
+    Topology::new(nodes, cores, links, CostModel::default()).expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_node_shape() {
+        let t = two_node();
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.core_count(), 4);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 1);
+    }
+
+    #[test]
+    fn eight_node_connected_and_wider() {
+        let t = eight_node();
+        assert_eq!(t.node_count(), 8);
+        // Farthest pair needs more than two hops on the twisted ladder.
+        let max_hops = t
+            .node_ids()
+            .flat_map(|a| t.node_ids().map(move |b| (a, b)))
+            .map(|(a, b)| t.hops(a, b))
+            .max()
+            .unwrap();
+        assert!(max_hops >= 3, "eight-node diameter {max_hops}");
+    }
+
+    #[test]
+    fn presets_core_node_mapping() {
+        let t = opteron_4p();
+        for c in t.core_ids() {
+            let n = t.node_of_core(c);
+            assert!(t.cores_of_node(n).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Component specifications: nodes, cores and interconnect links.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A NUMA node: one memory bank plus its attached last-level cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Capacity of the memory bank in bytes.
+    pub memory_bytes: u64,
+    /// Size of the shared last-level (L3) cache attached to this node.
+    pub l3_bytes: u64,
+    /// Sustainable DRAM bandwidth of this bank, in bytes per nanosecond
+    /// (== GB/s).
+    pub dram_bw_bytes_per_ns: f64,
+}
+
+impl NodeSpec {
+    /// The paper's Opteron 8347HE node: 8 GB memory, 2 MB shared L3,
+    /// DDR2-class local bandwidth.
+    pub fn opteron_8347he() -> Self {
+        NodeSpec {
+            memory_bytes: 8 << 30,
+            l3_bytes: 2 << 20,
+            dram_bw_bytes_per_ns: 6.4,
+        }
+    }
+}
+
+/// A CPU core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreSpec {
+    /// The NUMA node this core belongs to.
+    pub node: NodeId,
+    /// Clock frequency in Hz.
+    pub freq_hz: u64,
+    /// Peak double-precision floating-point operations per cycle.
+    pub flops_per_cycle: u32,
+}
+
+impl CoreSpec {
+    /// One core of the paper's 1.9 GHz Opteron 8347HE (SSE2: 2 DP flops
+    /// per cycle).
+    pub fn opteron_8347he(node: NodeId) -> Self {
+        CoreSpec {
+            node,
+            freq_hz: 1_900_000_000,
+            flops_per_cycle: 2,
+        }
+    }
+
+    /// Peak flops per nanosecond for this core.
+    pub fn flops_per_ns(&self) -> f64 {
+        self.freq_hz as f64 * self.flops_per_cycle as f64 / 1e9
+    }
+}
+
+/// A bidirectional point-to-point interconnect link between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Usable bandwidth in bytes per nanosecond (== GB/s).
+    pub bandwidth_bytes_per_ns: f64,
+}
+
+impl Link {
+    /// A HyperTransport-1-class link (~4 GB/s usable per direction;
+    /// we model the link as a single shared resource, which is what makes
+    /// cross-traffic congestion visible, cf. paper §4.5).
+    pub fn hypertransport(a: NodeId, b: NodeId) -> Self {
+        Link {
+            a,
+            b,
+            bandwidth_bytes_per_ns: 4.0,
+        }
+    }
+
+    /// Does this link connect `x` and `y` (in either order)?
+    pub fn connects(&self, x: NodeId, y: NodeId) -> bool {
+        (self.a == x && self.b == y) || (self.a == y && self.b == x)
+    }
+
+    /// Given one endpoint, return the other; `None` if `from` is not an
+    /// endpoint of this link.
+    pub fn other_end(&self, from: NodeId) -> Option<NodeId> {
+        if self.a == from {
+            Some(self.b)
+        } else if self.b == from {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opteron_node_spec() {
+        let n = NodeSpec::opteron_8347he();
+        assert_eq!(n.memory_bytes, 8 << 30);
+        assert_eq!(n.l3_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn core_flops_rate() {
+        let c = CoreSpec::opteron_8347he(NodeId(0));
+        assert!((c.flops_per_ns() - 3.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_connects_either_order() {
+        let l = Link::hypertransport(NodeId(0), NodeId(1));
+        assert!(l.connects(NodeId(0), NodeId(1)));
+        assert!(l.connects(NodeId(1), NodeId(0)));
+        assert!(!l.connects(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn link_other_end() {
+        let l = Link::hypertransport(NodeId(2), NodeId(3));
+        assert_eq!(l.other_end(NodeId(2)), Some(NodeId(3)));
+        assert_eq!(l.other_end(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(l.other_end(NodeId(0)), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! The software page table.
+//!
+//! A flat map from virtual page number to [`Pte`]. The real kernel uses a
+//! radix tree; a hash map gives the same semantics with O(1) expected
+//! lookups, and the *cost* of page-table walks is charged separately by the
+//! kernel layer's cost model, so the host data structure choice does not
+//! leak into results.
+
+use crate::pte::Pte;
+use crate::FrameId;
+use std::collections::HashMap;
+
+/// Map from virtual page number to page-table entry.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, Pte>,
+}
+
+impl PageTable {
+    /// An empty page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Look up the PTE for `vpn`.
+    pub fn get(&self, vpn: u64) -> Option<&Pte> {
+        self.entries.get(&vpn)
+    }
+
+    /// Mutable PTE lookup.
+    pub fn get_mut(&mut self, vpn: u64) -> Option<&mut Pte> {
+        self.entries.get_mut(&vpn)
+    }
+
+    /// Install a mapping. Returns the previous entry if one existed
+    /// (callers that expect a fresh mapping assert on `None`).
+    pub fn map(&mut self, vpn: u64, pte: Pte) -> Option<Pte> {
+        self.entries.insert(vpn, pte)
+    }
+
+    /// Remove a mapping, returning it.
+    pub fn unmap(&mut self, vpn: u64) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Is `vpn` mapped (present or not)?
+    pub fn is_mapped(&self, vpn: u64) -> bool {
+        self.entries.contains_key(&vpn)
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(vpn, pte)` pairs in an unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Pte)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// All mapped vpns, sorted — used by `migrate_pages`, which walks the
+    /// address space in order (that ordered walk is why the paper measures
+    /// better locality for it than for `move_pages`, §4.2).
+    pub fn sorted_vpns(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every frame currently referenced by an entry (for leak checks).
+    pub fn referenced_frames(&self) -> Vec<FrameId> {
+        self.entries.values().map(|p| p.frame).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pte::PteFlags;
+
+    #[test]
+    fn map_get_unmap() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        assert_eq!(pt.map(5, Pte::present_rw(FrameId(1))), None);
+        assert!(pt.is_mapped(5));
+        assert_eq!(pt.get(5).unwrap().frame, FrameId(1));
+        let old = pt.unmap(5).unwrap();
+        assert_eq!(old.frame, FrameId(1));
+        assert!(!pt.is_mapped(5));
+    }
+
+    #[test]
+    fn remap_returns_previous() {
+        let mut pt = PageTable::new();
+        pt.map(1, Pte::present_rw(FrameId(1)));
+        let prev = pt.map(1, Pte::present_rw(FrameId(2)));
+        assert_eq!(prev.unwrap().frame, FrameId(1));
+        assert_eq!(pt.get(1).unwrap().frame, FrameId(2));
+        assert_eq!(pt.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_allows_flag_updates() {
+        let mut pt = PageTable::new();
+        pt.map(9, Pte::present_rw(FrameId(3)));
+        pt.get_mut(9).unwrap().mark_next_touch();
+        assert!(pt.get(9).unwrap().flags.contains(PteFlags::NEXT_TOUCH));
+    }
+
+    #[test]
+    fn sorted_vpns_sorted() {
+        let mut pt = PageTable::new();
+        for vpn in [9u64, 2, 7, 4] {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        assert_eq!(pt.sorted_vpns(), vec![2, 4, 7, 9]);
+    }
+
+    #[test]
+    fn referenced_frames_complete() {
+        let mut pt = PageTable::new();
+        pt.map(1, Pte::present_rw(FrameId(10)));
+        pt.map(2, Pte::present_rw(FrameId(20)));
+        let mut frames = pt.referenced_frames();
+        frames.sort();
+        assert_eq!(frames, vec![FrameId(10), FrameId(20)]);
+    }
+}

@@ -1,0 +1,111 @@
+//! NUMA memory policies.
+//!
+//! The placement half of the paper's background (§2.2): where does a page
+//! go when it is first touched? Linux answers with a per-VMA (or
+//! per-process) policy. `FirstTouch` is the kernel default; `Interleave` is
+//! what the paper uses as the best static allocation for the LU experiment
+//! (§4.5: "the data was initially allocated among all NUMA nodes in an
+//! interleaved manner").
+
+use numa_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Placement policy for newly-allocated pages.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MemPolicy {
+    /// Allocate on the faulting thread's node (the Linux default).
+    #[default]
+    FirstTouch,
+    /// Always allocate on a fixed node (`mbind`/`MPOL_BIND`).
+    Bind(NodeId),
+    /// Round-robin by page number across the given nodes
+    /// (`MPOL_INTERLEAVE`).
+    Interleave(Vec<NodeId>),
+    /// Prefer a node but fall back to the faulting node when the preferred
+    /// bank is full (`MPOL_PREFERRED`).
+    Preferred(NodeId),
+}
+
+impl MemPolicy {
+    /// The node a fresh page at `vpn` should be allocated on, when the
+    /// faulting thread runs on `local`.
+    ///
+    /// For `Interleave` the page *number* indexes the node list, matching
+    /// Linux's `offset % nnodes` behaviour, so consecutive pages of a
+    /// buffer land on consecutive nodes.
+    pub fn choose_node(&self, vpn: u64, local: NodeId) -> NodeId {
+        match self {
+            MemPolicy::FirstTouch => local,
+            MemPolicy::Bind(n) => *n,
+            MemPolicy::Interleave(nodes) => {
+                if nodes.is_empty() {
+                    local
+                } else {
+                    nodes[(vpn % nodes.len() as u64) as usize]
+                }
+            }
+            MemPolicy::Preferred(n) => *n,
+        }
+    }
+
+    /// Fallback node when the chosen bank is out of frames. `Bind` has no
+    /// fallback (the allocation fails, like the real kernel under
+    /// `MPOL_BIND` strictness); the others fall back to the faulting node.
+    pub fn fallback_node(&self, local: NodeId) -> Option<NodeId> {
+        match self {
+            MemPolicy::Bind(_) => None,
+            _ => Some(local),
+        }
+    }
+
+    /// An interleave policy across all `node_count` nodes.
+    pub fn interleave_all(node_count: usize) -> MemPolicy {
+        MemPolicy::Interleave((0..node_count as u16).map(NodeId).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_local() {
+        let p = MemPolicy::FirstTouch;
+        assert_eq!(p.choose_node(0, NodeId(2)), NodeId(2));
+        assert_eq!(p.choose_node(99, NodeId(0)), NodeId(0));
+    }
+
+    #[test]
+    fn bind_ignores_local() {
+        let p = MemPolicy::Bind(NodeId(3));
+        assert_eq!(p.choose_node(0, NodeId(1)), NodeId(3));
+        assert_eq!(p.fallback_node(NodeId(1)), None);
+    }
+
+    #[test]
+    fn interleave_round_robins_by_vpn() {
+        let p = MemPolicy::interleave_all(4);
+        assert_eq!(p.choose_node(0, NodeId(9)), NodeId(0));
+        assert_eq!(p.choose_node(1, NodeId(9)), NodeId(1));
+        assert_eq!(p.choose_node(4, NodeId(9)), NodeId(0));
+        assert_eq!(p.choose_node(7, NodeId(9)), NodeId(3));
+    }
+
+    #[test]
+    fn interleave_empty_falls_back_to_local() {
+        let p = MemPolicy::Interleave(vec![]);
+        assert_eq!(p.choose_node(5, NodeId(1)), NodeId(1));
+    }
+
+    #[test]
+    fn preferred_with_fallback() {
+        let p = MemPolicy::Preferred(NodeId(2));
+        assert_eq!(p.choose_node(0, NodeId(0)), NodeId(2));
+        assert_eq!(p.fallback_node(NodeId(0)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn default_is_first_touch() {
+        assert_eq!(MemPolicy::default(), MemPolicy::FirstTouch);
+    }
+}

@@ -1,0 +1,148 @@
+//! Virtual memory areas.
+//!
+//! A [`Vma`] is a contiguous range of pages with uniform protection, kind
+//! and placement policy — the same bookkeeping unit the Linux kernel uses.
+//! `mprotect` may split VMAs; the [`crate::AddressSpace`] owns that logic.
+
+use crate::addr::PageRange;
+use crate::policy::MemPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Access protection of a VMA (the `PROT_*` bits that matter here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protection {
+    /// No access: any touch faults (`PROT_NONE`) — the user-space
+    /// next-touch trick (paper §3.2) depends on this.
+    None,
+    /// Read-only.
+    ReadOnly,
+    /// Read + write.
+    ReadWrite,
+}
+
+impl Protection {
+    /// Does this protection allow an access of the given kind?
+    pub fn permits(self, write: bool) -> bool {
+        match self {
+            Protection::None => false,
+            Protection::ReadOnly => !write,
+            Protection::ReadWrite => true,
+        }
+    }
+}
+
+/// What backs a VMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmaKind {
+    /// Private anonymous memory — the only kind the paper's kernel
+    /// next-touch supports ("first supporting shared areas and file
+    /// mappings instead of only private anonymous pages", §6).
+    PrivateAnonymous,
+    /// Shared anonymous memory (extension).
+    SharedAnonymous,
+    /// A file mapping (extension).
+    File,
+}
+
+/// One virtual memory area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vma {
+    /// The pages this area spans.
+    pub range: PageRange,
+    /// Uniform protection for the whole area.
+    pub prot: Protection,
+    /// Backing kind.
+    pub kind: VmaKind,
+    /// Placement policy for pages faulted in within this area.
+    pub policy: MemPolicy,
+    /// True when the area is mapped with huge pages (extension).
+    pub huge: bool,
+    /// Free-form tag so runtimes can find their own regions (the user-space
+    /// next-touch library tags the regions it protects).
+    pub tag: u64,
+}
+
+impl Vma {
+    /// A private anonymous RW area with default (first-touch) policy.
+    pub fn anon(range: PageRange) -> Self {
+        Vma {
+            range,
+            prot: Protection::ReadWrite,
+            kind: VmaKind::PrivateAnonymous,
+            policy: MemPolicy::FirstTouch,
+            huge: false,
+            tag: 0,
+        }
+    }
+
+    /// Split this VMA at `vpn`, returning the right half. `vpn` must lie
+    /// strictly inside the range.
+    pub fn split_at(&mut self, vpn: u64) -> Vma {
+        assert!(
+            vpn > self.range.start_vpn && vpn < self.range.end_vpn,
+            "split point {vpn} must be strictly inside {:?}",
+            self.range
+        );
+        let right = Vma {
+            range: PageRange::new(vpn, self.range.end_vpn),
+            ..self.clone()
+        };
+        self.range = PageRange::new(self.range.start_vpn, vpn);
+        right
+    }
+
+    /// Can this VMA merge with `other` (adjacent and attribute-identical)?
+    pub fn can_merge(&self, other: &Vma) -> bool {
+        self.range.end_vpn == other.range.start_vpn
+            && self.prot == other.prot
+            && self.kind == other.kind
+            && self.policy == other.policy
+            && self.huge == other.huge
+            && self.tag == other.tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_permits() {
+        assert!(!Protection::None.permits(false));
+        assert!(!Protection::None.permits(true));
+        assert!(Protection::ReadOnly.permits(false));
+        assert!(!Protection::ReadOnly.permits(true));
+        assert!(Protection::ReadWrite.permits(true));
+    }
+
+    #[test]
+    fn split_preserves_attributes() {
+        let mut v = Vma::anon(PageRange::new(0, 10));
+        v.tag = 42;
+        let right = v.split_at(4);
+        assert_eq!(v.range, PageRange::new(0, 4));
+        assert_eq!(right.range, PageRange::new(4, 10));
+        assert_eq!(right.tag, 42);
+        assert_eq!(right.prot, v.prot);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn split_at_boundary_panics() {
+        let mut v = Vma::anon(PageRange::new(0, 10));
+        v.split_at(0);
+    }
+
+    #[test]
+    fn merge_compatibility() {
+        let a = Vma::anon(PageRange::new(0, 5));
+        let b = Vma::anon(PageRange::new(5, 9));
+        assert!(a.can_merge(&b));
+        let mut c = Vma::anon(PageRange::new(9, 12));
+        c.prot = Protection::None;
+        assert!(!b.can_merge(&c));
+        // Non-adjacent.
+        let d = Vma::anon(PageRange::new(20, 30));
+        assert!(!a.can_merge(&d));
+    }
+}

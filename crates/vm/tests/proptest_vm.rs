@@ -1,0 +1,166 @@
+//! Property-based tests for the virtual-memory structures.
+
+use numa_topology::NodeId;
+use numa_vm::{
+    AddressSpace, FrameAllocator, MemPolicy, PageRange, Protection, Pte, VirtAddr, VmaKind,
+    PAGE_SIZE,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// `PageRange::covering` covers exactly the bytes it is given: every
+    /// byte's page is in the range, and every page in the range holds at
+    /// least one requested byte.
+    #[test]
+    fn covering_is_tight(addr in 0u64..1_000_000u64, len in 1u64..100_000u64) {
+        let r = PageRange::covering(VirtAddr(addr), len);
+        prop_assert!(r.contains(VirtAddr(addr).vpn()));
+        prop_assert!(r.contains(VirtAddr(addr + len - 1).vpn()));
+        prop_assert_eq!(r.start_vpn, VirtAddr(addr).vpn());
+        prop_assert_eq!(r.end_vpn, VirtAddr(addr + len - 1).vpn() + 1);
+        // Page count never exceeds len/PAGE_SIZE + 2 boundary pages.
+        prop_assert!(r.pages() <= len / PAGE_SIZE + 2);
+    }
+
+    /// Intersection is commutative, contained in both operands, and
+    /// idempotent.
+    #[test]
+    fn intersect_properties(
+        a0 in 0u64..1000, alen in 0u64..1000,
+        b0 in 0u64..1000, blen in 0u64..1000,
+    ) {
+        let a = PageRange::new(a0, a0 + alen);
+        let b = PageRange::new(b0, b0 + blen);
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab, ba);
+        for vpn in ab.iter() {
+            prop_assert!(a.contains(vpn) && b.contains(vpn));
+        }
+        prop_assert_eq!(ab.intersect(&a), ab);
+    }
+
+    /// Arbitrary mprotect sequences over a mapped region never violate
+    /// the address-space invariants, and the final protection of every
+    /// page equals the last mprotect that covered it.
+    #[test]
+    fn mprotect_sequences_keep_invariants(
+        ops in proptest::collection::vec((0u64..64, 1u64..32, 0u8..3), 1..25)
+    ) {
+        let mut space = AddressSpace::new();
+        let base = space
+            .mmap(96 * PAGE_SIZE, Protection::ReadWrite, VmaKind::PrivateAnonymous,
+                  MemPolicy::FirstTouch)
+            .unwrap();
+        let base_vpn = base.vpn();
+        let mut expected = [Protection::ReadWrite; 96];
+        for (start, len, prot) in ops {
+            let prot = match prot {
+                0 => Protection::None,
+                1 => Protection::ReadOnly,
+                _ => Protection::ReadWrite,
+            };
+            let end = (start + len).min(96);
+            if start >= end { continue; }
+            space
+                .mprotect(PageRange::new(base_vpn + start, base_vpn + end), prot)
+                .unwrap();
+            for p in start..end {
+                expected[p as usize] = prot;
+            }
+            space.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant broken: {e}"))
+            })?;
+        }
+        for (i, want) in expected.iter().enumerate() {
+            let got = space
+                .find_vma(VirtAddr::from_vpn(base_vpn + i as u64))
+                .unwrap()
+                .prot;
+            prop_assert_eq!(got, *want, "page {}", i);
+        }
+    }
+
+    /// VMA count stays bounded by the number of distinct protection
+    /// boundaries (merging works): after any op sequence it never exceeds
+    /// the page count, and restoring everything to RW collapses to 1.
+    #[test]
+    fn mprotect_merge_collapses(
+        ops in proptest::collection::vec((0u64..32, 1u64..16, 0u8..3), 1..15)
+    ) {
+        let mut space = AddressSpace::new();
+        let base = space
+            .mmap(48 * PAGE_SIZE, Protection::ReadWrite, VmaKind::PrivateAnonymous,
+                  MemPolicy::FirstTouch)
+            .unwrap();
+        let base_vpn = base.vpn();
+        for (start, len, prot) in ops {
+            let prot = match prot {
+                0 => Protection::None,
+                1 => Protection::ReadOnly,
+                _ => Protection::ReadWrite,
+            };
+            let end = (start + len).min(48);
+            if start >= end { continue; }
+            space.mprotect(PageRange::new(base_vpn + start, base_vpn + end), prot).unwrap();
+        }
+        space
+            .mprotect(PageRange::new(base_vpn, base_vpn + 48), Protection::ReadWrite)
+            .unwrap();
+        prop_assert_eq!(space.vma_count(), 1, "uniform protection must merge to one VMA");
+    }
+
+    /// Frame allocator conservation: after any alloc/free interleaving,
+    /// live counts equal allocations minus frees, per node and globally,
+    /// and capacity is never exceeded.
+    #[test]
+    fn frame_allocator_conservation(
+        ops in proptest::collection::vec((0u16..3, any::<bool>()), 1..200)
+    ) {
+        let cap = 20u64;
+        let mut fa = FrameAllocator::new(3, cap);
+        let mut live: Vec<Vec<numa_vm::FrameId>> = vec![Vec::new(); 3];
+        for (node, is_alloc) in ops {
+            let n = NodeId(node);
+            if is_alloc {
+                match fa.alloc(n) {
+                    Some(id) => live[node as usize].push(id),
+                    None => prop_assert_eq!(fa.live_on(n), cap, "alloc may only fail when full"),
+                }
+            } else if let Some(id) = live[node as usize].pop() {
+                fa.free(id);
+            }
+            for k in 0..3u16 {
+                prop_assert_eq!(fa.live_on(NodeId(k)), live[k as usize].len() as u64);
+                prop_assert!(fa.live_on(NodeId(k)) <= cap);
+            }
+        }
+        let total_live: usize = live.iter().map(Vec::len).sum();
+        prop_assert_eq!(fa.live_total(), total_live as u64);
+    }
+
+    /// Interleave policy is a pure function of vpn and spreads exactly
+    /// evenly over whole rounds.
+    #[test]
+    fn interleave_even_spread(nodes in 1usize..8, rounds in 1u64..20) {
+        let policy = MemPolicy::interleave_all(nodes);
+        let mut counts = vec![0u64; nodes];
+        for vpn in 0..(nodes as u64 * rounds) {
+            let n = policy.choose_node(vpn, NodeId(0));
+            counts[n.index()] += 1;
+        }
+        prop_assert!(counts.iter().all(|c| *c == rounds), "{counts:?}");
+    }
+
+    /// Next-touch marking and clearing are inverses on the access bits.
+    #[test]
+    fn next_touch_mark_clear_roundtrip(frame in 0u64..1000) {
+        let mut pte = Pte::present_rw(numa_vm::FrameId(frame));
+        let before = pte.flags;
+        pte.mark_next_touch();
+        prop_assert!(pte.is_next_touch());
+        prop_assert!(!pte.permits(false));
+        pte.clear_next_touch();
+        prop_assert_eq!(pte.flags, before);
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's motivating workload class (§2.2): "highly-dynamic
+//! applications such as adaptive mesh refinement have their thread/data
+//! affinities actually varying during the execution". Patches refine
+//! (gain weight) over time; a dynamic schedule rebalances them across
+//! threads; the next-touch policy lets each patch's data chase whichever
+//! thread currently owns it.
+//!
+//! Run with:
+//! `cargo run --release -p numa-migrate --example adaptive_mesh`
+
+use numa_migrate::apps::amr::{run_amr, AmrConfig};
+use numa_migrate::prelude::*;
+
+fn main() {
+    println!("AMR-style dynamic stencil: 64 patches x 1 MB, 8 phases, 16 threads\n");
+
+    let mut results = Vec::new();
+    for strategy in [
+        MigrationStrategy::Static,
+        MigrationStrategy::KernelNextTouch,
+    ] {
+        let mut machine = Machine::opteron_4p();
+        let cfg = AmrConfig::demo(strategy);
+        let (r, weights) = run_amr(&mut machine, &cfg);
+        let refined = weights.iter().filter(|w| **w > 1).count();
+        println!(
+            "{:<10}  time {:>8.3} ms   {} patches refined   remote accesses {:>7}",
+            strategy.label(),
+            r.makespan.ns() as f64 / 1e6,
+            refined,
+            r.stats.counters.get(Counter::RemoteAccesses),
+        );
+        results.push(r.makespan);
+    }
+
+    let improvement = (results[0].ns() as f64 / results[1].ns() as f64 - 1.0) * 100.0;
+    println!(
+        "\nnext-touch improvement: {improvement:+.1} % — the policy keeps data local\n\
+         without the scheduler ever knowing which thread owns which patch\n\
+         (paper §3.4: \"the thread scheduler does not have to know which\n\
+         buffers are attached to which thread\")"
+    );
+    assert!(
+        improvement > 0.0,
+        "next-touch must win on the dynamic workload"
+    );
+}
