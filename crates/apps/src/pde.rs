@@ -97,8 +97,8 @@ pub fn jacobi_reference(initial: &[f64], n: usize, sweeps: u32) -> Vec<f64> {
 /// Deterministic initial condition: zero interior, hot left boundary.
 pub fn initial_grid(n: usize) -> Vec<f64> {
     let mut g = vec![0.0; n * n];
-    for i in 0..n {
-        g[i] = 100.0; // column 0
+    for cell in g.iter_mut().take(n) {
+        *cell = 100.0; // column 0
     }
     g
 }
@@ -106,7 +106,7 @@ pub fn initial_grid(n: usize) -> Vec<f64> {
 /// Run the solver on `machine` per `cfg`.
 pub fn run_pde(machine: &mut Machine, cfg: &PdeConfig) -> PdeResult {
     assert!(
-        cfg.n as usize % cfg.threads == 0,
+        (cfg.n as usize).is_multiple_of(cfg.threads),
         "n must divide evenly into thread strips"
     );
     let n = cfg.n;
@@ -228,7 +228,7 @@ pub fn run_pde(machine: &mut Machine, cfg: &PdeConfig) -> PdeResult {
 
     let grid = grids.map(|g| {
         let (a, b) = g.replace((Vec::new(), Vec::new()));
-        if cfg.sweeps % 2 == 0 {
+        if cfg.sweeps.is_multiple_of(2) {
             a
         } else {
             b

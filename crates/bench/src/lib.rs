@@ -17,6 +17,9 @@ pub struct Options {
     pub full: bool,
     /// Print per-run diagnostics.
     pub verbose: bool,
+    /// Workload seed for experiments with randomized access orders.
+    /// The same seed always regenerates byte-identical tables.
+    pub seed: u64,
 }
 
 impl Options {
@@ -24,17 +27,29 @@ impl Options {
     /// flags.
     pub fn parse(binary: &str, what: &str) -> Options {
         let mut o = Options::default();
-        for arg in env::args().skip(1) {
+        let mut args = env::args().skip(1);
+        while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--csv" => o.csv = true,
                 "--full" => o.full = true,
                 "--verbose" | "-v" => o.verbose = true,
+                "--seed" => {
+                    let v = args.next().unwrap_or_else(|| {
+                        eprintln!("{binary}: --seed needs a value");
+                        std::process::exit(2);
+                    });
+                    o.seed = v.parse().unwrap_or_else(|_| {
+                        eprintln!("{binary}: --seed takes an unsigned integer, got {v}");
+                        std::process::exit(2);
+                    });
+                }
                 "--help" | "-h" => {
                     eprintln!("{binary}: regenerate {what}");
-                    eprintln!("usage: {binary} [--csv] [--full] [--verbose]");
-                    eprintln!("  --csv      emit CSV instead of an aligned table");
-                    eprintln!("  --full     run the paper-sized sweep (slower)");
-                    eprintln!("  --verbose  per-run diagnostics");
+                    eprintln!("usage: {binary} [--csv] [--full] [--verbose] [--seed <u64>]");
+                    eprintln!("  --csv       emit CSV instead of an aligned table");
+                    eprintln!("  --full      run the paper-sized sweep (slower)");
+                    eprintln!("  --verbose   per-run diagnostics");
+                    eprintln!("  --seed <n>  workload seed (default 0); same seed, same table");
                     std::process::exit(0);
                 }
                 other => {
@@ -59,6 +74,63 @@ impl Options {
 /// Format MB/s with one decimal.
 pub fn mbps(v: f64) -> String {
     format!("{v:.1}")
+}
+
+/// Build the tiering mechanism-comparison table (transactional vs
+/// stop-the-world promotion under concurrent writers). Shared by the
+/// `tiering` binary and the determinism regression test.
+pub fn tiering_mechanism_table(
+    writer_counts: &[usize],
+    pages: u64,
+    hot: u64,
+    seed: u64,
+) -> numa_migrate::stats::Table {
+    use numa_migrate::experiments::tiering;
+    let mut table = numa_migrate::stats::Table::new([
+        "writers", "txn-ms", "stw-ms", "commits", "aborts", "stalls", "txn-prom", "stw-prom",
+    ]);
+    for r in tiering::mechanism(writer_counts, pages, hot, seed) {
+        table.row([
+            r.writers.to_string(),
+            format!("{:.3}", r.txn_writer_ns as f64 / 1e6),
+            format!("{:.3}", r.stw_writer_ns as f64 / 1e6),
+            r.txn_commits.to_string(),
+            r.txn_aborts.to_string(),
+            r.stw_stalls.to_string(),
+            r.txn_promoted.to_string(),
+            r.stw_promoted.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Build the tiering capacity-sweep table (app time vs hot-set size,
+/// with the crossover where the hot set exceeds DRAM).
+pub fn tiering_capacity_table(
+    hot_page_counts: &[u64],
+    dram_pages_per_node: u64,
+    rounds: usize,
+) -> numa_migrate::stats::Table {
+    use numa_migrate::experiments::tiering;
+    let mut table = numa_migrate::stats::Table::new([
+        "hot-pages",
+        "dram-pages",
+        "tiered-ms",
+        "static-ms",
+        "speedup",
+        "promotions",
+    ]);
+    for r in tiering::capacity_sweep(hot_page_counts, dram_pages_per_node, rounds) {
+        table.row([
+            r.hot_pages.to_string(),
+            r.dram_pages.to_string(),
+            format!("{:.3}", r.tiered_ns as f64 / 1e6),
+            format!("{:.3}", r.static_ns as f64 / 1e6),
+            format!("{:.2}x", r.speedup()),
+            r.promotions.to_string(),
+        ]);
+    }
+    table
 }
 
 /// Format seconds with adaptive precision (the paper's Table 1 style).

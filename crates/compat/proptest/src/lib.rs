@@ -1,0 +1,454 @@
+//! Offline mini-implementation of the `proptest` subset this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! proptest cannot be fetched. This crate implements exactly the surface
+//! the workspace's `proptest_*.rs` tests rely on:
+//!
+//! * the `proptest! { #![proptest_config(...)] #[test] fn f(pat in strategy, ...) { ... } }`
+//!   macro form;
+//! * integer/float range strategies (`0u64..100`, `0.0f64..1.0`),
+//!   `any::<T>()`, tuple strategies, `proptest::collection::vec` and
+//!   `proptest::collection::btree_set`;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`,
+//!   `TestCaseError::fail` (usable with `?`), and
+//!   `ProptestConfig::with_cases`.
+//!
+//! Unlike the real proptest, generation is **derandomized**: every case is
+//! produced by a SplitMix64 stream seeded only by the case index, so runs
+//! are bit-identical everywhere (the workspace's determinism requirement,
+//! DESIGN.md §7). There is no shrinking — a failing case prints its case
+//! index and message.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Run configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        /// 32 cases (smaller than upstream's 256: the workspace's property
+        /// tests each run whole machine simulations).
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    /// A test-case failure (or rejection via `prop_assume!`).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The generated inputs do not satisfy an assumption; the case is
+        /// skipped, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod rng {
+    /// Deterministic SplitMix64 stream, seeded from the case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// The generator for case number `case`.
+        pub fn for_case(case: u32) -> Self {
+            TestRng(
+                0x9E37_79B9_7F4A_7C15u64
+                    ^ (u64::from(case) + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+            )
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; 0 when `n` is 0.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::ops::Range;
+
+    /// A value generator (the proptest `Strategy` trait, reduced to what
+    /// derandomized generation needs).
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Produce one value from the deterministic stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $i:tt),+)),*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(
+        (A 0),
+        (A 0, B 1),
+        (A 0, B 1, C 2),
+        (A 0, B 1, C 2, D 3),
+        (A 0, B 1, C 2, D 3, E 4)
+    );
+}
+
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Produce one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Length specification for collection strategies: a `usize` (exact
+    /// length) or a `Range<usize>` (half-open), as in upstream proptest.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            let span = (self.0.end - self.0.start) as u64;
+            self.0.start + rng.below(span) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector of `elem`-generated values with a `size`-drawn length.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; duplicates collapse, so the set
+    /// may be smaller than the drawn length (same as upstream).
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A set of `elem`-generated values with a `size`-drawn upper bound.
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// The test-defining macro. Each contained `fn` runs `Config::cases`
+/// deterministic cases; `#[test]` is written by the caller (as with the
+/// real proptest).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::rng::TestRng::for_case(case);
+                $(let $p = $crate::strategy::Strategy::generate(&($s), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err(e) => {
+                        panic!("proptest case {case} of {} failed: {e}", stringify!($name));
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body (returns an `Err` that the
+/// runner reports with the failing case index).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Skip the current case when its generated inputs are unusable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::rng::TestRng::for_case(7);
+        let mut b = crate::rng::TestRng::for_case(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u32..100, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|e| *e < 100));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u8..10, 0u8..10)) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert!(pair.0 != pair.1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_form_parses(b in any::<bool>()) {
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace uses serde exclusively in `#[derive(Serialize,
+//! Deserialize)]` position; no crate calls serialization APIs or writes
+//! serde trait bounds. This facade therefore only needs to put the two
+//! derive-macro names in scope. The macros themselves (in the sibling
+//! `serde_derive` stub) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};

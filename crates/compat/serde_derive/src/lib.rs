@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace only ever uses serde in derive position (no code calls
+//! `serialize`/`deserialize` or writes serde trait bounds), so in the
+//! offline build environment the derives can expand to nothing. See
+//! `crates/compat/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the workspace never calls serialization.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the workspace never calls deserialization.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -11,6 +11,7 @@
 //! | [`fig8`]   | Fig. 8 — 16 independent BLAS3 multiplications |
 //! | [`blas1`]  | §4.5 prose — BLAS1 never improves |
 //! | [`scaling`] | §6 outlook — larger NUMA machines |
+//! | [`tiering`] | heterogeneous tiering: transactional vs stop-the-world promotion, DRAM-capacity crossover |
 //! | [`ablations`] | design-choice sweeps (lookup fix, lock fraction, granularity, extensions) |
 //!
 //! Each experiment returns plain row structs; the `numa-bench` binaries
@@ -26,6 +27,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod scaling;
 pub mod table1;
+pub mod tiering;
 
 use numa_stats::mb_per_s;
 

@@ -58,6 +58,7 @@ pub fn run(n: u64) -> Vec<ScalingRow> {
                 Platform::TwoNode => 2,
                 Platform::Opteron4P => 4,
                 Platform::EightNode => 8,
+                Platform::Tiered4p2 => 6,
             };
             ScalingRow {
                 nodes,

@@ -63,5 +63,6 @@ pub use numa_machine as machine;
 pub use numa_rt as rt;
 pub use numa_sim as sim;
 pub use numa_stats as stats;
+pub use numa_tier as tier;
 pub use numa_topology as topology;
 pub use numa_vm as vm;

@@ -19,6 +19,11 @@ pub enum Platform {
     TwoNode,
     /// An 8-node machine (the paper's "larger NUMA machines" outlook, §6).
     EightNode,
+    /// The tiered machine: 4 DRAM nodes + 2 CXL-class slow nodes.
+    /// Building this platform always enables the kernel's tiering support
+    /// (shadow PTEs, write-generation tracking, tier stall windows) —
+    /// a tiered topology without it would silently never migrate.
+    Tiered4p2,
 }
 
 /// Builder for a fully-assembled simulated host.
@@ -74,14 +79,22 @@ impl NumaSystem {
 
     /// Assemble the machine.
     pub fn build(self) -> Machine {
+        let mut kernel = self.kernel;
         let topo: Topology = match (self.platform, self.cost_override) {
             (Platform::Opteron4P, Some(c)) => presets::opteron_4p_with_cost(c),
             (Platform::Opteron4P, None) => presets::opteron_4p(),
             (Platform::TwoNode, Some(c)) => presets::two_node_with_cost(c),
             (Platform::TwoNode, None) => presets::two_node(),
             (Platform::EightNode, _) => presets::eight_node(),
+            (Platform::Tiered4p2, cost) => {
+                kernel.tiering = true;
+                match cost {
+                    Some(c) => presets::tiered_4p2_with(c, 8 << 30, 16 << 30),
+                    None => presets::tiered_4p2(),
+                }
+            }
         };
-        Machine::new(Arc::new(topo), self.kernel)
+        Machine::new(Arc::new(topo), kernel)
     }
 }
 
@@ -112,6 +125,14 @@ mod tests {
             .tweak_cost(|c| c.move_pages_base_ns = 999)
             .build();
         assert_eq!(m.topology().cost().move_pages_base_ns, 999);
+    }
+
+    #[test]
+    fn tiered_platform_enables_tiering() {
+        let m = NumaSystem::new().platform(Platform::Tiered4p2).build();
+        assert_eq!(m.topology().node_count(), 6);
+        assert!(m.topology().is_tiered());
+        assert!(m.kernel.config.tiering);
     }
 
     #[test]

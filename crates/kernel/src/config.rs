@@ -24,6 +24,11 @@ pub struct KernelConfig {
     /// Extension (paper §6 future work): replication of read-only pages
     /// across nodes.
     pub replication: bool,
+    /// Memory-tiering support: transactional (non-exclusive copy)
+    /// promotion/demotion between DRAM and slow-tier nodes, plus the
+    /// stop-the-world fallback path. Off by default — the paper's machine
+    /// has a single tier.
+    pub tiering: bool,
 }
 
 impl Default for KernelConfig {
@@ -34,6 +39,7 @@ impl Default for KernelConfig {
             next_touch_shared: false,
             huge_page_migration: false,
             replication: false,
+            tiering: false,
         }
     }
 }
@@ -57,6 +63,16 @@ impl KernelConfig {
             next_touch_shared: true,
             huge_page_migration: true,
             replication: true,
+            tiering: true,
+        }
+    }
+
+    /// The paper's kernel plus the tiering subsystem (for heterogeneous
+    /// machines like `presets::tiered_4p2`).
+    pub fn tiered() -> Self {
+        KernelConfig {
+            tiering: true,
+            ..KernelConfig::default()
         }
     }
 }
@@ -84,5 +100,20 @@ mod tests {
     fn all_extensions_enables_everything() {
         let c = KernelConfig::all_extensions();
         assert!(c.next_touch_shared && c.huge_page_migration && c.replication);
+        assert!(c.tiering);
+    }
+
+    #[test]
+    fn tiered_adds_only_tiering() {
+        let c = KernelConfig::tiered();
+        assert!(c.tiering);
+        assert!(!KernelConfig::default().tiering);
+        assert_eq!(
+            KernelConfig {
+                tiering: false,
+                ..c
+            },
+            KernelConfig::default()
+        );
     }
 }

@@ -127,7 +127,14 @@ impl Kernel {
                 if huge {
                     flags |= PteFlags::HUGE;
                 }
-                let prev = space.page_table.map(vpn, Pte { frame, flags });
+                let prev = space.page_table.map(
+                    vpn,
+                    Pte {
+                        frame,
+                        shadow: None,
+                        flags,
+                    },
+                );
                 debug_assert!(prev.is_none(), "first touch of an already-mapped page");
 
                 let mut b = Breakdown::new();
@@ -590,11 +597,8 @@ mod policy_tests {
         let base = fx.map_anon(4);
         // set_mempolicy(interleave): the VMA has the default first-touch
         // policy, so the process default takes over.
-        fx.kernel.set_mempolicy(
-            &mut fx.space,
-            SimTime::ZERO,
-            MemPolicy::interleave_all(4),
-        );
+        fx.kernel
+            .set_mempolicy(&mut fx.space, SimTime::ZERO, MemPolicy::interleave_all(4));
         for p in 0..4u64 {
             fx.kernel.handle_fault(
                 &mut fx.space,

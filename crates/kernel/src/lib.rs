@@ -29,12 +29,14 @@ pub mod fault;
 pub mod interconnect;
 pub mod locks;
 pub mod syscalls;
+pub mod tier;
 
 pub use config::KernelConfig;
 pub use fault::{AccessKind, FaultResolution};
 pub use interconnect::Interconnect;
 pub use locks::LockSet;
 pub use syscalls::{MovePagesResult, PageStatus, SyscallOutcome};
+pub use tier::{TierTxn, TxnOutcome};
 
 use numa_stats::Counters;
 use numa_topology::{NodeId, Topology};
@@ -59,6 +61,11 @@ pub struct Kernel {
     /// Read-only replicas per vpn (replication extension): which nodes hold
     /// a copy, and in which frame.
     replicas: HashMap<u64, Vec<(NodeId, FrameId)>>,
+    /// In-flight transactional tier migrations, keyed by vpn.
+    pub(crate) pending_txns: HashMap<u64, tier::TierTxn>,
+    /// Pages currently unmapped by a stop-the-world tier migration:
+    /// vpn -> time the window closes. Touches stall until then.
+    pub(crate) in_flight_stw: HashMap<u64, numa_sim::SimTime>,
 }
 
 impl Kernel {
@@ -72,7 +79,14 @@ impl Kernel {
             counters: Counters::new(),
             topo,
             replicas: HashMap::new(),
+            pending_txns: HashMap::new(),
+            in_flight_stw: HashMap::new(),
         }
+    }
+
+    /// In-flight transactional tier migration for `vpn`, if any.
+    pub fn pending_tier_txn(&self, vpn: u64) -> Option<&tier::TierTxn> {
+        self.pending_txns.get(&vpn)
     }
 
     /// The machine topology this kernel runs on.
@@ -188,6 +202,19 @@ pub(crate) mod test_util {
             let tlb = Tlb::new(topo.core_count());
             Fixture {
                 kernel: Kernel::new(topo, config),
+                space: AddressSpace::new(),
+                frames,
+                tlb,
+            }
+        }
+
+        /// A fixture on the tiered 4+2 machine with tiering enabled.
+        pub fn tiered() -> Self {
+            let topo = Arc::new(presets::tiered_4p2());
+            let frames = FrameAllocator::new(topo.node_count(), 1 << 21);
+            let tlb = Tlb::new(topo.core_count());
+            Fixture {
+                kernel: Kernel::new(topo, KernelConfig::tiered()),
                 space: AddressSpace::new(),
                 frames,
                 tlb,

@@ -206,6 +206,31 @@ impl Machine {
 
         let (mut now, mut home) = self.ensure_mapped(tid, core, now, page_addr, write, stats);
 
+        // Tiering hooks: stall behind stop-the-world migration windows,
+        // track write generations (what transactional commits re-check),
+        // count shadow-state hits, and sample per-page heat for the
+        // promotion daemon. All gated on the config so single-tier
+        // machines pay nothing.
+        if self.kernel.config.tiering {
+            let tvpn = self.resolve_vpn(page_addr);
+            if let Some(stall_end) = self.kernel.tier_stw_stall_end(tvpn, now) {
+                stats.counters.bump(Counter::TierStwStalls);
+                stats
+                    .breakdown
+                    .add(CostComponent::LockWait, stall_end.since(now));
+                now = stall_end;
+            }
+            if let Some(pte) = self.space.page_table.get(tvpn).copied() {
+                if pte.has_shadow() {
+                    stats.counters.bump(Counter::TierShadowHits);
+                }
+                if write {
+                    self.frames.note_write(pte.frame);
+                }
+            }
+            *self.heat.entry(tvpn).or_insert(0) += 1;
+        }
+
         // Reads may be served by a closer replica (extension).
         if !write && self.kernel.has_replicas(self.resolve_vpn(page_addr)) {
             if let Some((node, _)) = self
@@ -242,9 +267,14 @@ impl Machine {
                 MemAccessKind::Blocked => cost.blocked_latency_exposure,
                 MemAccessKind::Random => cost.random_latency_exposure,
             };
+            // Slow-tier banks serve lines at a latency multiple and a
+            // bandwidth fraction of DRAM (CXL-class fabric).
+            let tier = topo.tier_of(home);
+            let tier_lat = cost.tier_latency_mult(tier);
+            let tier_bw = cost.tier_bw_mult(tier);
             let latency_ns =
-                (lines as f64 * cost.dram_latency_ns * exposure * factor).round() as u64;
-            let bw_ns = (dram_bytes as f64 / cost.core_mem_bw * factor).round() as u64;
+                (lines as f64 * cost.dram_latency_ns * exposure * factor * tier_lat).round() as u64;
+            let bw_ns = (dram_bytes as f64 / (cost.core_mem_bw * tier_bw) * factor).round() as u64;
             let xfer = self.kernel.interconnect.access(
                 &topo,
                 now,

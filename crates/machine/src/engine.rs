@@ -105,6 +105,23 @@ enum Micro {
     },
     /// The batched TLB shootdown ending a migration syscall.
     MigrationShootdown,
+    /// Start the transactional copy of one page (tiering).
+    TierTxnBegin {
+        vpn: u64,
+        dest: numa_topology::NodeId,
+    },
+    /// Commit/abort the transactional copy at copy-completion time; an
+    /// abort with retries left re-queues a fresh begin/commit pair.
+    TierTxnCommit {
+        vpn: u64,
+        dest: numa_topology::NodeId,
+        retries_left: u32,
+    },
+    /// Stop-the-world migration of one page (tiering).
+    TierStwPage {
+        vpn: u64,
+        dest: numa_topology::NodeId,
+    },
     /// Touch one page of an access op.
     Touch {
         page_addr: numa_vm::VirtAddr,
@@ -120,6 +137,12 @@ enum Micro {
         bytes: u64,
     },
 }
+
+/// How many times an aborted transactional tier migration is retried
+/// before the daemon gives up on the page for this pass. Nomad bounds
+/// retries the same way: a page hot enough to keep aborting is exactly
+/// the page not worth moving right now.
+const TIER_TXN_RETRIES: u32 = 3;
 
 struct ThreadState {
     core: CoreId,
@@ -166,10 +189,12 @@ impl Machine {
             state.clock = state.clock.max(t);
             let (core, now) = (state.core, state.clock);
 
-            // Drain one pending micro-op if there is one.
+            // Drain one pending micro-op if there is one. The micro deque
+            // is passed down so a micro can queue follow-up work (e.g. a
+            // transactional tier abort re-queuing its retry).
             if let Some(micro) = state.micro.pop_front() {
-                let end = self.exec_micro(tid, core, now, micro, &mut stats);
-                states[tid].clock = end;
+                let end = self.exec_micro(tid, core, now, micro, &mut state.micro, &mut stats);
+                state.clock = end;
                 queue.push(end, tid);
                 continue;
             }
@@ -295,6 +320,30 @@ impl Machine {
                 }
                 micros.push_back(Micro::MigrationShootdown);
             }
+            Op::TierMigrate {
+                pages,
+                dest,
+                transactional,
+            } => {
+                if pages.is_empty() {
+                    return micros;
+                }
+                for vpn in pages {
+                    if transactional {
+                        // The begin returns copy-completion time; the
+                        // commit micro then runs exactly at that time.
+                        micros.push_back(Micro::TierTxnBegin { vpn, dest });
+                        micros.push_back(Micro::TierTxnCommit {
+                            vpn,
+                            dest,
+                            retries_left: TIER_TXN_RETRIES,
+                        });
+                    } else {
+                        micros.push_back(Micro::TierStwPage { vpn, dest });
+                    }
+                }
+                micros.push_back(Micro::MigrationShootdown);
+            }
             Op::MigratePages { from, to } => {
                 assert!(
                     !from.is_empty() && from.len() == to.len(),
@@ -318,13 +367,17 @@ impl Machine {
         micros
     }
 
-    /// Execute one micro-op, returning its completion time.
+    /// Execute one micro-op, returning its completion time. `pending` is
+    /// the thread's remaining micro queue: a micro may consume its
+    /// follow-up (a failed tier begin drops its paired commit) or queue
+    /// new work at the front (an aborted commit re-queues a retry pair).
     fn exec_micro(
         &mut self,
         tid: usize,
         core: CoreId,
         now: SimTime,
         micro: Micro,
+        pending: &mut std::collections::VecDeque<Micro>,
         stats: &mut RunStats,
     ) -> SimTime {
         match micro {
@@ -369,6 +422,65 @@ impl Machine {
             }
             Micro::MigrationShootdown => {
                 let (end, b) = self.kernel.migration_shootdown(&mut self.tlb, now, core);
+                stats.breakdown.merge(&b);
+                end
+            }
+            Micro::TierTxnBegin { vpn, dest } => {
+                let mut b = Breakdown::new();
+                let end = self.kernel.tier_txn_begin(
+                    &mut self.space,
+                    &mut self.frames,
+                    now,
+                    vpn,
+                    dest,
+                    &mut b,
+                );
+                stats.breakdown.merge(&b);
+                match end {
+                    Some(t) => t,
+                    None => {
+                        // Ineligible page (unmapped, already placed, bank
+                        // full, ...): drop the paired commit micro.
+                        if matches!(
+                            pending.front(),
+                            Some(Micro::TierTxnCommit { vpn: v, .. }) if *v == vpn
+                        ) {
+                            pending.pop_front();
+                        }
+                        now
+                    }
+                }
+            }
+            Micro::TierTxnCommit {
+                vpn,
+                dest,
+                retries_left,
+            } => {
+                let mut b = Breakdown::new();
+                let (end, outcome) = self.kernel.tier_txn_commit(
+                    &mut self.space,
+                    &mut self.frames,
+                    now,
+                    vpn,
+                    &mut b,
+                );
+                stats.breakdown.merge(&b);
+                if outcome == numa_kernel::TxnOutcome::Aborted && retries_left > 0 {
+                    pending.push_front(Micro::TierTxnCommit {
+                        vpn,
+                        dest,
+                        retries_left: retries_left - 1,
+                    });
+                    pending.push_front(Micro::TierTxnBegin { vpn, dest });
+                }
+                end
+            }
+            Micro::TierStwPage { vpn, dest } => {
+                let mut b = Breakdown::new();
+                let end = self
+                    .kernel
+                    .tier_stw_page(&mut self.space, &mut self.frames, now, vpn, dest, &mut b)
+                    .unwrap_or(now);
                 stats.breakdown.merge(&b);
                 end
             }
@@ -448,7 +560,8 @@ impl Machine {
             | Op::AccessStrided { .. }
             | Op::Memcpy { .. }
             | Op::MovePages { .. }
-            | Op::MigratePages { .. } => {
+            | Op::MigratePages { .. }
+            | Op::TierMigrate { .. } => {
                 unreachable!("multi-page ops are expanded into micro-ops")
             }
         }
@@ -583,6 +696,90 @@ mod tests {
         });
         let r = m.run(vec![ThreadSpec::new(CoreId(2), program)], &[]);
         assert_eq!(r.makespan, SimTime(30));
+    }
+
+    #[test]
+    fn tier_migrate_op_demotes_transactionally() {
+        use numa_topology::NodeId;
+        let mut m = Machine::tiered_4p2();
+        let a = m.alloc(2 * PAGE_SIZE, MemPolicy::FirstTouch);
+        let vpns: Vec<u64> = (0..2).map(|p| (a + p * PAGE_SIZE).vpn()).collect();
+        let threads = vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![
+                Op::write(a, 2 * PAGE_SIZE, MemAccessKind::Stream),
+                Op::TierMigrate {
+                    pages: vpns,
+                    dest: NodeId(4),
+                    transactional: true,
+                },
+            ],
+        )];
+        m.run(threads, &[]);
+        assert_eq!(m.page_node(a), Some(NodeId(4)));
+        assert_eq!(m.page_node(a + PAGE_SIZE), Some(NodeId(4)));
+        assert_eq!(m.kernel.counters.get(Counter::TierTxnCommits), 2);
+        assert_eq!(m.kernel.counters.get(Counter::TierDemotions), 2);
+        assert_eq!(m.kernel.counters.get(Counter::TierTxnAborts), 0);
+    }
+
+    #[test]
+    fn tier_migrate_op_stw_moves_pages() {
+        use numa_topology::NodeId;
+        let mut m = Machine::tiered_4p2();
+        let a = m.alloc(PAGE_SIZE, MemPolicy::FirstTouch);
+        let threads = vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![
+                Op::write(a, PAGE_SIZE, MemAccessKind::Stream),
+                Op::TierMigrate {
+                    pages: vec![a.vpn()],
+                    dest: NodeId(5),
+                    transactional: false,
+                },
+            ],
+        )];
+        m.run(threads, &[]);
+        assert_eq!(m.page_node(a), Some(NodeId(5)));
+        assert_eq!(m.kernel.counters.get(Counter::TierDemotions), 1);
+    }
+
+    #[test]
+    fn concurrent_writer_aborts_txn_migration() {
+        use numa_topology::NodeId;
+        let mut m = Machine::tiered_4p2();
+        let a = m.alloc(PAGE_SIZE, MemPolicy::FirstTouch);
+        // Prime the page from the writer's core so it lands on node 0.
+        m.run(
+            vec![ThreadSpec::scripted(
+                CoreId(0),
+                vec![Op::write(a, PAGE_SIZE, MemAccessKind::Random)],
+            )],
+            &[],
+        );
+        // A writer hammers the page while another thread tries to demote
+        // it transactionally: every copy is dirtied before its commit.
+        let writer = ThreadSpec::scripted(
+            CoreId(0),
+            (0..200)
+                .map(|_| Op::write(a, 64, MemAccessKind::Random))
+                .collect(),
+        );
+        let migrator = ThreadSpec::scripted(
+            CoreId(4),
+            vec![Op::TierMigrate {
+                pages: vec![a.vpn()],
+                dest: NodeId(4),
+                transactional: true,
+            }],
+        );
+        m.run(vec![writer, migrator], &[]);
+        assert!(
+            m.kernel.counters.get(Counter::TierTxnAborts) >= 1,
+            "a hammered page must abort at least once"
+        );
+        // Writers never stalled on the migration: no STW windows existed.
+        assert_eq!(m.kernel.counters.get(Counter::TierStwStalls), 0);
     }
 
     #[test]

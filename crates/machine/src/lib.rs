@@ -64,6 +64,12 @@ pub struct Machine {
     /// Event trace (disabled by default).
     pub trace: Trace,
     pub(crate) segv_handler: Option<Box<dyn SegvHandler>>,
+    /// Per-page access counters (vpn -> touches), bumped by the access
+    /// model. The tiering daemon's hot/cold classification reads and
+    /// decays this — the same sampling idea as AutoNUMA's scan hooks, but
+    /// driven by the simulated accesses themselves. A `BTreeMap` so that
+    /// daemon scans iterate in a deterministic order.
+    pub heat: std::collections::BTreeMap<u64, u64>,
 }
 
 impl Machine {
@@ -76,7 +82,10 @@ impl Machine {
             numa_vm::PAGE_SIZE,
             "cost-model page size must match the VM page size"
         );
-        let frames_per_node = topo.node(NodeId(0)).memory_bytes / cost.page_size;
+        let capacities = topo
+            .node_ids()
+            .map(|n| topo.node(n).memory_bytes / cost.page_size)
+            .collect();
         let caches = topo
             .node_ids()
             .map(|n| cache::L3Cache::new((topo.node(n).l3_bytes / cost.page_size) as usize))
@@ -84,11 +93,12 @@ impl Machine {
         Machine {
             kernel: Kernel::new(topo.clone(), config),
             space: AddressSpace::new(),
-            frames: FrameAllocator::new(topo.node_count(), frames_per_node),
+            frames: FrameAllocator::with_capacities(capacities),
             tlb: Tlb::new(topo.core_count()),
             caches,
             trace: Trace::disabled(),
             segv_handler: None,
+            heat: std::collections::BTreeMap::new(),
             topo,
         }
     }
@@ -106,6 +116,14 @@ impl Machine {
         Machine::new(
             Arc::new(numa_topology::presets::two_node()),
             KernelConfig::default(),
+        )
+    }
+
+    /// The tiered 4 DRAM + 2 CXL machine with tiering enabled.
+    pub fn tiered_4p2() -> Self {
+        Machine::new(
+            Arc::new(numa_topology::presets::tiered_4p2()),
+            KernelConfig::tiered(),
         )
     }
 
@@ -164,6 +182,17 @@ impl Machine {
         for c in &mut self.caches {
             c.clear();
         }
+    }
+
+    /// Halve every page's access-heat counter, dropping pages that reach
+    /// zero. The tiering daemon calls this after each scan so that heat
+    /// reflects recent traffic, not all-time totals (exponential decay,
+    /// as in kernel hot-page tracking).
+    pub fn decay_heat(&mut self) {
+        self.heat.retain(|_, h| {
+            *h /= 2;
+            *h > 0
+        });
     }
 
     /// Snapshot the congestion state: busy nanoseconds per interconnect

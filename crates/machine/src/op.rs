@@ -102,6 +102,21 @@ pub enum Op {
         /// Destination node set.
         to: Vec<NodeId>,
     },
+    /// Tier migration of a page set to `dest` — a promotion into DRAM or
+    /// a demotion into the slow tier, issued by the tiering daemon.
+    ///
+    /// `transactional` selects the Nomad-style non-exclusive copy (copy
+    /// without unmapping, write-generation recheck at commit, abort and
+    /// retry on concurrent writes); otherwise each page migrates
+    /// stop-the-world and concurrent touches stall on the window.
+    TierMigrate {
+        /// Virtual page numbers to move.
+        pages: Vec<u64>,
+        /// Destination node (its tier decides promotion vs demotion).
+        dest: NodeId,
+        /// Transactional vs stop-the-world mechanism.
+        transactional: bool,
+    },
     /// `madvise(MADV_MIGRATE_NEXT_TOUCH)`.
     MadviseNextTouch {
         /// Pages to mark.

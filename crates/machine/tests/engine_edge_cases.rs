@@ -187,9 +187,7 @@ fn unregistered_barrier_panics() {
 fn flush_caches_forces_refill() {
     let mut m = Machine::two_node();
     let buf = m.alloc(4 * PAGE_SIZE, MemPolicy::FirstTouch);
-    let mk_read = || {
-        vec![Op::read(buf, 4 * PAGE_SIZE, MemAccessKind::Blocked)]
-    };
+    let mk_read = || vec![Op::read(buf, 4 * PAGE_SIZE, MemAccessKind::Blocked)];
     m.run(vec![ThreadSpec::scripted(CoreId(0), mk_read())], &[]);
     let warm = {
         let r = m.run(vec![ThreadSpec::scripted(CoreId(0), mk_read())], &[]);
@@ -222,7 +220,10 @@ fn congestion_report_reflects_traffic() {
         &[],
     );
     let after = m.congestion_report();
-    assert!(after.total_link_ns() > 0, "remote traffic must use the link");
+    assert!(
+        after.total_link_ns() > 0,
+        "remote traffic must use the link"
+    );
     assert!(after.mem_busy_ns[0] > 0, "home controller busy");
     assert_eq!(after.mem_busy_ns[1], 0, "node 1's controller untouched");
     assert!(after.mem_imbalance().is_infinite());

@@ -102,7 +102,7 @@ impl AutoBalanceState {
     /// Advance one phase; when a scan is due, return its marking ops.
     pub fn maybe_scan(&mut self) -> Option<Vec<Op>> {
         self.phase_count += 1;
-        if self.config.period == 0 || self.phase_count % self.config.period != 0 {
+        if self.config.period == 0 || !self.phase_count.is_multiple_of(self.config.period) {
             return None;
         }
         self.scan_count += 1;

@@ -60,6 +60,7 @@ pub enum Schedule {
 
 type ForBody = Rc<RefCell<dyn FnMut(usize) -> Vec<Op>>>;
 type SingleBody = Rc<RefCell<dyn FnMut() -> Vec<Op>>>;
+type SingleCtxBody = Rc<RefCell<dyn FnMut(&Machine) -> Vec<Op>>>;
 type ThreadBody = Rc<RefCell<dyn FnMut(usize) -> Vec<Op>>>;
 
 enum Phase {
@@ -71,6 +72,9 @@ enum Phase {
     },
     Single {
         body: SingleBody,
+    },
+    SingleCtx {
+        body: SingleCtxBody,
     },
     EachThread {
         body: ThreadBody,
@@ -111,6 +115,23 @@ impl WorkPlan {
         F: FnMut() -> Vec<Op> + 'static,
     {
         self.phases.push(Phase::Single {
+            body: Rc::new(RefCell::new(body)),
+        });
+        self
+    }
+
+    /// Append a single region whose body inspects the machine at phase
+    /// *execution* time (not plan-construction time): thread 0 runs
+    /// `body(&machine)`, everyone else waits at the closing barrier.
+    ///
+    /// This is how daemons are spliced into a plan — e.g. the tiering
+    /// daemon scans the live heat counters and page placement to decide
+    /// what to promote or demote *now*, mid-run.
+    pub fn single_ctx<F>(&mut self, body: F) -> &mut Self
+    where
+        F: FnMut(&Machine) -> Vec<Op> + 'static,
+    {
+        self.phases.push(Phase::SingleCtx {
             body: Rc::new(RefCell::new(body)),
         });
         self
@@ -207,7 +228,7 @@ fn thread_program(tid: usize, nthreads: usize, phases: Rc<Vec<Phase>>) -> Progra
     let mut static_cursor = 0usize;
     let mut entered_phase = usize::MAX;
 
-    Box::new(move |_ctx| loop {
+    Box::new(move |ctx| loop {
         if let Some(op) = buf.pop_front() {
             return Some(op);
         }
@@ -262,6 +283,13 @@ fn thread_program(tid: usize, nthreads: usize, phases: Rc<Vec<Phase>>) -> Progra
             Phase::Single { body } => {
                 if tid == 0 {
                     buf.extend(body.borrow_mut()());
+                }
+                buf.push_back(Op::Barrier(0));
+                phase_idx += 1;
+            }
+            Phase::SingleCtx { body } => {
+                if tid == 0 {
+                    buf.extend(body.borrow_mut()(ctx.machine));
                 }
                 buf.push_back(Op::Barrier(0));
                 phase_idx += 1;
@@ -388,6 +416,32 @@ mod tests {
         assert_eq!(count.get(), 1);
         // Everyone waits for the single region.
         assert!(r.thread_end.iter().all(|t| *t >= SimTime(500)));
+    }
+
+    #[test]
+    fn single_ctx_sees_live_machine_state() {
+        use numa_machine::MemAccessKind;
+        use numa_vm::{MemPolicy, PAGE_SIZE};
+        let mut m = Machine::opteron_4p();
+        let a = m.alloc(PAGE_SIZE, MemPolicy::FirstTouch);
+        let observed = Rc::new(Cell::new(None));
+        let o2 = Rc::clone(&observed);
+        let mut plan = WorkPlan::new();
+        // Phase 1 populates the page; the single_ctx phase must observe
+        // its placement, which did not exist at plan-construction time.
+        plan.each_thread(move |tid| {
+            if tid == 0 {
+                vec![Op::write(a, PAGE_SIZE, MemAccessKind::Stream)]
+            } else {
+                vec![]
+            }
+        });
+        plan.single_ctx(move |machine| {
+            o2.set(machine.page_node(a));
+            vec![]
+        });
+        Team::all_cores(&m).take(2).run(&mut m, plan);
+        assert_eq!(observed.get(), Some(NodeId(0)));
     }
 
     #[test]

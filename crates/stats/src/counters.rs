@@ -53,6 +53,22 @@ pub enum Counter {
     OmpIterations,
     /// Barrier episodes completed.
     BarriersCompleted,
+    /// Pages promoted from the slow tier to DRAM (tiering subsystem).
+    TierPromotions,
+    /// Pages demoted from DRAM to the slow tier.
+    TierDemotions,
+    /// Transactional tier migrations committed (write generation
+    /// unchanged between copy and commit).
+    TierTxnCommits,
+    /// Transactional tier migrations aborted: a concurrent writer
+    /// dirtied the page between copy and commit.
+    TierTxnAborts,
+    /// Accesses that touched a page while its transactional shadow copy
+    /// was in flight (the page was non-exclusively in both tiers).
+    TierShadowHits,
+    /// Accesses stalled behind a stop-the-world tier migration that had
+    /// the page unmapped.
+    TierStwStalls,
 }
 
 /// A registry of [`Counter`] values.

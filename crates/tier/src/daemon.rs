@@ -1,0 +1,270 @@
+//! The tiering daemon: a kpromoted-style kernel thread that wakes up
+//! periodically, classifies pages with its [`TierPolicy`], and issues
+//! [`Op::TierMigrate`] batches — transactional or stop-the-world.
+//!
+//! In the simulator the daemon does not get its own thread: it is spliced
+//! into a [`WorkPlan`] as `single_ctx` phases (see
+//! [`TierDaemon::splice_into`]), so its wake-ups interleave
+//! deterministically with application phases, and its migration traffic
+//! contends with application traffic through the same interconnect and
+//! lock models.
+
+use crate::policy::{TierPolicy, TierView};
+use numa_machine::{Machine, Op};
+use numa_rt::WorkPlan;
+use numa_topology::{MemTier, NodeId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The tiering daemon.
+pub struct TierDaemon {
+    policy: Box<dyn TierPolicy>,
+    /// Use the transactional mechanism (true) or stop-the-world (false).
+    pub transactional: bool,
+    /// Cap on pages migrated (promotions + demotions) per wake-up.
+    pub batch: usize,
+    /// Total promotions planned so far (for reports).
+    pub planned_promotions: u64,
+    /// Total demotions planned so far (for reports).
+    pub planned_demotions: u64,
+}
+
+impl TierDaemon {
+    /// A daemon with the given policy and mechanism, batch 128.
+    pub fn new(policy: Box<dyn TierPolicy>, transactional: bool) -> Self {
+        TierDaemon {
+            policy,
+            transactional,
+            batch: 128,
+            planned_promotions: 0,
+            planned_demotions: 0,
+        }
+    }
+
+    /// The policy's short name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// One wake-up: capture the machine state, run the policy, and turn
+    /// its plan into migration ops. Demotions are emitted before
+    /// promotions so evictions free DRAM frames ahead of the allocations
+    /// that need them.
+    pub fn wake(&mut self, machine: &Machine) -> Vec<Op> {
+        let view = TierView::capture(machine);
+        let mut plan = self.policy.plan(&view);
+        // Enforce the batch cap, demotions first (room-making wins).
+        plan.demote.truncate(self.batch);
+        plan.promote
+            .truncate(self.batch - plan.demote.len().min(self.batch));
+        self.planned_promotions += plan.promote.len() as u64;
+        self.planned_demotions += plan.demote.len() as u64;
+
+        let mut ops = Vec::new();
+        let mut free = FreeTracker::capture(machine);
+        for (vpns, tier) in [
+            (&plan.demote, MemTier::Slow),
+            (&plan.promote, MemTier::Dram),
+        ] {
+            for batch in assign_destinations(machine, vpns, tier, &mut free) {
+                ops.push(Op::TierMigrate {
+                    pages: batch.pages,
+                    dest: batch.dest,
+                    transactional: self.transactional,
+                });
+            }
+        }
+        ops
+    }
+
+    /// Splice `rounds` daemon wake-ups into `plan`, each preceded by the
+    /// phases that `work(round)` appends. The daemon runs as a
+    /// `single_ctx` phase: thread 0 plays kpromoted while the team waits
+    /// at the phase barrier, then everyone resumes.
+    pub fn splice_into<F>(
+        daemon: Rc<RefCell<TierDaemon>>,
+        plan: &mut WorkPlan,
+        rounds: usize,
+        mut work: F,
+    ) where
+        F: FnMut(&mut WorkPlan, usize) + 'static,
+    {
+        for round in 0..rounds {
+            work(plan, round);
+            let d = Rc::clone(&daemon);
+            plan.single_ctx(move |machine| d.borrow_mut().wake(machine));
+        }
+    }
+}
+
+/// Remaining free frames per node, decremented as destinations are
+/// assigned so one wake-up cannot overfill a bank.
+struct FreeTracker {
+    free: Vec<u64>,
+}
+
+impl FreeTracker {
+    fn capture(machine: &Machine) -> FreeTracker {
+        FreeTracker {
+            free: machine
+                .topology()
+                .node_ids()
+                .map(|n| machine.frames.free_on(n))
+                .collect(),
+        }
+    }
+}
+
+/// A group of pages headed for one destination node.
+struct DestBatch {
+    dest: NodeId,
+    pages: Vec<u64>,
+}
+
+/// Assign each page the nearest node of the target tier that still has a
+/// free frame (ties: most free, then lowest id) and group pages by the
+/// chosen destination, preserving plan order within each group.
+fn assign_destinations(
+    machine: &Machine,
+    vpns: &[u64],
+    target: MemTier,
+    free: &mut FreeTracker,
+) -> Vec<DestBatch> {
+    let topo = machine.topology();
+    let candidates: Vec<NodeId> = topo.nodes_in_tier(target);
+    let mut batches: Vec<DestBatch> = Vec::new();
+    for &vpn in vpns {
+        let Some(pte) = machine.space.page_table.get(vpn) else {
+            continue;
+        };
+        let src = machine.frames.node_of(pte.frame);
+        let dest = candidates
+            .iter()
+            .copied()
+            .filter(|d| free.free[d.index()] > 0)
+            .min_by_key(|d| {
+                (
+                    topo.hops(src, *d),
+                    std::cmp::Reverse(free.free[d.index()]),
+                    d.0,
+                )
+            });
+        let Some(dest) = dest else {
+            continue; // target tier is full: drop the move
+        };
+        free.free[dest.index()] -= 1;
+        match batches.iter_mut().find(|b| b.dest == dest) {
+            Some(b) => b.pages.push(vpn),
+            None => batches.push(DestBatch {
+                dest,
+                pages: vec![vpn],
+            }),
+        }
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ThresholdPolicy;
+    use numa_machine::MemAccessKind;
+    use numa_rt::Team;
+    use numa_topology::CoreId;
+    use numa_vm::{MemPolicy, PAGE_SIZE};
+
+    /// A machine with `n` pages first-touched on DRAM node 0 and `m`
+    /// pages bound to the slow node 4, all populated.
+    fn populated(n: u64, m: u64) -> (Machine, numa_vm::VirtAddr, numa_vm::VirtAddr) {
+        let mut machine = Machine::tiered_4p2();
+        let a = machine.alloc(n * PAGE_SIZE, MemPolicy::FirstTouch);
+        let b = machine.alloc(m * PAGE_SIZE, MemPolicy::Bind(NodeId(4)));
+        let threads = vec![numa_machine::ThreadSpec::scripted(
+            CoreId(0),
+            vec![
+                Op::write(a, n * PAGE_SIZE, MemAccessKind::Stream),
+                Op::write(b, m * PAGE_SIZE, MemAccessKind::Stream),
+            ],
+        )];
+        machine.run(threads, &[]);
+        (machine, a, b)
+    }
+
+    #[test]
+    fn daemon_promotes_hot_slow_pages() {
+        let (mut machine, _a, b) = populated(2, 3);
+        // Heat up the slow pages well past the threshold.
+        machine.heat.clear();
+        for p in 0..3u64 {
+            machine.heat.insert((b + p * PAGE_SIZE).vpn(), 100);
+        }
+        let mut daemon = TierDaemon::new(Box::<ThresholdPolicy>::default(), true);
+        let ops = daemon.wake(&machine);
+        assert!(!ops.is_empty());
+        let total: usize = ops
+            .iter()
+            .map(|o| match o {
+                Op::TierMigrate { pages, dest, .. } => {
+                    assert_eq!(
+                        machine.topology().tier_of(*dest),
+                        MemTier::Dram,
+                        "promotions must land in DRAM"
+                    );
+                    pages.len()
+                }
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 3);
+        assert_eq!(daemon.planned_promotions, 3);
+    }
+
+    #[test]
+    fn daemon_wakeup_is_deterministic() {
+        let mk = || {
+            let (mut machine, _a, b) = populated(4, 4);
+            for p in 0..4u64 {
+                machine.heat.insert((b + p * PAGE_SIZE).vpn(), 50);
+            }
+            let mut daemon = TierDaemon::new(Box::<ThresholdPolicy>::default(), true);
+            format!("{:?}", daemon.wake(&machine))
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn spliced_daemon_migrates_mid_plan() {
+        let (mut machine, _a, b) = populated(2, 2);
+        let daemon = Rc::new(RefCell::new(TierDaemon::new(
+            Box::new(ThresholdPolicy {
+                promote_min: 2,
+                ..Default::default()
+            }),
+            true,
+        )));
+        let mut plan = WorkPlan::new();
+        TierDaemon::splice_into(Rc::clone(&daemon), &mut plan, 3, move |plan, _round| {
+            plan.each_thread(move |tid| {
+                if tid == 0 {
+                    // Keep the slow pages hot every round.
+                    vec![Op::read(b, 2 * PAGE_SIZE, MemAccessKind::Random)]
+                } else {
+                    vec![]
+                }
+            });
+        });
+        Team::all_cores(&machine).take(4).run(&mut machine, plan);
+        assert_eq!(
+            machine.topology().tier_of(machine.page_node(b).unwrap()),
+            MemTier::Dram,
+            "hot slow pages must end up promoted"
+        );
+        assert!(
+            machine
+                .kernel
+                .counters
+                .get(numa_stats::Counter::TierPromotions)
+                >= 2
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! Pluggable hot/cold classification policies.
+//!
+//! A policy looks at a [`TierView`] — the decayed per-page heat counters
+//! and current placement captured from the live machine — and returns a
+//! [`TierPlan`]: which slow-tier pages to promote and which DRAM pages to
+//! demote. Destination nodes are chosen later by the daemon; policies
+//! reason only about *which* pages belong in *which tier*, like the
+//! kernel's hot-page promotion layers (kpromoted / NUMA-balancing tiering)
+//! that separate classification from the migration mechanism.
+
+use numa_machine::Machine;
+use numa_topology::{MemTier, NodeId};
+use numa_vm::PteFlags;
+
+/// One mapped page as a policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageInfo {
+    /// Virtual page number.
+    pub vpn: u64,
+    /// Decayed access count (see `Machine::decay_heat`).
+    pub heat: u64,
+    /// Node currently holding the page.
+    pub node: NodeId,
+    /// Tier of that node.
+    pub tier: MemTier,
+}
+
+/// Snapshot of everything a policy may consult. Captured from the live
+/// machine at daemon wake-up time; deterministic because the heat map is
+/// ordered and the page walk is sorted.
+#[derive(Debug, Clone)]
+pub struct TierView {
+    /// All mapped small pages, in vpn order.
+    pub pages: Vec<PageInfo>,
+    /// Free frames summed over the DRAM tier.
+    pub dram_free: u64,
+    /// Free frames summed over the slow tier.
+    pub slow_free: u64,
+}
+
+impl TierView {
+    /// Capture the view from a machine. Huge and shadow-carrying pages are
+    /// skipped — the kernel would refuse to migrate them anyway.
+    pub fn capture(machine: &Machine) -> TierView {
+        let topo = machine.topology();
+        let mut pages = Vec::new();
+        for vpn in machine.space.page_table.sorted_vpns() {
+            let Some(pte) = machine.space.page_table.get(vpn) else {
+                continue;
+            };
+            if !pte.flags.contains(PteFlags::PRESENT)
+                || pte.flags.contains(PteFlags::HUGE)
+                || pte.has_shadow()
+            {
+                continue;
+            }
+            let node = machine.frames.node_of(pte.frame);
+            pages.push(PageInfo {
+                vpn,
+                heat: machine.heat.get(&vpn).copied().unwrap_or(0),
+                node,
+                tier: topo.tier_of(node),
+            });
+        }
+        let (mut dram_free, mut slow_free) = (0, 0);
+        for n in topo.node_ids() {
+            match topo.tier_of(n) {
+                MemTier::Dram => dram_free += machine.frames.free_on(n),
+                MemTier::Slow => slow_free += machine.frames.free_on(n),
+            }
+        }
+        TierView {
+            pages,
+            dram_free,
+            slow_free,
+        }
+    }
+
+    /// Pages currently in the given tier, hottest first (ties by vpn so
+    /// the order is total and deterministic).
+    pub fn by_heat(&self, tier: MemTier, hottest_first: bool) -> Vec<PageInfo> {
+        let mut v: Vec<PageInfo> = self
+            .pages
+            .iter()
+            .copied()
+            .filter(|p| p.tier == tier)
+            .collect();
+        if hottest_first {
+            v.sort_by_key(|p| (std::cmp::Reverse(p.heat), p.vpn));
+        } else {
+            v.sort_by_key(|p| (p.heat, p.vpn));
+        }
+        v
+    }
+}
+
+/// What a policy decided: vpns to move up and vpns to move down.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierPlan {
+    /// Slow-tier pages to promote into DRAM, in migration order.
+    pub promote: Vec<u64>,
+    /// DRAM pages to demote into the slow tier, in migration order.
+    pub demote: Vec<u64>,
+}
+
+impl TierPlan {
+    /// True when the policy found nothing to move.
+    pub fn is_empty(&self) -> bool {
+        self.promote.is_empty() && self.demote.is_empty()
+    }
+}
+
+/// A hot/cold classification policy.
+pub trait TierPolicy {
+    /// Decide the round's promotions and demotions.
+    fn plan(&mut self, view: &TierView) -> TierPlan;
+    /// Short name for tables and traces.
+    fn name(&self) -> &'static str;
+}
+
+/// Promote pages whose heat crosses a threshold; demote cold DRAM pages
+/// only when room must be made. The kernel's `promotion_threshold`
+/// discipline.
+#[derive(Debug, Clone)]
+pub struct ThresholdPolicy {
+    /// Minimum heat for a slow-tier page to be promoted.
+    pub promote_min: u64,
+    /// Maximum heat for a DRAM page to be considered cold enough to evict.
+    pub demote_max: u64,
+    /// Cap on promotions per wake-up.
+    pub max_moves: usize,
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        ThresholdPolicy {
+            promote_min: 4,
+            demote_max: 1,
+            max_moves: 64,
+        }
+    }
+}
+
+impl TierPolicy for ThresholdPolicy {
+    fn plan(&mut self, view: &TierView) -> TierPlan {
+        let hot: Vec<PageInfo> = view
+            .by_heat(MemTier::Slow, true)
+            .into_iter()
+            .filter(|p| p.heat >= self.promote_min)
+            .take(self.max_moves)
+            .collect();
+        if hot.is_empty() {
+            return TierPlan::default();
+        }
+        // Make room for promotions that do not fit in free DRAM by
+        // evicting the coldest eligible DRAM pages (bounded by slow-tier
+        // space: a demotion that cannot land is not planned).
+        let need = (hot.len() as u64).saturating_sub(view.dram_free);
+        let demote: Vec<u64> = view
+            .by_heat(MemTier::Dram, false)
+            .into_iter()
+            .filter(|p| p.heat <= self.demote_max)
+            .take(need.min(view.slow_free) as usize)
+            .map(|p| p.vpn)
+            .collect();
+        // Promotions beyond available room (free + newly evicted) would
+        // fail allocation; trim them.
+        let room = (view.dram_free + demote.len() as u64) as usize;
+        TierPlan {
+            promote: hot.into_iter().take(room).map(|p| p.vpn).collect(),
+            demote,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+/// Keep the hottest pages in DRAM by swapping: each hot slow-tier page
+/// displaces the coldest DRAM page that is strictly colder than it.
+/// Approximates LRU because decayed heat is recency-weighted.
+#[derive(Debug, Clone)]
+pub struct LruishPolicy {
+    /// Cap on swaps per wake-up.
+    pub max_moves: usize,
+}
+
+impl Default for LruishPolicy {
+    fn default() -> Self {
+        LruishPolicy { max_moves: 64 }
+    }
+}
+
+impl TierPolicy for LruishPolicy {
+    fn plan(&mut self, view: &TierView) -> TierPlan {
+        let hot = view.by_heat(MemTier::Slow, true);
+        let cold = view.by_heat(MemTier::Dram, false);
+        let mut plan = TierPlan::default();
+        let mut free = view.dram_free;
+        let mut cold_it = cold.into_iter();
+        for h in hot.into_iter().take(self.max_moves) {
+            if h.heat == 0 {
+                break;
+            }
+            if free > 0 {
+                // Room available: promote without evicting anyone.
+                plan.promote.push(h.vpn);
+                free -= 1;
+                continue;
+            }
+            // Swap with a strictly colder DRAM page, if one exists and
+            // the slow tier can absorb it.
+            match cold_it.next() {
+                Some(c) if c.heat < h.heat && (plan.demote.len() as u64) < view.slow_free => {
+                    plan.demote.push(c.vpn);
+                    plan.promote.push(h.vpn);
+                }
+                _ => break,
+            }
+        }
+        plan
+    }
+
+    fn name(&self) -> &'static str {
+        "lruish"
+    }
+}
+
+/// The do-nothing baseline: initial placement is final placement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticPolicy;
+
+impl TierPolicy for StaticPolicy {
+    fn plan(&mut self, _view: &TierView) -> TierPlan {
+        TierPlan::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(vpn: u64, heat: u64, node: u16, tier: MemTier) -> PageInfo {
+        PageInfo {
+            vpn,
+            heat,
+            node: NodeId(node),
+            tier,
+        }
+    }
+
+    fn view(pages: Vec<PageInfo>, dram_free: u64, slow_free: u64) -> TierView {
+        TierView {
+            pages,
+            dram_free,
+            slow_free,
+        }
+    }
+
+    #[test]
+    fn threshold_promotes_hot_slow_pages() {
+        let v = view(
+            vec![
+                page(1, 10, 4, MemTier::Slow),
+                page(2, 1, 4, MemTier::Slow),
+                page(3, 7, 5, MemTier::Slow),
+            ],
+            8,
+            8,
+        );
+        let p = ThresholdPolicy::default().plan(&v);
+        assert_eq!(p.promote, vec![1, 3], "hottest first, cold page skipped");
+        assert!(p.demote.is_empty(), "free DRAM means no eviction");
+    }
+
+    #[test]
+    fn threshold_evicts_cold_dram_when_full() {
+        let v = view(
+            vec![
+                page(1, 10, 4, MemTier::Slow),
+                page(2, 9, 5, MemTier::Slow),
+                page(10, 0, 0, MemTier::Dram),
+                page(11, 50, 1, MemTier::Dram),
+            ],
+            0,
+            8,
+        );
+        let p = ThresholdPolicy::default().plan(&v);
+        assert_eq!(p.demote, vec![10], "only the cold DRAM page is evicted");
+        assert_eq!(p.promote, vec![1], "promotions trimmed to the room made");
+    }
+
+    #[test]
+    fn threshold_respects_slow_space_for_demotions() {
+        let v = view(
+            vec![page(1, 10, 4, MemTier::Slow), page(10, 0, 0, MemTier::Dram)],
+            0,
+            0, // slow tier full: nowhere to demote to
+        );
+        let p = ThresholdPolicy::default().plan(&v);
+        assert!(p.demote.is_empty());
+        assert!(p.promote.is_empty(), "no room could be made");
+    }
+
+    #[test]
+    fn lruish_uses_free_dram_before_swapping() {
+        let v = view(
+            vec![
+                page(1, 20, 4, MemTier::Slow),
+                page(2, 5, 4, MemTier::Slow),
+                page(10, 1, 0, MemTier::Dram),
+            ],
+            1,
+            8,
+        );
+        let p = LruishPolicy::default().plan(&v);
+        // One free slot absorbs page 1; page 2 then swaps with page 10.
+        assert_eq!(p.promote, vec![1, 2]);
+        assert_eq!(p.demote, vec![10]);
+    }
+
+    #[test]
+    fn lruish_stops_at_hotter_dram() {
+        let v = view(
+            vec![
+                page(1, 20, 4, MemTier::Slow),
+                page(2, 5, 4, MemTier::Slow),
+                page(10, 1, 0, MemTier::Dram),
+                page(11, 30, 1, MemTier::Dram),
+            ],
+            0,
+            8,
+        );
+        let p = LruishPolicy::default().plan(&v);
+        assert_eq!(
+            p.promote,
+            vec![1],
+            "page 2 is colder than every remaining DRAM page"
+        );
+        assert_eq!(p.demote, vec![10]);
+    }
+
+    #[test]
+    fn static_policy_never_moves() {
+        let v = view(vec![page(1, 1000, 4, MemTier::Slow)], 8, 8);
+        assert!(StaticPolicy.plan(&v).is_empty());
+    }
+}

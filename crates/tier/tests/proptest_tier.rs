@@ -1,0 +1,123 @@
+//! Property tests for transactional tier migration: frame conservation,
+//! content preservation across round trips, and abort harmlessness.
+
+use numa_machine::{Machine, MemAccessKind, Op, ThreadSpec};
+use numa_sim::SimTime;
+use numa_stats::Breakdown;
+use numa_topology::{CoreId, NodeId};
+use numa_vm::{MemPolicy, VirtAddr, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// A tiered machine with `pages` pages first-touched from core 0 (DRAM
+/// node 0), returning the buffer base.
+fn populated_machine(pages: u64) -> (Machine, VirtAddr) {
+    let mut m = Machine::tiered_4p2();
+    let a = m.alloc(pages * PAGE_SIZE, MemPolicy::FirstTouch);
+    m.run(
+        vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![Op::write(a, pages * PAGE_SIZE, MemAccessKind::Stream)],
+        )],
+        &[],
+    );
+    (m, a)
+}
+
+proptest! {
+    /// After an arbitrary mix of committed and aborted transactional
+    /// demotions, no frame is lost or duplicated and every page is still
+    /// mapped exactly once, shadow-free.
+    #[test]
+    fn no_page_lost_or_duplicated_after_commits(
+        pages in 1u64..24,
+        dirt in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let (mut m, a) = populated_machine(pages);
+        let before = m.frames.live_total();
+        let mut b = Breakdown::new();
+        for p in 0..pages {
+            let vpn = (a + p * PAGE_SIZE).vpn();
+            let src = m.space.page_table.get(vpn).unwrap().frame;
+            let copy_end = m
+                .kernel
+                .tier_txn_begin(&mut m.space, &mut m.frames, SimTime::ZERO, vpn, NodeId(4), &mut b)
+                .expect("begin");
+            if dirt[p as usize] {
+                // A concurrent writer dirties the page mid-copy.
+                m.frames.note_write(src);
+            }
+            let _ = m
+                .kernel
+                .tier_txn_commit(&mut m.space, &mut m.frames, copy_end, vpn, &mut b);
+        }
+        prop_assert_eq!(m.frames.live_total(), before);
+        for p in 0..pages {
+            let vpn = (a + p * PAGE_SIZE).vpn();
+            let pte = m.space.page_table.get(vpn);
+            prop_assert!(pte.is_some(), "page {} lost its mapping", p);
+            prop_assert!(!pte.unwrap().has_shadow(), "page {} kept a shadow", p);
+        }
+    }
+
+    /// Page contents survive any number of promote -> demote round trips.
+    #[test]
+    fn contents_survive_round_trips(pages in 1u64..12, trips in 1usize..4) {
+        let (mut m, a) = populated_machine(pages);
+        let vpns: Vec<u64> = (0..pages).map(|p| (a + p * PAGE_SIZE).vpn()).collect();
+        let tags: Vec<u64> = vpns
+            .iter()
+            .map(|&vpn| {
+                let pte = m.space.page_table.get(vpn).unwrap();
+                m.frames.get(pte.frame).unwrap().content_tag
+            })
+            .collect();
+        for _ in 0..trips {
+            for dest in [NodeId(4), NodeId(0)] {
+                m.run(
+                    vec![ThreadSpec::scripted(
+                        CoreId(0),
+                        vec![Op::TierMigrate {
+                            pages: vpns.clone(),
+                            dest,
+                            transactional: true,
+                        }],
+                    )],
+                    &[],
+                );
+            }
+        }
+        for (i, &vpn) in vpns.iter().enumerate() {
+            let pte = m.space.page_table.get(vpn).unwrap();
+            prop_assert_eq!(m.frames.get(pte.frame).unwrap().content_tag, tags[i]);
+            prop_assert_eq!(m.frames.node_of(pte.frame), NodeId(0));
+        }
+        prop_assert_eq!(m.frames.live_total(), pages);
+    }
+
+    /// An aborted copy leaves the source mapping byte-for-byte untouched
+    /// and frees the destination frame.
+    #[test]
+    fn aborted_copy_leaves_source_untouched(pages in 1u64..16, victim_raw in 0u64..16) {
+        let (mut m, a) = populated_machine(pages);
+        let victim = victim_raw % pages;
+        let vpn = (a + victim * PAGE_SIZE).vpn();
+        let pte_before = *m.space.page_table.get(vpn).unwrap();
+        let live_before = m.frames.live_total();
+        let mut b = Breakdown::new();
+        let copy_end = m
+            .kernel
+            .tier_txn_begin(&mut m.space, &mut m.frames, SimTime::ZERO, vpn, NodeId(5), &mut b)
+            .expect("begin");
+        m.frames.note_write(pte_before.frame);
+        let (_, outcome) = m
+            .kernel
+            .tier_txn_commit(&mut m.space, &mut m.frames, copy_end, vpn, &mut b);
+        prop_assert_eq!(outcome, numa_kernel::TxnOutcome::Aborted);
+        let pte_after = *m.space.page_table.get(vpn).unwrap();
+        prop_assert_eq!(pte_after.frame, pte_before.frame);
+        prop_assert_eq!(pte_after.flags, pte_before.flags);
+        prop_assert!(!pte_after.has_shadow());
+        prop_assert_eq!(m.frames.live_total(), live_before, "destination frame leaked");
+        prop_assert_eq!(m.frames.live_on(NodeId(5)), 0);
+    }
+}

@@ -119,6 +119,28 @@ pub struct CostModel {
     /// sub-1 MB buffers from benefiting from parallel migration (Fig. 7).
     pub mmap_lock_serializes_base: bool,
 
+    // ------------------------------------------------------------- tiering
+    /// Latency multiplier for accesses served by a slow-tier (CXL-class)
+    /// bank. CXL.mem expanders measure ~170-250 ns loads against ~80-90 ns
+    /// local DRAM — roughly 3x (consistent with the Nomad [OSDI'23] and
+    /// TPP [ASPLOS'23] platform numbers).
+    pub slow_tier_latency_mult: f64,
+    /// Bandwidth multiplier for slow-tier banks, applied on top of the
+    /// bank's own `dram_bw_bytes_per_ns` when charging the accessing core.
+    /// A x8 CXL link sustains roughly a third of a local DDR channel.
+    pub slow_tier_bw_mult: f64,
+    /// Per-page control cost to start a transactional (non-exclusive copy)
+    /// tier migration: allocate the destination frame, record the shadow
+    /// PTE and snapshot the write generation. No unmap, so cheaper than
+    /// `move_pages` control.
+    pub tier_txn_control_ns: u64,
+    /// Per-page commit cost: re-check the write generation, flip the PTE
+    /// to the new frame (the TLB shootdown is charged separately, batched).
+    pub tier_commit_ns: u64,
+    /// Per-page abort cost: discard the shadow copy and free the
+    /// destination frame after a concurrent write invalidated it.
+    pub tier_abort_ns: u64,
+
     // -------------------------------------------------------------- compute
     /// Efficiency factor applied to peak flops for BLAS3-class kernels
     /// (real BLAS on this machine reaches well under peak).
@@ -167,6 +189,12 @@ impl Default for CostModel {
             pt_lock_fraction: 0.55,
             mmap_lock_serializes_base: true,
 
+            slow_tier_latency_mult: 3.0,
+            slow_tier_bw_mult: 1.0 / 3.0,
+            tier_txn_control_ns: 800,
+            tier_commit_ns: 600,
+            tier_abort_ns: 300,
+
             blas3_efficiency: 0.80,
             blas1_efficiency: 0.10,
         }
@@ -211,6 +239,23 @@ impl CostModel {
         self.tlb_flush_base_ns + self.tlb_flush_per_core_ns * cores as u64
     }
 
+    /// Latency multiplier for a bank in the given tier.
+    pub fn tier_latency_mult(&self, tier: crate::MemTier) -> f64 {
+        match tier {
+            crate::MemTier::Dram => 1.0,
+            crate::MemTier::Slow => self.slow_tier_latency_mult,
+        }
+    }
+
+    /// Bandwidth multiplier for a bank in the given tier (applied as a
+    /// divisor on effective access bandwidth).
+    pub fn tier_bw_mult(&self, tier: crate::MemTier) -> f64 {
+        match tier {
+            crate::MemTier::Dram => 1.0,
+            crate::MemTier::Slow => self.slow_tier_bw_mult,
+        }
+    }
+
     /// Sanity-check invariants that the rest of the stack relies on.
     pub fn validate(&self) -> Result<(), String> {
         if self.page_size == 0 || !self.page_size.is_power_of_two() {
@@ -227,6 +272,12 @@ impl CostModel {
         }
         if self.numa_factor.first().copied().unwrap_or(0.0) != 1.0 {
             return Err("numa_factor[0] (local) must be 1.0".into());
+        }
+        if self.slow_tier_latency_mult < 1.0 {
+            return Err("slow_tier_latency_mult must be >= 1.0".into());
+        }
+        if !(self.slow_tier_bw_mult > 0.0 && self.slow_tier_bw_mult <= 1.0) {
+            return Err("slow_tier_bw_mult must be in (0, 1]".into());
         }
         Ok(())
     }
@@ -288,6 +339,30 @@ mod tests {
         let per_page = c.migrate_pages_control_ns + c.kernel_copy_ns(c.page_size);
         let mbps = numa_stats_mbps(c.page_size, per_page);
         assert!((720.0..840.0).contains(&mbps), "got {mbps} MB/s");
+    }
+
+    #[test]
+    fn tier_multipliers() {
+        use crate::MemTier;
+        let c = CostModel::default();
+        assert_eq!(c.tier_latency_mult(MemTier::Dram), 1.0);
+        assert_eq!(c.tier_bw_mult(MemTier::Dram), 1.0);
+        assert!((c.tier_latency_mult(MemTier::Slow) - 3.0).abs() < 1e-9);
+        assert!((c.tier_bw_mult(MemTier::Slow) - 1.0 / 3.0).abs() < 1e-9);
+        // Transactional per-page control must undercut the stop-the-world
+        // move_pages control: holding no lock during the copy is the point.
+        assert!(c.tier_txn_control_ns + c.tier_commit_ns < c.move_pages_control_ns);
+
+        let bad = CostModel {
+            slow_tier_latency_mult: 0.5,
+            ..CostModel::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = CostModel {
+            slow_tier_bw_mult: 0.0,
+            ..CostModel::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

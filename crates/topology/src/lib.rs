@@ -17,7 +17,7 @@ pub mod spec;
 pub mod topology;
 
 pub use cost::CostModel;
-pub use spec::{CoreSpec, Link, NodeSpec};
+pub use spec::{CoreSpec, Link, MemTier, NodeSpec};
 pub use topology::{Topology, TopologyError};
 
 use serde::{Deserialize, Serialize};

@@ -51,6 +51,53 @@ pub fn two_node_with_cost(cost: CostModel) -> Topology {
     Topology::new(nodes, cores, links, cost).expect("preset is valid")
 }
 
+/// A tiered machine: the [`opteron_4p`] square of four DRAM nodes plus two
+/// cpuless CXL-class expander nodes (4 and 5) hanging off opposite corners
+/// (node 4 behind node 0, node 5 behind node 3). The expanders run at
+/// roughly 3x the DRAM latency and a third of its bandwidth (the latency
+/// multiplier lives in the cost model, the bandwidth in
+/// [`NodeSpec::cxl_expander`]).
+pub fn tiered_4p2() -> Topology {
+    tiered_4p2_with(CostModel::default(), 8 << 30, 16 << 30)
+}
+
+/// [`tiered_4p2`] with a custom cost model and per-node capacities
+/// (`dram_bytes_per_node` for nodes 0-3, `slow_bytes_per_node` for the two
+/// expanders). Experiments shrink the DRAM banks to force capacity
+/// pressure without allocating paper-scale working sets.
+pub fn tiered_4p2_with(
+    cost: CostModel,
+    dram_bytes_per_node: u64,
+    slow_bytes_per_node: u64,
+) -> Topology {
+    let mut nodes = Vec::with_capacity(6);
+    for _ in 0..4 {
+        let mut n = NodeSpec::opteron_8347he();
+        n.memory_bytes = dram_bytes_per_node;
+        nodes.push(n);
+    }
+    for _ in 0..2 {
+        let mut n = NodeSpec::cxl_expander();
+        n.memory_bytes = slow_bytes_per_node;
+        nodes.push(n);
+    }
+    let mut cores = Vec::with_capacity(16);
+    for n in 0..4u16 {
+        for _ in 0..4 {
+            cores.push(CoreSpec::opteron_8347he(NodeId(n)));
+        }
+    }
+    let links = vec![
+        Link::hypertransport(NodeId(0), NodeId(1)),
+        Link::hypertransport(NodeId(0), NodeId(2)),
+        Link::hypertransport(NodeId(1), NodeId(3)),
+        Link::hypertransport(NodeId(2), NodeId(3)),
+        Link::hypertransport(NodeId(0), NodeId(4)),
+        Link::hypertransport(NodeId(3), NodeId(5)),
+    ];
+    Topology::new(nodes, cores, links, cost).expect("preset is valid")
+}
+
 /// An eight-node machine (4 cores per node) arranged as a twisted ladder —
 /// the "larger NUMA machines where data locality is more critical" that the
 /// paper's conclusion points to.
@@ -102,6 +149,26 @@ mod tests {
             .max()
             .unwrap();
         assert!(max_hops >= 3, "eight-node diameter {max_hops}");
+    }
+
+    #[test]
+    fn tiered_preset_shape() {
+        use crate::MemTier;
+        let t = tiered_4p2();
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.core_count(), 16, "expander nodes are cpuless");
+        assert!(t.is_tiered());
+        assert_eq!(
+            t.nodes_in_tier(MemTier::Dram),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(t.nodes_in_tier(MemTier::Slow), vec![NodeId(4), NodeId(5)]);
+        assert!(t.cores_of_node(NodeId(4)).is_empty());
+        // Expanders hang one hop off their host socket, reachable from all.
+        assert_eq!(t.hops(NodeId(0), NodeId(4)), 1);
+        assert_eq!(t.hops(NodeId(3), NodeId(5)), 1);
+        assert_eq!(t.hops(NodeId(4), NodeId(5)), 4);
+        assert!(!opteron_4p().is_tiered());
     }
 
     #[test]

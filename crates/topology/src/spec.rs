@@ -3,6 +3,34 @@
 use crate::NodeId;
 use serde::{Deserialize, Serialize};
 
+/// Performance tier of a node's memory bank.
+///
+/// Classic NUMA machines have one tier; heterogeneous (tiered) machines add
+/// capacity nodes behind a slower fabric — CXL memory expanders, persistent
+/// memory in memory mode, and similar. The tier drives the latency and
+/// bandwidth multipliers in the cost model (see
+/// `CostModel::{slow_tier_latency_mult, slow_tier_bw_mult}`) and selects
+/// which banks the tiering daemon promotes from and demotes to.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum MemTier {
+    /// Directly attached DRAM: the fast tier.
+    #[default]
+    Dram,
+    /// CXL-class expander memory: higher latency, lower bandwidth.
+    Slow,
+}
+
+impl std::fmt::Display for MemTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemTier::Dram => write!(f, "dram"),
+            MemTier::Slow => write!(f, "slow"),
+        }
+    }
+}
+
 /// A NUMA node: one memory bank plus its attached last-level cache.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeSpec {
@@ -13,6 +41,8 @@ pub struct NodeSpec {
     /// Sustainable DRAM bandwidth of this bank, in bytes per nanosecond
     /// (== GB/s).
     pub dram_bw_bytes_per_ns: f64,
+    /// Performance tier of this bank.
+    pub tier: MemTier,
 }
 
 impl NodeSpec {
@@ -23,6 +53,21 @@ impl NodeSpec {
             memory_bytes: 8 << 30,
             l3_bytes: 2 << 20,
             dram_bw_bytes_per_ns: 6.4,
+            tier: MemTier::Dram,
+        }
+    }
+
+    /// A CXL-class memory expander bank: no cores, no cache, roughly a
+    /// third of the DRAM bank's sustainable bandwidth (the ~3x latency
+    /// penalty is applied by the cost model's slow-tier multiplier at
+    /// access time). Capacity defaults to the DRAM bank's 8 GB; callers
+    /// size it per experiment.
+    pub fn cxl_expander() -> Self {
+        NodeSpec {
+            memory_bytes: 8 << 30,
+            l3_bytes: 0,
+            dram_bw_bytes_per_ns: 6.4 / 3.0,
+            tier: MemTier::Slow,
         }
     }
 }
@@ -105,6 +150,20 @@ mod tests {
         let n = NodeSpec::opteron_8347he();
         assert_eq!(n.memory_bytes, 8 << 30);
         assert_eq!(n.l3_bytes, 2 << 20);
+        assert_eq!(n.tier, MemTier::Dram);
+    }
+
+    #[test]
+    fn cxl_node_spec() {
+        let n = NodeSpec::cxl_expander();
+        assert_eq!(n.tier, MemTier::Slow);
+        assert_eq!(n.l3_bytes, 0, "expander has no attached cache");
+        assert!(
+            n.dram_bw_bytes_per_ns < NodeSpec::opteron_8347he().dram_bw_bytes_per_ns / 2.0,
+            "expander bandwidth must be well below the DRAM bank's"
+        );
+        assert_eq!(MemTier::default(), MemTier::Dram);
+        assert_eq!(MemTier::Slow.to_string(), "slow");
     }
 
     #[test]

@@ -171,6 +171,23 @@ impl Topology {
         self.cost.numa_factor(self.hops(src, dst))
     }
 
+    /// Memory tier of a node's bank.
+    pub fn tier_of(&self, node: NodeId) -> crate::MemTier {
+        self.nodes[node.index()].tier
+    }
+
+    /// Node ids whose bank is in the given tier, in id order.
+    pub fn nodes_in_tier(&self, tier: crate::MemTier) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|n| self.tier_of(*n) == tier)
+            .collect()
+    }
+
+    /// Does this machine have more than one memory tier?
+    pub fn is_tiered(&self) -> bool {
+        self.nodes.iter().any(|n| n.tier != crate::MemTier::Dram)
+    }
+
     /// The cost model.
     pub fn cost(&self) -> &CostModel {
         &self.cost

@@ -20,6 +20,12 @@ pub struct Frame {
     pub node: NodeId,
     /// Opaque content identity; preserved across migrations.
     pub content_tag: u64,
+    /// Write generation: bumped on every simulated write to the frame.
+    /// The transactional tier-migration path snapshots this before
+    /// copying and re-checks it at commit — a mismatch means a concurrent
+    /// writer dirtied the page and the copy must be aborted (the Nomad
+    /// consistency check).
+    pub write_gen: u64,
 }
 
 /// Machine-wide frame allocator with per-node accounting.
@@ -44,12 +50,18 @@ impl FrameAllocator {
     /// An allocator for `node_count` nodes with `capacity_frames` frames
     /// each.
     pub fn new(node_count: usize, capacity_frames: u64) -> Self {
+        Self::with_capacities(vec![capacity_frames; node_count])
+    }
+
+    /// An allocator with a distinct capacity per node — tiered machines
+    /// have small fast banks and large slow ones.
+    pub fn with_capacities(capacity_per_node: Vec<u64>) -> Self {
         FrameAllocator {
             frames: HashMap::new(),
             next_id: 0,
             next_content: 0,
-            live_per_node: vec![0; node_count],
-            capacity_per_node: vec![capacity_frames; node_count],
+            live_per_node: vec![0; capacity_per_node.len()],
+            capacity_per_node,
             allocated_total: 0,
             freed_total: 0,
         }
@@ -73,6 +85,7 @@ impl FrameAllocator {
             Frame {
                 node,
                 content_tag: tag,
+                write_gen: 0,
             },
         );
         self.live_per_node[n] += 1;
@@ -117,9 +130,36 @@ impl FrameAllocator {
             .content_tag = tag;
     }
 
+    /// Record a write to a live frame, bumping its write generation.
+    /// Panics on unknown frames.
+    pub fn note_write(&mut self, id: FrameId) {
+        self.frames
+            .get_mut(&id.0)
+            .unwrap_or_else(|| panic!("write to unknown frame {id:?}"))
+            .write_gen += 1;
+    }
+
+    /// Current write generation of a live frame. Panics on unknown frames.
+    pub fn write_gen(&self, id: FrameId) -> u64 {
+        self.frames
+            .get(&id.0)
+            .unwrap_or_else(|| panic!("lookup of unknown frame {id:?}"))
+            .write_gen
+    }
+
     /// Frames currently live on `node`.
     pub fn live_on(&self, node: NodeId) -> u64 {
         self.live_per_node[node.index()]
+    }
+
+    /// Capacity of a node's bank, in frames.
+    pub fn capacity_of(&self, node: NodeId) -> u64 {
+        self.capacity_per_node[node.index()]
+    }
+
+    /// Free frames remaining on a node.
+    pub fn free_on(&self, node: NodeId) -> u64 {
+        self.capacity_per_node[node.index()] - self.live_per_node[node.index()]
     }
 
     /// Total frames ever allocated.
@@ -181,6 +221,32 @@ mod tests {
         assert_eq!(fa.get(b).unwrap().content_tag, tag_a);
         // Source unchanged.
         assert_eq!(fa.get(a).unwrap().content_tag, tag_a);
+    }
+
+    #[test]
+    fn write_generation_tracking() {
+        let mut fa = FrameAllocator::new(1, 10);
+        let f = fa.alloc(NodeId(0)).unwrap();
+        assert_eq!(fa.write_gen(f), 0);
+        fa.note_write(f);
+        fa.note_write(f);
+        assert_eq!(fa.write_gen(f), 2);
+        // Content copies do not count as writes to the *source*.
+        let g = fa.alloc(NodeId(0)).unwrap();
+        fa.copy_contents(f, g);
+        assert_eq!(fa.write_gen(f), 2);
+    }
+
+    #[test]
+    fn per_node_capacities() {
+        let mut fa = FrameAllocator::with_capacities(vec![1, 3]);
+        assert_eq!(fa.capacity_of(NodeId(0)), 1);
+        assert_eq!(fa.capacity_of(NodeId(1)), 3);
+        assert!(fa.alloc(NodeId(0)).is_some());
+        assert!(fa.alloc(NodeId(0)).is_none(), "fast bank exhausted");
+        assert_eq!(fa.free_on(NodeId(0)), 0);
+        assert_eq!(fa.free_on(NodeId(1)), 3);
+        assert!(fa.alloc(NodeId(1)).is_some());
     }
 
     #[test]

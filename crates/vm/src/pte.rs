@@ -34,6 +34,12 @@ impl PteFlags {
     /// This PTE points at a node-local replica of a read-only page
     /// (replication extension, paper §6 future work).
     pub const REPLICA: PteFlags = PteFlags(1 << 5);
+    /// A transactional tier migration is in flight: the page exists
+    /// non-exclusively in both tiers (`Pte::shadow` holds the in-progress
+    /// destination copy) until the migration commits or aborts. The
+    /// mapping stays fully usable — that is the point of the transactional
+    /// scheme (Nomad, OSDI'23).
+    pub const SHADOW: PteFlags = PteFlags(1 << 6);
 
     /// Does `self` contain every bit of `other`?
     pub fn contains(self, other: PteFlags) -> bool {
@@ -88,6 +94,7 @@ impl fmt::Display for PteFlags {
             (PteFlags::NEXT_TOUCH, "NT"),
             (PteFlags::HUGE, "H"),
             (PteFlags::REPLICA, "Repl"),
+            (PteFlags::SHADOW, "Sh"),
         ] {
             if self.contains(bit) {
                 parts.push(name);
@@ -106,6 +113,11 @@ impl fmt::Display for PteFlags {
 pub struct Pte {
     /// The physical frame backing this page.
     pub frame: FrameId,
+    /// In-progress tier-migration destination frame, valid while
+    /// [`PteFlags::SHADOW`] is set: the copy being built in the other
+    /// tier. Accesses are still served from `frame`; a commit flips
+    /// `frame` to the shadow, an abort discards it.
+    pub shadow: Option<FrameId>,
     /// Flag bits.
     pub flags: PteFlags,
 }
@@ -115,6 +127,7 @@ impl Pte {
     pub fn present_rw(frame: FrameId) -> Self {
         Pte {
             frame,
+            shadow: None,
             flags: PteFlags::PRESENT | PteFlags::READ | PteFlags::WRITE,
         }
     }
@@ -150,6 +163,37 @@ impl Pte {
     /// Is the migrate-on-next-touch flag set?
     pub fn is_next_touch(&self) -> bool {
         self.flags.contains(PteFlags::NEXT_TOUCH)
+    }
+
+    /// Attach an in-progress tier-migration copy. The mapping stays live;
+    /// the page is now non-exclusive across both frames.
+    pub fn set_shadow(&mut self, dst: FrameId) {
+        self.shadow = Some(dst);
+        self.flags |= PteFlags::SHADOW;
+    }
+
+    /// Commit the transactional migration: the shadow becomes the mapped
+    /// frame. Returns the old (source) frame for the caller to free.
+    /// Panics if no shadow is attached — a kernel-layer bug.
+    pub fn commit_shadow(&mut self) -> FrameId {
+        let dst = self.shadow.take().expect("commit without shadow copy");
+        let src = self.frame;
+        self.frame = dst;
+        self.flags = self.flags & !PteFlags::SHADOW;
+        src
+    }
+
+    /// Abort the transactional migration: the mapping is untouched.
+    /// Returns the discarded shadow frame for the caller to free.
+    pub fn abort_shadow(&mut self) -> FrameId {
+        let dst = self.shadow.take().expect("abort without shadow copy");
+        self.flags = self.flags & !PteFlags::SHADOW;
+        dst
+    }
+
+    /// Is a transactional tier migration in flight on this page?
+    pub fn has_shadow(&self) -> bool {
+        self.flags.contains(PteFlags::SHADOW)
     }
 }
 
@@ -192,6 +236,28 @@ mod tests {
         pte.clear_next_touch();
         assert!(!pte.is_next_touch());
         assert!(pte.permits(true));
+    }
+
+    #[test]
+    fn shadow_commit_and_abort() {
+        let mut pte = Pte::present_rw(FrameId(1));
+        pte.set_shadow(FrameId(9));
+        assert!(pte.has_shadow());
+        // The mapping stays fully usable while the copy is in flight.
+        assert!(pte.permits(true));
+        assert_eq!(pte.frame, FrameId(1));
+        let old = pte.commit_shadow();
+        assert_eq!(old, FrameId(1));
+        assert_eq!(pte.frame, FrameId(9));
+        assert!(!pte.has_shadow());
+        assert!(pte.permits(true), "commit must not drop access bits");
+
+        let mut pte = Pte::present_rw(FrameId(2));
+        pte.set_shadow(FrameId(8));
+        let discarded = pte.abort_shadow();
+        assert_eq!(discarded, FrameId(8));
+        assert_eq!(pte.frame, FrameId(2), "abort leaves the mapping untouched");
+        assert!(!pte.has_shadow());
     }
 
     #[test]

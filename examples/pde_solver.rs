@@ -30,7 +30,10 @@ fn main() {
     // Timing comparison at scale: assembly places strips per assembler;
     // the solver's partitioning is rotated half-way around the team.
     println!("2048x2048 grid, 8 sweeps, ownership rotated between phases:\n");
-    for strategy in [MigrationStrategy::Static, MigrationStrategy::KernelNextTouch] {
+    for strategy in [
+        MigrationStrategy::Static,
+        MigrationStrategy::KernelNextTouch,
+    ] {
         let mut m = Machine::opteron_4p();
         let cfg = PdeConfig {
             mode: DataMode::Phantom,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-5cb0cd1fb1f63010.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-5cb0cd1fb1f63010: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-9e049072423ede7a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-9e049072423ede7a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

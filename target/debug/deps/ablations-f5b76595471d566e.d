@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-f5b76595471d566e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-f5b76595471d566e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blas1_check-69e2e1c3ba1c234a.d: crates/bench/src/bin/blas1_check.rs
+
+/root/repo/target/debug/deps/blas1_check-69e2e1c3ba1c234a: crates/bench/src/bin/blas1_check.rs
+
+crates/bench/src/bin/blas1_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blas1_check-93dd2010541c3b9a.d: crates/bench/src/bin/blas1_check.rs
+
+/root/repo/target/debug/deps/blas1_check-93dd2010541c3b9a: crates/bench/src/bin/blas1_check.rs
+
+crates/bench/src/bin/blas1_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blas1_check-a3ba63bb56200e5e.d: crates/bench/src/bin/blas1_check.rs
+
+/root/repo/target/debug/deps/blas1_check-a3ba63bb56200e5e: crates/bench/src/bin/blas1_check.rs
+
+crates/bench/src/bin/blas1_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blas1_check-bd3a0155d99b68b8.d: crates/bench/src/bin/blas1_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblas1_check-bd3a0155d99b68b8.rmeta: crates/bench/src/bin/blas1_check.rs Cargo.toml
+
+crates/bench/src/bin/blas1_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

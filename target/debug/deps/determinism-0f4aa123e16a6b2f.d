@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-0f4aa123e16a6b2f.d: crates/bench/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-0f4aa123e16a6b2f.rmeta: crates/bench/tests/determinism.rs Cargo.toml
+
+crates/bench/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

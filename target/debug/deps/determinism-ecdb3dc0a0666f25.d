@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ecdb3dc0a0666f25.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ecdb3dc0a0666f25: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_edge_cases-54cc7e5cb827bad6.d: crates/machine/tests/engine_edge_cases.rs
+
+/root/repo/target/debug/deps/engine_edge_cases-54cc7e5cb827bad6: crates/machine/tests/engine_edge_cases.rs
+
+crates/machine/tests/engine_edge_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_edge_cases-99464b38f5719d8a.d: crates/machine/tests/engine_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_edge_cases-99464b38f5719d8a.rmeta: crates/machine/tests/engine_edge_cases.rs Cargo.toml
+
+crates/machine/tests/engine_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-129d8d22a27d0b81.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-129d8d22a27d0b81: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-beb8c3ad180cbc5b.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-beb8c3ad180cbc5b: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

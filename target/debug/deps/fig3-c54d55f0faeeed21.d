@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-c54d55f0faeeed21.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-c54d55f0faeeed21: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-59f33fb9eefd8a49.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-59f33fb9eefd8a49: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-7f7168b617f1c42b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-7f7168b617f1c42b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

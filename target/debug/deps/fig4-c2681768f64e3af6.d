@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c2681768f64e3af6.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c2681768f64e3af6: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

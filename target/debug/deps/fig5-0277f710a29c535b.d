@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-0277f710a29c535b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-0277f710a29c535b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

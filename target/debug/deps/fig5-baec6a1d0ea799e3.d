@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-baec6a1d0ea799e3.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-baec6a1d0ea799e3: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

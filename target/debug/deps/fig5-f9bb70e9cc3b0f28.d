@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f9bb70e9cc3b0f28.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-f9bb70e9cc3b0f28: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2a930811b5f2ad57.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-2a930811b5f2ad57: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

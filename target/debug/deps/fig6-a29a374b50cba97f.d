@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a29a374b50cba97f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a29a374b50cba97f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

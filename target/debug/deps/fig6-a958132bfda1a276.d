@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a958132bfda1a276.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a958132bfda1a276: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

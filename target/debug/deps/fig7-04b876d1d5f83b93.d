@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-04b876d1d5f83b93.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-04b876d1d5f83b93: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-1269d9af2241d36f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-1269d9af2241d36f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-944b2787cf0ba9bf.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-944b2787cf0ba9bf: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

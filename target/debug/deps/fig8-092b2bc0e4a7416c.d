@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-092b2bc0e4a7416c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-092b2bc0e4a7416c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

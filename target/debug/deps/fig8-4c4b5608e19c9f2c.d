@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-4c4b5608e19c9f2c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-4c4b5608e19c9f2c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-7bcc53e557304916.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-7bcc53e557304916: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

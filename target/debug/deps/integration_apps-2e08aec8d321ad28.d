@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_apps-2e08aec8d321ad28.d: crates/core/../../tests/integration_apps.rs
+
+/root/repo/target/debug/deps/integration_apps-2e08aec8d321ad28: crates/core/../../tests/integration_apps.rs
+
+crates/core/../../tests/integration_apps.rs:

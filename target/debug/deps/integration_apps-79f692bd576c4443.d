@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_apps-79f692bd576c4443.d: crates/core/../../tests/integration_apps.rs
+
+/root/repo/target/debug/deps/integration_apps-79f692bd576c4443: crates/core/../../tests/integration_apps.rs
+
+crates/core/../../tests/integration_apps.rs:

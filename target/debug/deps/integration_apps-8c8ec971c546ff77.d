@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_apps-8c8ec971c546ff77.d: crates/core/../../tests/integration_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_apps-8c8ec971c546ff77.rmeta: crates/core/../../tests/integration_apps.rs Cargo.toml
+
+crates/core/../../tests/integration_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_experiments-040ebdc6f00da731.d: crates/core/../../tests/integration_experiments.rs
+
+/root/repo/target/debug/deps/integration_experiments-040ebdc6f00da731: crates/core/../../tests/integration_experiments.rs
+
+crates/core/../../tests/integration_experiments.rs:

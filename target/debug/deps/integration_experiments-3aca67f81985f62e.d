@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_experiments-3aca67f81985f62e.d: crates/core/../../tests/integration_experiments.rs
+
+/root/repo/target/debug/deps/integration_experiments-3aca67f81985f62e: crates/core/../../tests/integration_experiments.rs
+
+crates/core/../../tests/integration_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_migration-24b5ce9521d3b7b4.d: crates/core/../../tests/integration_migration.rs
+
+/root/repo/target/debug/deps/integration_migration-24b5ce9521d3b7b4: crates/core/../../tests/integration_migration.rs
+
+crates/core/../../tests/integration_migration.rs:

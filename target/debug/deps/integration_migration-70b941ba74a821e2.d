@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_migration-70b941ba74a821e2.d: crates/core/../../tests/integration_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_migration-70b941ba74a821e2.rmeta: crates/core/../../tests/integration_migration.rs Cargo.toml
+
+crates/core/../../tests/integration_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_migration-aac1e26be9659441.d: crates/core/../../tests/integration_migration.rs
+
+/root/repo/target/debug/deps/integration_migration-aac1e26be9659441: crates/core/../../tests/integration_migration.rs
+
+crates/core/../../tests/integration_migration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_next_touch-30fca4d2e7cc6031.d: crates/core/../../tests/integration_next_touch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_next_touch-30fca4d2e7cc6031.rmeta: crates/core/../../tests/integration_next_touch.rs Cargo.toml
+
+crates/core/../../tests/integration_next_touch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_next_touch-7759a13aa8c70075.d: crates/core/../../tests/integration_next_touch.rs
+
+/root/repo/target/debug/deps/integration_next_touch-7759a13aa8c70075: crates/core/../../tests/integration_next_touch.rs
+
+crates/core/../../tests/integration_next_touch.rs:

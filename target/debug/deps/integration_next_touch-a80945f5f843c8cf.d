@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_next_touch-a80945f5f843c8cf.d: crates/core/../../tests/integration_next_touch.rs
+
+/root/repo/target/debug/deps/integration_next_touch-a80945f5f843c8cf: crates/core/../../tests/integration_next_touch.rs
+
+crates/core/../../tests/integration_next_touch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lu_small-6956156ca25f1f82.d: crates/bench/benches/lu_small.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblu_small-6956156ca25f1f82.rmeta: crates/bench/benches/lu_small.rs Cargo.toml
+
+crates/bench/benches/lu_small.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

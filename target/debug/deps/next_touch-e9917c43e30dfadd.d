@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/next_touch-e9917c43e30dfadd.d: crates/bench/benches/next_touch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnext_touch-e9917c43e30dfadd.rmeta: crates/bench/benches/next_touch.rs Cargo.toml
+
+crates/bench/benches/next_touch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/numa_apps-4abe95b9b7956bb7.d: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+/root/repo/target/debug/deps/libnuma_apps-4abe95b9b7956bb7.rlib: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+/root/repo/target/debug/deps/libnuma_apps-4abe95b9b7956bb7.rmeta: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/amr.rs:
+crates/apps/src/blas.rs:
+crates/apps/src/blas1.rs:
+crates/apps/src/gemm.rs:
+crates/apps/src/lu.rs:
+crates/apps/src/matrix.rs:
+crates/apps/src/model.rs:
+crates/apps/src/pde.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numa_bench-0ce148db16e2f8af.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_bench-0ce148db16e2f8af.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

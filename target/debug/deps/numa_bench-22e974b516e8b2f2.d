@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numa_bench-22e974b516e8b2f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnuma_bench-22e974b516e8b2f2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnuma_bench-22e974b516e8b2f2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numa_bench-41b9941647ae7af3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/numa_bench-41b9941647ae7af3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

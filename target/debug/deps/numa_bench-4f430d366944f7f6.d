@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numa_bench-4f430d366944f7f6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnuma_bench-4f430d366944f7f6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnuma_bench-4f430d366944f7f6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numa_bench-d817da232dbe9d94.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_bench-d817da232dbe9d94.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

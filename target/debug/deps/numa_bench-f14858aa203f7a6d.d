@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numa_bench-f14858aa203f7a6d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/numa_bench-f14858aa203f7a6d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

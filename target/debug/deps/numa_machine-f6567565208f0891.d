@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numa_machine-f6567565208f0891.d: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+/root/repo/target/debug/deps/numa_machine-f6567565208f0891: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/access.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/engine.rs:
+crates/machine/src/op.rs:

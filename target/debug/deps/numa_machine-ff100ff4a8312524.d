@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numa_machine-ff100ff4a8312524.d: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+/root/repo/target/debug/deps/libnuma_machine-ff100ff4a8312524.rlib: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+/root/repo/target/debug/deps/libnuma_machine-ff100ff4a8312524.rmeta: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/access.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/engine.rs:
+crates/machine/src/op.rs:

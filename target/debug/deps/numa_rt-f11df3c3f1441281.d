@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/numa_rt-f11df3c3f1441281.d: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_rt-f11df3c3f1441281.rmeta: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+crates/rt/src/autobalance.rs:
+crates/rt/src/buffer.rs:
+crates/rt/src/lazy.rs:
+crates/rt/src/next_touch.rs:
+crates/rt/src/omp.rs:
+crates/rt/src/setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numa_rt-ff4a5ee2eb9ef988.d: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs
+
+/root/repo/target/debug/deps/numa_rt-ff4a5ee2eb9ef988: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/autobalance.rs:
+crates/rt/src/buffer.rs:
+crates/rt/src/lazy.rs:
+crates/rt/src/next_touch.rs:
+crates/rt/src/omp.rs:
+crates/rt/src/setup.rs:

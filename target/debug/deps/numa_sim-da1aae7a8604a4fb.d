@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/numa_sim-da1aae7a8604a4fb.d: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_sim-da1aae7a8604a4fb.rmeta: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/barrier.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numa_tier-093376ed84d8b003.d: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/debug/deps/numa_tier-093376ed84d8b003: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+crates/tier/src/lib.rs:
+crates/tier/src/daemon.rs:
+crates/tier/src/policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numa_tier-5ff111913cf1d32f.d: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/debug/deps/libnuma_tier-5ff111913cf1d32f.rlib: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/debug/deps/libnuma_tier-5ff111913cf1d32f.rmeta: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+crates/tier/src/lib.rs:
+crates/tier/src/daemon.rs:
+crates/tier/src/policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numa_topology-0997a9c3519ff064.d: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs
+
+/root/repo/target/debug/deps/numa_topology-0997a9c3519ff064: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cost.rs:
+crates/topology/src/presets.rs:
+crates/topology/src/spec.rs:
+crates/topology/src/topology.rs:

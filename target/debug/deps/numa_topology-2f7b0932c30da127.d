@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numa_topology-2f7b0932c30da127.d: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs
+
+/root/repo/target/debug/deps/libnuma_topology-2f7b0932c30da127.rlib: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs
+
+/root/repo/target/debug/deps/libnuma_topology-2f7b0932c30da127.rmeta: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cost.rs:
+crates/topology/src/presets.rs:
+crates/topology/src/spec.rs:
+crates/topology/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numa_topology-539c6be9258fcda4.d: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_topology-539c6be9258fcda4.rmeta: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/cost.rs:
+crates/topology/src/presets.rs:
+crates/topology/src/spec.rs:
+crates/topology/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numa_vm-2e13a66e9fb072d5.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs
+
+/root/repo/target/debug/deps/numa_vm-2e13a66e9fb072d5: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/frame.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/policy.rs:
+crates/vm/src/pte.rs:
+crates/vm/src/space.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/vma.rs:

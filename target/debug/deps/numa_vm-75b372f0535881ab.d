@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/numa_vm-75b372f0535881ab.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_vm-75b372f0535881ab.rmeta: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/frame.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/policy.rs:
+crates/vm/src/pte.rs:
+crates/vm/src/space.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/vma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/numa_vm-d665920c8f57316d.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs
+
+/root/repo/target/debug/deps/libnuma_vm-d665920c8f57316d.rlib: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs
+
+/root/repo/target/debug/deps/libnuma_vm-d665920c8f57316d.rmeta: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/frame.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/policy.rs:
+crates/vm/src/pte.rs:
+crates/vm/src/space.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/vma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-75f07299169e3bf2.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-75f07299169e3bf2.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_apps-132ec4960b621cfc.d: crates/apps/tests/proptest_apps.rs
+
+/root/repo/target/debug/deps/proptest_apps-132ec4960b621cfc: crates/apps/tests/proptest_apps.rs
+
+crates/apps/tests/proptest_apps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_kernel-6661ef82b924ed5d.d: crates/kernel/tests/proptest_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_kernel-6661ef82b924ed5d.rmeta: crates/kernel/tests/proptest_kernel.rs Cargo.toml
+
+crates/kernel/tests/proptest_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

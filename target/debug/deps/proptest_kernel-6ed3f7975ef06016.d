@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_kernel-6ed3f7975ef06016.d: crates/kernel/tests/proptest_kernel.rs
+
+/root/repo/target/debug/deps/proptest_kernel-6ed3f7975ef06016: crates/kernel/tests/proptest_kernel.rs
+
+crates/kernel/tests/proptest_kernel.rs:

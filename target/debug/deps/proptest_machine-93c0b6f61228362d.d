@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_machine-93c0b6f61228362d.d: crates/machine/tests/proptest_machine.rs
+
+/root/repo/target/debug/deps/proptest_machine-93c0b6f61228362d: crates/machine/tests/proptest_machine.rs
+
+crates/machine/tests/proptest_machine.rs:

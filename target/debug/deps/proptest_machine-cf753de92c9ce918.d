@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_machine-cf753de92c9ce918.d: crates/machine/tests/proptest_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_machine-cf753de92c9ce918.rmeta: crates/machine/tests/proptest_machine.rs Cargo.toml
+
+crates/machine/tests/proptest_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

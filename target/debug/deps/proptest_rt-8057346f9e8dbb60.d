@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_rt-8057346f9e8dbb60.d: crates/rt/tests/proptest_rt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_rt-8057346f9e8dbb60.rmeta: crates/rt/tests/proptest_rt.rs Cargo.toml
+
+crates/rt/tests/proptest_rt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

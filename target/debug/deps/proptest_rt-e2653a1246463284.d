@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_rt-e2653a1246463284.d: crates/rt/tests/proptest_rt.rs
+
+/root/repo/target/debug/deps/proptest_rt-e2653a1246463284: crates/rt/tests/proptest_rt.rs
+
+crates/rt/tests/proptest_rt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sim-f0e0e0b1facd2655.d: crates/sim/tests/proptest_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sim-f0e0e0b1facd2655.rmeta: crates/sim/tests/proptest_sim.rs Cargo.toml
+
+crates/sim/tests/proptest_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-f128fca0d1451a4b.d: crates/sim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-f128fca0d1451a4b: crates/sim/tests/proptest_sim.rs
+
+crates/sim/tests/proptest_sim.rs:

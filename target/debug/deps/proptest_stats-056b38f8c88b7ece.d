@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_stats-056b38f8c88b7ece.d: crates/stats/tests/proptest_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_stats-056b38f8c88b7ece.rmeta: crates/stats/tests/proptest_stats.rs Cargo.toml
+
+crates/stats/tests/proptest_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stats-b84efe1eafa4494d.d: crates/stats/tests/proptest_stats.rs
+
+/root/repo/target/debug/deps/proptest_stats-b84efe1eafa4494d: crates/stats/tests/proptest_stats.rs
+
+crates/stats/tests/proptest_stats.rs:

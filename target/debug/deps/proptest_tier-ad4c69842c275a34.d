@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_tier-ad4c69842c275a34.d: crates/tier/tests/proptest_tier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_tier-ad4c69842c275a34.rmeta: crates/tier/tests/proptest_tier.rs Cargo.toml
+
+crates/tier/tests/proptest_tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_tier-dd59bb03b5945d27.d: crates/tier/tests/proptest_tier.rs
+
+/root/repo/target/debug/deps/proptest_tier-dd59bb03b5945d27: crates/tier/tests/proptest_tier.rs
+
+crates/tier/tests/proptest_tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_topology-5938d08c140cd07a.d: crates/topology/tests/proptest_topology.rs
+
+/root/repo/target/debug/deps/proptest_topology-5938d08c140cd07a: crates/topology/tests/proptest_topology.rs
+
+crates/topology/tests/proptest_topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_topology-6c71c42a7a305838.d: crates/topology/tests/proptest_topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_topology-6c71c42a7a305838.rmeta: crates/topology/tests/proptest_topology.rs Cargo.toml
+
+crates/topology/tests/proptest_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

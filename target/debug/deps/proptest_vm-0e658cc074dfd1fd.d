@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_vm-0e658cc074dfd1fd.d: crates/vm/tests/proptest_vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_vm-0e658cc074dfd1fd.rmeta: crates/vm/tests/proptest_vm.rs Cargo.toml
+
+crates/vm/tests/proptest_vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

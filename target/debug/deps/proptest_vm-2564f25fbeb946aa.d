@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_vm-2564f25fbeb946aa.d: crates/vm/tests/proptest_vm.rs
+
+/root/repo/target/debug/deps/proptest_vm-2564f25fbeb946aa: crates/vm/tests/proptest_vm.rs
+
+crates/vm/tests/proptest_vm.rs:

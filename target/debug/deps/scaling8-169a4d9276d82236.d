@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling8-169a4d9276d82236.d: crates/bench/src/bin/scaling8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling8-169a4d9276d82236.rmeta: crates/bench/src/bin/scaling8.rs Cargo.toml
+
+crates/bench/src/bin/scaling8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling8-a69337fcda5707d8.d: crates/bench/src/bin/scaling8.rs
+
+/root/repo/target/debug/deps/scaling8-a69337fcda5707d8: crates/bench/src/bin/scaling8.rs
+
+crates/bench/src/bin/scaling8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling8-b3ea299837171be6.d: crates/bench/src/bin/scaling8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling8-b3ea299837171be6.rmeta: crates/bench/src/bin/scaling8.rs Cargo.toml
+
+crates/bench/src/bin/scaling8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

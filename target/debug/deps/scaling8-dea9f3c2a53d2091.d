@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling8-dea9f3c2a53d2091.d: crates/bench/src/bin/scaling8.rs
+
+/root/repo/target/debug/deps/scaling8-dea9f3c2a53d2091: crates/bench/src/bin/scaling8.rs
+
+crates/bench/src/bin/scaling8.rs:

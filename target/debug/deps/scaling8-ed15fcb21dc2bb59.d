@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling8-ed15fcb21dc2bb59.d: crates/bench/src/bin/scaling8.rs
+
+/root/repo/target/debug/deps/scaling8-ed15fcb21dc2bb59: crates/bench/src/bin/scaling8.rs
+
+crates/bench/src/bin/scaling8.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-0161c5c473fe0310.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0161c5c473fe0310.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0161c5c473fe0310.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

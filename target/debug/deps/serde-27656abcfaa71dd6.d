@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-27656abcfaa71dd6.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-27656abcfaa71dd6.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

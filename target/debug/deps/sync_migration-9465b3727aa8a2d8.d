@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sync_migration-9465b3727aa8a2d8.d: crates/bench/benches/sync_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsync_migration-9465b3727aa8a2d8.rmeta: crates/bench/benches/sync_migration.rs Cargo.toml
+
+crates/bench/benches/sync_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

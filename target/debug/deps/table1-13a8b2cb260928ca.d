@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-13a8b2cb260928ca.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-13a8b2cb260928ca: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-30c195a34a89e080.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-30c195a34a89e080: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tiering-0cd03b6dfdaa35f3.d: crates/bench/src/bin/tiering.rs
+
+/root/repo/target/debug/deps/tiering-0cd03b6dfdaa35f3: crates/bench/src/bin/tiering.rs
+
+crates/bench/src/bin/tiering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tiering-90cda9cf95a7dd34.d: crates/bench/src/bin/tiering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiering-90cda9cf95a7dd34.rmeta: crates/bench/src/bin/tiering.rs Cargo.toml
+
+crates/bench/src/bin/tiering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tiering-978694b7f38d21a1.d: crates/bench/src/bin/tiering.rs
+
+/root/repo/target/debug/deps/tiering-978694b7f38d21a1: crates/bench/src/bin/tiering.rs
+
+crates/bench/src/bin/tiering.rs:

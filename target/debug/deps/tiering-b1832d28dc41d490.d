@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tiering-b1832d28dc41d490.d: crates/bench/src/bin/tiering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiering-b1832d28dc41d490.rmeta: crates/bench/src/bin/tiering.rs Cargo.toml
+
+crates/bench/src/bin/tiering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

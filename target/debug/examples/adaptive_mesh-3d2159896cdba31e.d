@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_mesh-3d2159896cdba31e.d: crates/core/../../examples/adaptive_mesh.rs
+
+/root/repo/target/debug/examples/adaptive_mesh-3d2159896cdba31e: crates/core/../../examples/adaptive_mesh.rs
+
+crates/core/../../examples/adaptive_mesh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_mesh-4ff1721da1e7c261.d: crates/core/../../examples/adaptive_mesh.rs
+
+/root/repo/target/debug/examples/adaptive_mesh-4ff1721da1e7c261: crates/core/../../examples/adaptive_mesh.rs
+
+crates/core/../../examples/adaptive_mesh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lu_factorization-2ebdeeabb4f82c09.d: crates/core/../../examples/lu_factorization.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblu_factorization-2ebdeeabb4f82c09.rmeta: crates/core/../../examples/lu_factorization.rs Cargo.toml
+
+crates/core/../../examples/lu_factorization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lu_factorization-33150d4a29efc89c.d: crates/core/../../examples/lu_factorization.rs
+
+/root/repo/target/debug/examples/lu_factorization-33150d4a29efc89c: crates/core/../../examples/lu_factorization.rs
+
+crates/core/../../examples/lu_factorization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lu_factorization-cbbaa63cabbac63f.d: crates/core/../../examples/lu_factorization.rs
+
+/root/repo/target/debug/examples/lu_factorization-cbbaa63cabbac63f: crates/core/../../examples/lu_factorization.rs
+
+crates/core/../../examples/lu_factorization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration_microbench-3abfc0db635ec406.d: crates/core/../../examples/migration_microbench.rs
+
+/root/repo/target/debug/examples/migration_microbench-3abfc0db635ec406: crates/core/../../examples/migration_microbench.rs
+
+crates/core/../../examples/migration_microbench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/migration_microbench-82a155732fb6fa7e.d: crates/core/../../examples/migration_microbench.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmigration_microbench-82a155732fb6fa7e.rmeta: crates/core/../../examples/migration_microbench.rs Cargo.toml
+
+crates/core/../../examples/migration_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration_microbench-b4aa95d021e11407.d: crates/core/../../examples/migration_microbench.rs
+
+/root/repo/target/debug/examples/migration_microbench-b4aa95d021e11407: crates/core/../../examples/migration_microbench.rs
+
+crates/core/../../examples/migration_microbench.rs:

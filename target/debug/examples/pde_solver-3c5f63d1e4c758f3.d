@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pde_solver-3c5f63d1e4c758f3.d: crates/core/../../examples/pde_solver.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpde_solver-3c5f63d1e4c758f3.rmeta: crates/core/../../examples/pde_solver.rs Cargo.toml
+
+crates/core/../../examples/pde_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

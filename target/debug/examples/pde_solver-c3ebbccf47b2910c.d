@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pde_solver-c3ebbccf47b2910c.d: crates/core/../../examples/pde_solver.rs
+
+/root/repo/target/debug/examples/pde_solver-c3ebbccf47b2910c: crates/core/../../examples/pde_solver.rs
+
+crates/core/../../examples/pde_solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pde_solver-d979d7def44cf0aa.d: crates/core/../../examples/pde_solver.rs
+
+/root/repo/target/debug/examples/pde_solver-d979d7def44cf0aa: crates/core/../../examples/pde_solver.rs
+
+crates/core/../../examples/pde_solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5ab5e7697421bc5e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5ab5e7697421bc5e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7f3ce217671c5aa2.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7f3ce217671c5aa2: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

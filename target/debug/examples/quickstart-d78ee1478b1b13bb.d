@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-d78ee1478b1b13bb.d: crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-d78ee1478b1b13bb.rmeta: crates/core/../../examples/quickstart.rs Cargo.toml
+
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

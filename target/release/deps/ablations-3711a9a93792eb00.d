@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-3711a9a93792eb00.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-3711a9a93792eb00: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-c9d4e5d78ff234e4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-c9d4e5d78ff234e4: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

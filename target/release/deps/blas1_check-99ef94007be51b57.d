@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blas1_check-99ef94007be51b57.d: crates/bench/src/bin/blas1_check.rs
+
+/root/repo/target/release/deps/blas1_check-99ef94007be51b57: crates/bench/src/bin/blas1_check.rs
+
+crates/bench/src/bin/blas1_check.rs:

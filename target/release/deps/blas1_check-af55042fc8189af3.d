@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blas1_check-af55042fc8189af3.d: crates/bench/src/bin/blas1_check.rs
+
+/root/repo/target/release/deps/blas1_check-af55042fc8189af3: crates/bench/src/bin/blas1_check.rs
+
+crates/bench/src/bin/blas1_check.rs:

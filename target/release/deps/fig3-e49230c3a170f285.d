@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-e49230c3a170f285.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-e49230c3a170f285: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

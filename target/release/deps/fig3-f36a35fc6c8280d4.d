@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-f36a35fc6c8280d4.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-f36a35fc6c8280d4: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-60a642edb5119048.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-60a642edb5119048: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-ca3f9c72d983d647.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-ca3f9c72d983d647: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-55a5fa5c2cc18ead.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-55a5fa5c2cc18ead: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

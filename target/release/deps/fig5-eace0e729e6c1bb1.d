@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-eace0e729e6c1bb1.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-eace0e729e6c1bb1: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

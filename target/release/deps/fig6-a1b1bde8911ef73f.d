@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-a1b1bde8911ef73f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-a1b1bde8911ef73f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

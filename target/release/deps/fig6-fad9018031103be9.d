@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-fad9018031103be9.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-fad9018031103be9: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-0bc39d525bb647be.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-0bc39d525bb647be: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

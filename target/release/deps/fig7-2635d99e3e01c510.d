@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-2635d99e3e01c510.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-2635d99e3e01c510: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-5394d8e6a21124af.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-5394d8e6a21124af: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

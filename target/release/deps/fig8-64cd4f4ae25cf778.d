@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-64cd4f4ae25cf778.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-64cd4f4ae25cf778: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/numa_apps-6138f61e106b36b2.d: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+/root/repo/target/release/deps/libnuma_apps-6138f61e106b36b2.rlib: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+/root/repo/target/release/deps/libnuma_apps-6138f61e106b36b2.rmeta: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/amr.rs:
+crates/apps/src/blas.rs:
+crates/apps/src/blas1.rs:
+crates/apps/src/gemm.rs:
+crates/apps/src/lu.rs:
+crates/apps/src/matrix.rs:
+crates/apps/src/model.rs:
+crates/apps/src/pde.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/numa_bench-5530583a07a61517.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnuma_bench-5530583a07a61517.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnuma_bench-5530583a07a61517.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

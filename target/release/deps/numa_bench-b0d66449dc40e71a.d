@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/numa_bench-b0d66449dc40e71a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnuma_bench-b0d66449dc40e71a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnuma_bench-b0d66449dc40e71a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/numa_tier-70d2c51572865308.d: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/release/deps/libnuma_tier-70d2c51572865308.rlib: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/release/deps/libnuma_tier-70d2c51572865308.rmeta: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+crates/tier/src/lib.rs:
+crates/tier/src/daemon.rs:
+crates/tier/src/policy.rs:

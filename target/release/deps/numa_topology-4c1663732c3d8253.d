@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/numa_topology-4c1663732c3d8253.d: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs
+
+/root/repo/target/release/deps/libnuma_topology-4c1663732c3d8253.rlib: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs
+
+/root/repo/target/release/deps/libnuma_topology-4c1663732c3d8253.rmeta: crates/topology/src/lib.rs crates/topology/src/cost.rs crates/topology/src/presets.rs crates/topology/src/spec.rs crates/topology/src/topology.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cost.rs:
+crates/topology/src/presets.rs:
+crates/topology/src/spec.rs:
+crates/topology/src/topology.rs:

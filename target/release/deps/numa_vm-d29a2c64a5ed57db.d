@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/numa_vm-d29a2c64a5ed57db.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs
+
+/root/repo/target/release/deps/libnuma_vm-d29a2c64a5ed57db.rlib: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs
+
+/root/repo/target/release/deps/libnuma_vm-d29a2c64a5ed57db.rmeta: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/policy.rs crates/vm/src/pte.rs crates/vm/src/space.rs crates/vm/src/tlb.rs crates/vm/src/vma.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/frame.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/policy.rs:
+crates/vm/src/pte.rs:
+crates/vm/src/space.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/vma.rs:

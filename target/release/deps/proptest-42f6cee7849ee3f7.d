@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-42f6cee7849ee3f7.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-42f6cee7849ee3f7.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-42f6cee7849ee3f7.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

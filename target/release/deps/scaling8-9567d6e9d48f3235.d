@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling8-9567d6e9d48f3235.d: crates/bench/src/bin/scaling8.rs
+
+/root/repo/target/release/deps/scaling8-9567d6e9d48f3235: crates/bench/src/bin/scaling8.rs
+
+crates/bench/src/bin/scaling8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling8-e1ec62346a5a1503.d: crates/bench/src/bin/scaling8.rs
+
+/root/repo/target/release/deps/scaling8-e1ec62346a5a1503: crates/bench/src/bin/scaling8.rs
+
+crates/bench/src/bin/scaling8.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c3afdd087ccf15ab.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c3afdd087ccf15ab.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c3afdd087ccf15ab.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

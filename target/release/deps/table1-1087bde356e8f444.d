@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1087bde356e8f444.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1087bde356e8f444: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1d5e2fff80f066cc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1d5e2fff80f066cc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tiering-6d85dfa369d508cb.d: crates/bench/src/bin/tiering.rs
+
+/root/repo/target/release/deps/tiering-6d85dfa369d508cb: crates/bench/src/bin/tiering.rs
+
+crates/bench/src/bin/tiering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ee20f0e7c7496f2a.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ee20f0e7c7496f2a: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

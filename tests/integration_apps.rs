@@ -146,7 +146,6 @@ fn amr_end_to_end() {
 /// HyperTransport once it lives next to its threads).
 #[test]
 fn next_touch_reduces_link_congestion_in_lu() {
-    use numa_migrate::experiments::table1 as _;
     let link_ns = |strategy| {
         let mut m = NumaSystem::new().build();
         run_lu(
