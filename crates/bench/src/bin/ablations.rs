@@ -9,8 +9,8 @@ use numa_migrate::stats::Table;
 
 fn main() {
     let opts = Options::parse("ablations", "design-choice ablations");
+    let mut out = opts.open_output("ablations");
 
-    println!("A1. move_pages destination-lookup fix (patched vs quadratic)\n");
     let pages = if opts.full {
         vec![16, 64, 256, 1024, 4096, 16384]
     } else {
@@ -20,24 +20,30 @@ fn main() {
     for (p, a, b) in ablations::lookup_ablation(&pages) {
         t.row([p.to_string(), mbps(a), mbps(b), format!("{:.1}x", a / b)]);
     }
-    opts.emit(&t);
+    out.table(
+        "A1. move_pages destination-lookup fix (patched vs quadratic)",
+        &t,
+    );
 
-    println!("\nA2. page-table-lock serialized fraction vs 4-thread lazy speedup\n");
     let fractions = [0.1, 0.3, 0.55, 0.7, 0.9];
     let mut t = Table::new(["fraction", "4-thread speedup"]);
     for (f, s) in ablations::lock_fraction_sweep(&fractions, 8192) {
         t.row([format!("{f:.2}"), format!("{s:.2}x")]);
     }
-    opts.emit(&t);
+    out.table(
+        "\nA2. page-table-lock serialized fraction vs 4-thread lazy speedup",
+        &t,
+    );
 
-    println!("\nA3. user next-touch granularity (4 threads on 4 nodes, 64 pages)\n");
     let (whole, per_chunk) = ablations::user_granularity(64);
     let mut t = Table::new(["marking granularity", "misplaced pages"]);
     t.row(["whole buffer".to_string(), whole.to_string()]);
     t.row(["region per chunk".to_string(), per_chunk.to_string()]);
-    opts.emit(&t);
+    out.table(
+        "\nA3. user next-touch granularity (4 threads on 4 nodes, 64 pages)",
+        &t,
+    );
 
-    println!("\nA4. huge-page migration (2 MB payload, lazy next-touch)\n");
     let (base, huge) = ablations::huge_page_migration();
     let mut t = Table::new(["granularity", "time", "throughput MB/s"]);
     t.row([
@@ -50,9 +56,11 @@ fn main() {
         numa_migrate::stats::fmt_ns(huge),
         mbps(numa_migrate::stats::mb_per_s(2 << 20, huge)),
     ]);
-    opts.emit(&t);
+    out.table(
+        "\nA4. huge-page migration (2 MB payload, lazy next-touch)",
+        &t,
+    );
 
-    println!("\nA5. read-only replication (16 threads reading a shared table)\n");
     let (plain, replicated) = ablations::replication_benefit(64, 4);
     let mut t = Table::new(["placement", "time"]);
     t.row([
@@ -63,9 +71,11 @@ fn main() {
         "replica per node".to_string(),
         numa_migrate::stats::fmt_ns(replicated),
     ]);
-    opts.emit(&t);
+    out.table(
+        "\nA5. read-only replication (16 threads reading a shared table)",
+        &t,
+    );
 
-    println!("\nA6. explicit next-touch hooks vs AutoNUMA-style blind scanning\n");
     let (stat, hooked, auto) = ablations::hooked_vs_auto(4096, 6);
     let mut t = Table::new(["policy", "time"]);
     t.row([
@@ -80,5 +90,9 @@ fn main() {
         "automatic sampling (AutoNUMA-style)".to_string(),
         numa_migrate::stats::fmt_ns(auto),
     ]);
-    opts.emit(&t);
+    out.table(
+        "\nA6. explicit next-touch hooks vs AutoNUMA-style blind scanning",
+        &t,
+    );
+    out.finish();
 }

@@ -28,9 +28,11 @@ fn main() {
             percent(r.nt_improvement_percent()),
         ]);
     }
-    println!(
+    let mut out = opts.open_output("blas1_check");
+    out.table(
         "BLAS1 (daxpy) with 16 threads: migration must never improve\n\
-         (paper \u{00a7}4.5: \"BLAS1 operations never improve thanks to memory migration\")\n"
+         (paper \u{00a7}4.5: \"BLAS1 operations never improve thanks to memory migration\")",
+        &table,
     );
-    opts.emit(&table);
+    out.finish();
 }

@@ -11,6 +11,7 @@ fn main() {
     let m = Machine::opteron_4p();
     let topo = m.topology();
     let cost = topo.cost();
+    let mut out = opts.open_output("fig3");
 
     println!(
         "The experimentation host: {} nodes x {} cores ({} total), \
@@ -32,8 +33,7 @@ fn main() {
             format!("{:.1}", l.bandwidth_bytes_per_ns),
         ]);
     }
-    println!("HyperTransport links:\n");
-    opts.emit(&links);
+    out.table("HyperTransport links:", &links);
 
     let mut routes = Table::new(["from\\to", "node#0", "node#1", "node#2", "node#3"]);
     for a in topo.node_ids() {
@@ -47,25 +47,23 @@ fn main() {
         }
         routes.row(row);
     }
-    println!("\nRoutes and NUMA factors (paper: 1.2-1.4):\n");
-    opts.emit(&routes);
+    out.table("\nRoutes and NUMA factors (paper: 1.2-1.4):", &routes);
 
-    println!("\nCalibrated kernel constants (DESIGN.md \u{00a7}4):\n");
     let mut consts = Table::new(["constant", "value", "paper source"]);
     consts.row([
         "move_pages base".into(),
         format!("{} us", cost.move_pages_base_ns / 1000),
-        "\u{00a7}4.2 (~160 us)".to_string(),
+        "\u{a7}4.2 (~160 us)".to_string(),
     ]);
     consts.row([
         "migrate_pages base".into(),
         format!("{} us", cost.migrate_pages_base_ns / 1000),
-        "\u{00a7}4.2 (~400 us)".to_string(),
+        "\u{a7}4.2 (~400 us)".to_string(),
     ]);
     consts.row([
         "kernel copy bandwidth".into(),
         format!("{:.1} GB/s", cost.kernel_copy_bw),
-        "\u{00a7}4.2 (1 GB/s)".to_string(),
+        "\u{a7}4.2 (1 GB/s)".to_string(),
     ]);
     consts.row([
         "pt-lock serialized fraction".into(),
@@ -77,5 +75,6 @@ fn main() {
         format!("{:.0} ns", cost.unpatched_lookup_ns_per_entry),
         "Fig. 4 shape".to_string(),
     ]);
-    opts.emit(&consts);
+    out.table("\nCalibrated kernel constants (DESIGN.md \u{a7}4):", &consts);
+    out.finish();
 }

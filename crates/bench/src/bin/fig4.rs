@@ -30,6 +30,10 @@ fn main() {
             mbps(r.move_pages_nopatch_mbps),
         ]);
     }
-    println!("Figure 4: migration and memory copy throughput, node #0 -> node #1\n");
-    opts.emit(&table);
+    let mut out = opts.open_output("fig4");
+    out.table(
+        "Figure 4: migration and memory copy throughput, node #0 -> node #1",
+        &table,
+    );
+    out.finish();
 }

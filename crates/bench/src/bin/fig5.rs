@@ -1,9 +1,16 @@
 //! Regenerates Figure 5: next-touch migration throughput — user-space
 //! (with and without the move_pages patch) vs the kernel implementation.
+//!
+//! With `--trace`/`--json`, additionally runs one traced kernel-NT
+//! episode and exports its Chrome trace, cost breakdown and resource
+//! utilisation — the trace's per-component span sums reconcile exactly
+//! with the printed breakdown table (asserted in
+//! `tests/trace_reconcile.rs`).
 
 use numa_bench::{mbps, Options};
-use numa_migrate::experiments::{fig5, fig5_page_counts};
-use numa_migrate::stats::Table;
+use numa_migrate::experiments::fig5::{self, NtVariant};
+use numa_migrate::experiments::fig5_page_counts;
+use numa_migrate::stats::{Json, Table};
 
 fn main() {
     let opts = Options::parse("fig5", "Figure 5 (next-touch throughput comparison)");
@@ -27,6 +34,37 @@ fn main() {
             mbps(r.kernel_mbps),
         ]);
     }
-    println!("Figure 5: next-touch performance comparison\n");
-    opts.emit(&table);
+    let mut out = opts.open_output("fig5");
+    out.table("Figure 5: next-touch performance comparison", &table);
+
+    if opts.trace.is_some() || opts.json.is_some() {
+        // One traced episode whose exported trace reconciles with the
+        // breakdown printed below.
+        let episode_pages: u64 = 1024;
+        let (r, m) = fig5::measure_traced(episode_pages, NtVariant::Kernel, 1 << 16);
+        let mut bt = Table::new(["component", "ns", "percent"]);
+        for (c, ns, pct) in r.stats.breakdown.entries() {
+            bt.row([c.label().to_string(), ns.to_string(), format!("{pct:.2}")]);
+        }
+        out.table(
+            &format!(
+                "\nTraced episode (kernel NT, {episode_pages} pages): cost breakdown"
+            ),
+            &bt,
+        );
+        let util = m.utilisation_report(r.makespan);
+        out.table("\nTraced episode: resource utilisation", &util.to_table());
+        out.meta(
+            "traced_episode",
+            Json::obj()
+                .set("variant", "kernel-nt")
+                .set("pages", episode_pages)
+                .set("makespan_ns", r.makespan.ns())
+                .set("trace_events", m.trace.len() as u64)
+                .set("trace_dropped", m.trace.dropped())
+                .set("utilisation", util.to_json()),
+        );
+        out.set_trace_json(m.trace.chrome_trace_json());
+    }
+    out.finish();
 }

@@ -12,8 +12,8 @@ fn main() {
     } else {
         vec![16, 256, 1024]
     };
+    let mut out = opts.open_output("fig6");
 
-    println!("Figure 6(a): next-touch in user space — cost percentage per component\n");
     let mut ta = Table::new([
         "pages",
         "copy %",
@@ -37,9 +37,11 @@ fn main() {
             format!("{:.1}", r.percent(C::LockWait)),
         ]);
     }
-    opts.emit(&ta);
+    out.table(
+        "Figure 6(a): next-touch in user space — cost percentage per component",
+        &ta,
+    );
 
-    println!("\nFigure 6(b): next-touch in the kernel — cost percentage per component\n");
     let mut tb = Table::new([
         "pages",
         "copy %",
@@ -59,5 +61,9 @@ fn main() {
             format!("{:.1}", r.percent(C::LockWait)),
         ]);
     }
-    opts.emit(&tb);
+    out.table(
+        "\nFigure 6(b): next-touch in the kernel — cost percentage per component",
+        &tb,
+    );
+    out.finish();
 }

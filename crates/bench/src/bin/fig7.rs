@@ -23,9 +23,11 @@ fn main() {
         cells.extend(r.lazy_mbps.iter().map(|v| mbps(*v)));
         table.row(cells);
     }
-    println!(
+    let mut out = opts.open_output("fig7");
+    out.table(
         "Figure 7: aggregate migration throughput (MB/s), node #0 -> node #1,\n\
-         1-4 threads bound to node #1\n"
+         1-4 threads bound to node #1",
+        &table,
     );
-    opts.emit(&table);
+    out.finish();
 }

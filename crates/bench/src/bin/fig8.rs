@@ -26,9 +26,11 @@ fn main() {
             secs(row.user_nt_s),
         ]);
     }
-    println!(
+    let mut out = opts.open_output("fig8");
+    out.table(
         "Figure 8: execution time of 16 concurrent BLAS3 multiplications\n\
-         (NxN doubles per thread, virtual seconds)\n"
+         (NxN doubles per thread, virtual seconds)",
+        &table,
     );
-    opts.emit(&table);
+    out.finish();
 }

@@ -20,9 +20,13 @@ fn main() {
             percent(r.improvement_percent()),
         ]);
     }
-    println!(
-        "Next-touch improvement vs machine size ({n}x{n} GEMM per thread, one\n\
-         thread per core, data initially on node 0)\n"
+    let mut out = opts.open_output("scaling8");
+    out.table(
+        &format!(
+            "Next-touch improvement vs machine size ({n}x{n} GEMM per thread, one\n\
+             thread per core, data initially on node 0)"
+        ),
+        &table,
     );
-    opts.emit(&table);
+    out.finish();
 }

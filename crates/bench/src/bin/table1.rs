@@ -33,6 +33,10 @@ fn main() {
             percent(row.improvement_percent()),
         ]);
     }
-    println!("Table 1: LU factorization time, 16 OpenMP threads (virtual seconds)\n");
-    opts.emit(&table);
+    let mut out = opts.open_output("table1");
+    out.table(
+        "Table 1: LU factorization time, 16 OpenMP threads (virtual seconds)",
+        &table,
+    );
+    out.finish();
 }

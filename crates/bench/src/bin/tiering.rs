@@ -10,18 +10,21 @@ fn main() {
         "tiering",
         "heterogeneous-memory tiering (transactional vs stop-the-world promotion)",
     );
+    let mut out = opts.open_output("tiering");
     let (writer_counts, pages, hot): (Vec<usize>, u64, u64) = if opts.full {
         (vec![1, 2, 4, 8, 16], 1024, 256)
     } else {
         (vec![1, 4], 256, 64)
     };
     let mech = tiering_mechanism_table(&writer_counts, pages, hot, opts.seed);
-    println!(
-        "Tiering mechanism: writer completion time (ms) while {pages} slow-tier pages\n\
-         are promoted; writers hammer the {hot} hottest (seed {})\n",
-        opts.seed
+    out.table(
+        &format!(
+            "Tiering mechanism: writer completion time (ms) while {pages} slow-tier pages\n\
+             are promoted; writers hammer the {hot} hottest (seed {})",
+            opts.seed
+        ),
+        &mech,
     );
-    opts.emit(&mech);
 
     let (hot_counts, dram_per_node, rounds): (Vec<u64>, u64, usize) = if opts.full {
         (vec![512, 1024, 2048, 4096, 8192, 16384], 512, 6)
@@ -29,10 +32,13 @@ fn main() {
         (vec![1024, 4096, 8192], 512, 4)
     };
     let cap = tiering_capacity_table(&hot_counts, dram_per_node, rounds);
-    println!(
-        "\nTiering capacity sweep: 4 readers over a slow-resident hot set,\n\
-         threshold daemon vs static placement, DRAM = {} pages total\n",
-        4 * dram_per_node
+    out.table(
+        &format!(
+            "\nTiering capacity sweep: 4 readers over a slow-resident hot set,\n\
+             threshold daemon vs static placement, DRAM = {} pages total",
+            4 * dram_per_node
+        ),
+        &cap,
     );
-    opts.emit(&cap);
+    out.finish();
 }

@@ -5,6 +5,12 @@
 //! CSV. A tiny hand-rolled flag parser keeps the workspace free of CLI
 //! dependencies.
 
+pub mod output;
+pub mod trace_run;
+
+pub use output::RunOutput;
+pub use trace_run::{traced_next_touch_episode, TracedEpisode};
+
 use std::env;
 
 /// Parsed common command-line options.
@@ -20,45 +26,105 @@ pub struct Options {
     /// Workload seed for experiments with randomized access orders.
     /// The same seed always regenerates byte-identical tables.
     pub seed: u64,
+    /// Write a Chrome-trace-format event trace of a representative run to
+    /// this file (loadable in Perfetto / chrome://tracing).
+    pub trace: Option<String>,
+    /// Write the run's tables and metadata as machine-readable JSON to
+    /// this file (e.g. `results/fig5.json`).
+    pub json: Option<String>,
+}
+
+/// Why [`Options::try_parse_from`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// `--help`/`-h` was given; the caller should print usage and exit 0.
+    Help,
+    /// A real parse error with its message.
+    Invalid(String),
 }
 
 impl Options {
-    /// Parse `std::env::args`, exiting with usage on `--help` or unknown
-    /// flags.
-    pub fn parse(binary: &str, what: &str) -> Options {
+    /// Parse an explicit argument list. Every value-taking flag accepts
+    /// both `--flag value` and `--flag=value`.
+    pub fn try_parse_from<I>(args: I) -> Result<Options, ParseError>
+    where
+        I: IntoIterator<Item = String>,
+    {
         let mut o = Options::default();
-        let mut args = env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(arg) = args.next() {
-            match arg.as_str() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg.clone(), None),
+            };
+            let mut value = |flag: &str| -> Result<String, ParseError> {
+                match inline.clone().or_else(|| args.next()) {
+                    Some(v) => Ok(v),
+                    None => Err(ParseError::Invalid(format!("{flag} needs a value"))),
+                }
+            };
+            match flag.as_str() {
                 "--csv" => o.csv = true,
                 "--full" => o.full = true,
                 "--verbose" | "-v" => o.verbose = true,
                 "--seed" => {
-                    let v = args.next().unwrap_or_else(|| {
-                        eprintln!("{binary}: --seed needs a value");
-                        std::process::exit(2);
-                    });
-                    o.seed = v.parse().unwrap_or_else(|_| {
-                        eprintln!("{binary}: --seed takes an unsigned integer, got {v}");
-                        std::process::exit(2);
-                    });
+                    let v = value("--seed")?;
+                    o.seed = v.parse().map_err(|_| {
+                        ParseError::Invalid(format!(
+                            "--seed takes an unsigned integer, got {v}"
+                        ))
+                    })?;
                 }
-                "--help" | "-h" => {
-                    eprintln!("{binary}: regenerate {what}");
-                    eprintln!("usage: {binary} [--csv] [--full] [--verbose] [--seed <u64>]");
-                    eprintln!("  --csv       emit CSV instead of an aligned table");
-                    eprintln!("  --full      run the paper-sized sweep (slower)");
-                    eprintln!("  --verbose   per-run diagnostics");
-                    eprintln!("  --seed <n>  workload seed (default 0); same seed, same table");
-                    std::process::exit(0);
-                }
+                "--trace" => o.trace = Some(value("--trace")?),
+                "--json" => o.json = Some(value("--json")?),
+                "--help" | "-h" => return Err(ParseError::Help),
                 other => {
-                    eprintln!("{binary}: unknown flag {other} (try --help)");
-                    std::process::exit(2);
+                    return Err(ParseError::Invalid(format!(
+                        "unknown flag {other} (try --help)"
+                    )))
                 }
             }
+            if inline.is_some() && matches!(flag.as_str(), "--csv" | "--full" | "--verbose" | "-v")
+            {
+                return Err(ParseError::Invalid(format!("{flag} takes no value")));
+            }
         }
-        o
+        Ok(o)
+    }
+
+    /// Parse `std::env::args`, exiting with usage on `--help` or unknown
+    /// flags.
+    pub fn parse(binary: &str, what: &str) -> Options {
+        match Options::try_parse_from(env::args().skip(1)) {
+            Ok(o) => o,
+            Err(ParseError::Help) => {
+                eprintln!("{binary}: regenerate {what}");
+                eprintln!(
+                    "usage: {binary} [--csv] [--full] [--verbose] [--seed <u64>] \
+                     [--trace <file>] [--json <file>]"
+                );
+                eprintln!("  --csv           emit CSV instead of an aligned table");
+                eprintln!("  --full          run the paper-sized sweep (slower)");
+                eprintln!("  --verbose       per-run diagnostics");
+                eprintln!("  --seed <n>      workload seed (default 0); same seed, same table");
+                eprintln!("  --trace <file>  write a Chrome/Perfetto event trace");
+                eprintln!("  --json <file>   write the tables as machine-readable JSON");
+                eprintln!("  (value flags also accept --flag=value)");
+                std::process::exit(0);
+            }
+            Err(ParseError::Invalid(msg)) => {
+                eprintln!("{binary}: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Start collecting this run's output. Tables passed to
+    /// [`RunOutput::table`] are printed (honouring `--csv`) and recorded
+    /// for the `--json` file; [`RunOutput::finish`] writes the `--json`
+    /// and `--trace` files.
+    pub fn open_output(&self, binary: &str) -> RunOutput {
+        RunOutput::new(binary, self.clone())
     }
 
     /// Print a finished table per the output options.

@@ -1,0 +1,111 @@
+//! Per-run output collection: printed tables, the machine-readable
+//! `--json` results file, and the `--trace` Chrome-trace export.
+//!
+//! Every experiment binary opens a [`RunOutput`] from its parsed
+//! [`crate::Options`], feeds each finished table through
+//! [`RunOutput::table`] (which both prints it and records it), and calls
+//! [`RunOutput::finish`] at the end. With neither `--json` nor `--trace`
+//! given, `finish` is a no-op beyond the printing already done.
+
+use crate::Options;
+use numa_migrate::stats::{Json, Table};
+use std::path::Path;
+
+/// Collects one binary run's tables and metadata.
+pub struct RunOutput {
+    binary: String,
+    opts: Options,
+    tables: Vec<(String, Table)>,
+    meta: Vec<(String, Json)>,
+    trace_json: Option<String>,
+}
+
+impl RunOutput {
+    /// Start collecting for `binary` under the parsed options.
+    pub fn new(binary: &str, opts: Options) -> Self {
+        RunOutput {
+            binary: binary.to_string(),
+            opts,
+            tables: Vec::new(),
+            meta: Vec::new(),
+            trace_json: None,
+        }
+    }
+
+    /// Print `table` under `title` (honouring `--csv`) and record it for
+    /// the `--json` file. The title is printed verbatim followed by a
+    /// blank line; embed a leading `\n` for visual separation between
+    /// consecutive tables.
+    pub fn table(&mut self, title: &str, table: &Table) {
+        println!("{title}\n");
+        self.opts.emit(table);
+        self.tables.push((title.trim().to_string(), table.clone()));
+    }
+
+    /// Attach an extra key/value to the `--json` document root.
+    pub fn meta(&mut self, key: &str, value: Json) {
+        self.meta.push((key.to_string(), value));
+    }
+
+    /// Override the `--trace` file contents with a trace produced by this
+    /// binary's own run (the default is a representative seeded
+    /// next-touch episode, see [`crate::traced_next_touch_episode`]).
+    pub fn set_trace_json(&mut self, chrome_trace: String) {
+        self.trace_json = Some(chrome_trace);
+    }
+
+    /// Build the `--json` document (exposed for tests).
+    pub fn results_json(&self) -> Json {
+        let tables: Vec<Json> = self
+            .tables
+            .iter()
+            .map(|(title, t)| {
+                let mut obj = Json::obj().set("title", title.as_str());
+                if let (Json::Obj(pairs), Json::Obj(shape)) = (&mut obj, t.to_json()) {
+                    pairs.extend(shape);
+                }
+                obj
+            })
+            .collect();
+        let mut root = Json::obj()
+            .set("binary", self.binary.as_str())
+            .set("seed", self.opts.seed)
+            .set("full", self.opts.full)
+            .set("tables", tables);
+        if let Json::Obj(pairs) = &mut root {
+            pairs.extend(self.meta.iter().cloned());
+        }
+        root
+    }
+
+    /// Write the `--json` and `--trace` files, if requested. Creates
+    /// parent directories (e.g. `results/`) as needed.
+    pub fn finish(self) {
+        if let Some(path) = self.opts.json.clone() {
+            write_file(&self.binary, &path, &self.results_json().to_string());
+        }
+        if let Some(path) = self.opts.trace.clone() {
+            let trace = match self.trace_json {
+                Some(t) => t,
+                None => crate::traced_next_touch_episode(self.opts.seed).chrome_json,
+            };
+            write_file(&self.binary, &path, &trace);
+        }
+    }
+}
+
+fn write_file(binary: &str, path: &str, contents: &str) {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("{binary}: cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("{binary}: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("{binary}: wrote {path}");
+}

@@ -1,0 +1,101 @@
+//! The shared traced next-touch episode behind every binary's `--trace`
+//! default, and the determinism / reconciliation regression tests.
+//!
+//! The episode is the paper's core scenario: a buffer populated on node 0,
+//! marked migrate-on-next-touch, then touched from node-1 and node-2 cores
+//! in a seed-shuffled page order. Population happens *before* tracing is
+//! enabled, so the exported trace covers exactly the measured run — which
+//! is what lets [`TracedEpisode::trace_totals`] reconcile, component by
+//! component, with the run's `Breakdown`.
+
+use numa_migrate::machine::{Machine, MemAccessKind, Op, ThreadSpec, UtilisationReport};
+use numa_migrate::rt::{setup, Buffer};
+use numa_migrate::stats::Breakdown;
+use numa_migrate::topology::{CoreId, NodeId};
+use numa_migrate::vm::{PageRange, PAGE_SIZE};
+
+/// Everything a traced episode produces.
+pub struct TracedEpisode {
+    /// Chrome-trace-format JSON (Perfetto-loadable).
+    pub chrome_json: String,
+    /// The run's cost breakdown, as returned by the engine.
+    pub breakdown: Breakdown,
+    /// Per-component totals recovered by summing the trace's span events.
+    /// Equal to `breakdown` whenever no events were dropped.
+    pub trace_totals: Breakdown,
+    /// Resource busy/wait/utilisation over the run.
+    pub utilisation: UtilisationReport,
+    /// The run's makespan in nanoseconds.
+    pub makespan_ns: u64,
+    /// Events dropped by the bounded trace buffer (0 for this episode's
+    /// default capacity).
+    pub dropped: u64,
+}
+
+/// Splitmix64: tiny, deterministic, and plenty for shuffling page orders.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn shuffled(pages: std::ops::Range<u64>, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = pages.collect();
+    let mut s = seed ^ 0xdead_beef_cafe_f00d;
+    for i in (1..v.len()).rev() {
+        let j = (splitmix64(&mut s) % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Run the shared traced episode with `seed` and return its artefacts.
+///
+/// Deterministic: the same seed produces a byte-identical
+/// [`TracedEpisode::chrome_json`]; different seeds shuffle the touch
+/// order and so change the event stream.
+pub fn traced_next_touch_episode(seed: u64) -> TracedEpisode {
+    const PAGES: u64 = 64;
+    let mut m = Machine::opteron_4p();
+    let buf = Buffer::alloc(&mut m, PAGES * PAGE_SIZE);
+    setup::populate_on_node(&mut m, &buf, NodeId(0));
+    m.reset_contention();
+    m.flush_caches();
+    m.enable_trace(1 << 16);
+
+    // Two remote threads each mark and then touch one half of the buffer
+    // in a seed-shuffled order, separated by a barrier so marking never
+    // races the touches.
+    let half = PAGES / 2;
+    let mk_ops = |first_page: u64, core_seed: u64| {
+        let range = PageRange::new(
+            buf.addr.vpn() + first_page,
+            buf.addr.vpn() + first_page + half,
+        );
+        let mut ops = vec![Op::MadviseNextTouch { range }, Op::Barrier(0)];
+        for p in shuffled(first_page..first_page + half, core_seed) {
+            ops.push(Op::read(
+                buf.addr + p * PAGE_SIZE,
+                64,
+                MemAccessKind::Random,
+            ));
+        }
+        ops
+    };
+    let threads = vec![
+        ThreadSpec::scripted(CoreId(4), mk_ops(0, seed)),
+        ThreadSpec::scripted(CoreId(8), mk_ops(half, seed.wrapping_add(1))),
+    ];
+    let r = m.run(threads, &[2]);
+
+    TracedEpisode {
+        chrome_json: m.trace.chrome_trace_json(),
+        trace_totals: m.trace.component_totals(),
+        utilisation: m.utilisation_report(r.makespan),
+        makespan_ns: r.makespan.ns(),
+        dropped: m.trace.dropped(),
+        breakdown: r.stats.breakdown,
+    }
+}

@@ -30,3 +30,25 @@ fn capacity_sweep_is_deterministic() {
     let b = tiering_capacity_table(&[256, 1024], 128, 3).to_string();
     assert_eq!(a, b);
 }
+
+#[test]
+fn traced_episode_is_byte_identical_for_same_seed() {
+    let a = numa_bench::traced_next_touch_episode(42);
+    let b = numa_bench::traced_next_touch_episode(42);
+    assert_eq!(
+        a.chrome_json, b.chrome_json,
+        "Chrome trace export must be byte-identical across runs with one seed"
+    );
+    assert_eq!(a.makespan_ns, b.makespan_ns);
+    assert_eq!(a.breakdown, b.breakdown);
+}
+
+#[test]
+fn traced_episode_varies_with_seed() {
+    let a = numa_bench::traced_next_touch_episode(1);
+    let b = numa_bench::traced_next_touch_episode(2);
+    assert_ne!(
+        a.chrome_json, b.chrome_json,
+        "seed must reach the traced workload's access order"
+    );
+}

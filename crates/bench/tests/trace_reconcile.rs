@@ -1,0 +1,108 @@
+//! Trace/Breakdown consistency: the per-component `Span` events the engine
+//! emits are produced by diffing the breakdown around each micro-op, so the
+//! summed span durations must reconcile *exactly* with the `Breakdown`
+//! totals the run reports. If these drift apart, either a cost path stopped
+//! flowing through `exec_micro` or the trace layer is dropping events.
+
+use numa_bench::traced_next_touch_episode;
+use numa_migrate::experiments::fig5::{self, NtVariant};
+use numa_migrate::stats::CostComponent;
+
+#[test]
+fn traced_episode_spans_reconcile_with_breakdown() {
+    let e = traced_next_touch_episode(7);
+    assert_eq!(e.dropped, 0, "episode trace buffer must not overflow");
+    for c in CostComponent::ALL {
+        assert_eq!(
+            e.trace_totals.get(c),
+            e.breakdown.get(c),
+            "span sum for {c:?} must equal the breakdown total"
+        );
+    }
+    assert!(
+        e.breakdown.total() > 0,
+        "episode must actually accumulate cost"
+    );
+}
+
+#[test]
+fn fig5_traced_run_spans_reconcile_with_breakdown() {
+    for variant in [NtVariant::Kernel, NtVariant::User] {
+        let (r, m) = fig5::measure_traced(256, variant, 1 << 16);
+        assert_eq!(m.trace.dropped(), 0, "{variant:?}: trace overflowed");
+        let totals = m.trace.component_totals();
+        for c in CostComponent::ALL {
+            assert_eq!(
+                totals.get(c),
+                r.stats.breakdown.get(c),
+                "{variant:?}: span sum for {c:?} diverged from breakdown"
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_episode_utilisation_is_sane() {
+    let e = traced_next_touch_episode(3);
+    assert!(!e.utilisation.resources.is_empty());
+    for r in &e.utilisation.resources {
+        assert!(
+            (0.0..=1.0).contains(&r.utilisation),
+            "{}: utilisation {} out of range",
+            r.name,
+            r.utilisation
+        );
+        assert!(
+            r.busy_ns <= e.utilisation.horizon_ns,
+            "{}: busy beyond horizon",
+            r.name
+        );
+    }
+    // The madvise/fault path must have exercised both the page-table lock
+    // and at least one interconnect link.
+    let pt = e
+        .utilisation
+        .resources
+        .iter()
+        .find(|r| r.name.contains("pt"))
+        .expect("pt lock in report");
+    assert!(pt.acquisitions > 0, "page-table lock never acquired");
+    assert!(
+        e.utilisation
+            .resources
+            .iter()
+            .any(|r| r.name.contains("link") && r.busy_ns > 0),
+        "no interconnect link ever busy"
+    );
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_expected_shape() {
+    use numa_migrate::stats::Json;
+    let e = traced_next_touch_episode(11);
+    let doc = Json::parse(&e.chrome_json).expect("chrome trace must parse as JSON");
+    let Json::Obj(pairs) = &doc else {
+        panic!("top level must be an object")
+    };
+    let events = pairs
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents key");
+    let Json::Arr(events) = events else {
+        panic!("traceEvents must be an array")
+    };
+    assert!(!events.is_empty(), "trace must contain events");
+    // Every event needs the Chrome trace-viewer required keys.
+    for ev in events {
+        let Json::Obj(fields) = ev else {
+            panic!("event must be an object")
+        };
+        for key in ["ph", "pid", "tid", "name"] {
+            assert!(
+                fields.iter().any(|(k, _)| k == key),
+                "event missing {key}: {ev:?}"
+            );
+        }
+    }
+}

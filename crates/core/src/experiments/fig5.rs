@@ -65,6 +65,18 @@ pub fn run(page_counts: &[u64]) -> Vec<Fig5Row> {
 /// node-0 core, touch every page from a node-1 core. Returns the engine
 /// result (makespan = mark + touch-triggered migration).
 pub fn measure(pages: u64, variant: NtVariant) -> RunResult {
+    measure_impl(pages, variant, None).0
+}
+
+/// Like [`measure`], but with event tracing enabled over the measured
+/// episode (populate stays untraced, so the trace covers exactly the run
+/// whose [`RunResult`] breakdown it must reconcile with). Returns the
+/// machine so callers can export the Chrome trace and utilisation report.
+pub fn measure_traced(pages: u64, variant: NtVariant, capacity: usize) -> (RunResult, Machine) {
+    measure_impl(pages, variant, Some(capacity))
+}
+
+fn measure_impl(pages: u64, variant: NtVariant, trace_capacity: Option<usize>) -> (RunResult, Machine) {
     let mut m: Machine = match variant {
         NtVariant::UserUnpatched => NumaSystem::new()
             .kernel(KernelConfig {
@@ -76,6 +88,9 @@ pub fn measure(pages: u64, variant: NtVariant) -> RunResult {
     };
     let buf = Buffer::alloc(&mut m, pages * PAGE_SIZE);
     setup::populate_on_node(&mut m, &buf, NodeId(0));
+    if let Some(cap) = trace_capacity {
+        m.enable_trace(cap);
+    }
 
     let user_nt = UserNextTouch::new();
     let mark_ops = match variant {
@@ -110,7 +125,7 @@ pub fn measure(pages: u64, variant: NtVariant) -> RunResult {
         &[2],
     );
     setup::assert_resident_on(&m, &buf, NodeId(1));
-    r
+    (r, m)
 }
 
 #[cfg(test)]

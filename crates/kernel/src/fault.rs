@@ -15,7 +15,7 @@
 //!    the signal to the user-space next-touch library.
 
 use crate::Kernel;
-use numa_sim::SimTime;
+use numa_sim::{SimTime, TraceEventKind};
 use numa_stats::{Breakdown, CostComponent, Counter};
 use numa_topology::{CoreId, NodeId};
 use numa_vm::{
@@ -109,6 +109,7 @@ impl Kernel {
             None => {
                 if !vma.prot.permits(write) {
                     self.counters.bump(Counter::SegvSignals);
+                    self.trace.record(now, TraceEventKind::Signal { page: vpn });
                     return FaultResolution::Segv {
                         end: now + cost.page_fault_ns,
                     };
@@ -149,6 +150,16 @@ impl Kernel {
                     &mut b,
                 );
                 self.counters.bump(Counter::FirstTouchFaults);
+                self.trace.record(
+                    now,
+                    TraceEventKind::PageFault {
+                        page: vpn,
+                        node: node.0,
+                        write,
+                        migrated: false,
+                        dur_ns: end.since(now),
+                    },
+                );
                 FaultResolution::Resolved {
                     end,
                     breakdown: b,
@@ -213,6 +224,16 @@ impl Kernel {
                 }
                 tlb.invalidate_local(core);
                 self.counters.bump(Counter::NextTouchFaults);
+                self.trace.record(
+                    now,
+                    TraceEventKind::PageFault {
+                        page: vpn,
+                        node: node.0,
+                        write,
+                        migrated,
+                        dur_ns: t.since(now),
+                    },
+                );
                 FaultResolution::Resolved {
                     end: t,
                     breakdown: b,
@@ -234,6 +255,16 @@ impl Kernel {
                     let mut b = Breakdown::new();
                     b.add(CostComponent::FaultControl, cost.page_fault_ns);
                     tlb.invalidate_local(core);
+                    self.trace.record(
+                        now,
+                        TraceEventKind::PageFault {
+                            page: vpn,
+                            node: node.0,
+                            write,
+                            migrated: false,
+                            dur_ns: cost.page_fault_ns,
+                        },
+                    );
                     FaultResolution::Resolved {
                         end: now + cost.page_fault_ns,
                         breakdown: b,
@@ -244,6 +275,7 @@ impl Kernel {
                     // True protection violation: user space asked for this
                     // (the mprotect-based next-touch) or it is a bug there.
                     self.counters.bump(Counter::SegvSignals);
+                    self.trace.record(now, TraceEventKind::Signal { page: vpn });
                     FaultResolution::Segv {
                         end: now + cost.page_fault_ns,
                     }

@@ -149,6 +149,17 @@ impl Interconnect {
         self.links[link].total_busy_ns()
     }
 
+    /// The link resources, in link-id order (utilisation reporting).
+    pub fn link_resources(&self) -> &[Resource] {
+        &self.links
+    }
+
+    /// The memory-controller resources, in node-id order (utilisation
+    /// reporting).
+    pub fn mem_resources(&self) -> &[Resource] {
+        &self.mem_ctl
+    }
+
     /// Total busy time on one node's memory controller (diagnostics).
     pub fn mem_busy_ns(&self, node: NodeId) -> u64 {
         self.mem_ctl[node.index()].total_busy_ns()

@@ -57,6 +57,9 @@ pub struct Kernel {
     pub interconnect: Interconnect,
     /// Event counters (faults, migrations, shootdowns, ...).
     pub counters: Counters,
+    /// Shared trace handle. Clones of this handle live in [`LockSet`] and
+    /// in the machine layer; enabling any of them enables all.
+    pub trace: numa_sim::Trace,
     topo: Arc<Topology>,
     /// Read-only replicas per vpn (replication extension): which nodes hold
     /// a copy, and in which frame.
@@ -72,11 +75,13 @@ impl Kernel {
     /// A kernel for the given machine with the given configuration.
     pub fn new(topo: Arc<Topology>, config: KernelConfig) -> Self {
         let interconnect = Interconnect::new(&topo);
+        let trace = numa_sim::Trace::disabled();
         Kernel {
             config,
-            locks: LockSet::new(),
+            locks: LockSet::with_trace(trace.clone()),
             interconnect,
             counters: Counters::new(),
+            trace,
             topo,
             replicas: HashMap::new(),
             pending_txns: HashMap::new(),
@@ -145,6 +150,14 @@ impl Kernel {
         let acq = self.locks.pt.acquire(now, serial);
         b.add(control_component, control_ns);
         b.add(numa_stats::CostComponent::LockWait, acq.wait_ns);
+        self.trace.record(
+            now,
+            numa_sim::TraceEventKind::LockAcquire {
+                name: "pt_lock",
+                wait_ns: acq.wait_ns,
+                hold_ns: serial,
+            },
+        );
         let parallel_ctl = control_ns - (f * control_ns as f64).round() as u64;
         let t = acq.end + parallel_ctl;
         // The unlocked remainder of the copy: same bytes through the

@@ -14,7 +14,7 @@
 //! Both are [`numa_sim::Resource`]s, so waiting time is accounted and shows
 //! up in the `LockWait` cost component.
 
-use numa_sim::{Resource, SimTime};
+use numa_sim::{Resource, SimTime, Trace, TraceEventKind};
 use numa_stats::{Breakdown, CostComponent};
 
 /// The kernel's lock set.
@@ -25,6 +25,8 @@ pub struct LockSet {
     /// Page-table / zone lock analogue (one machine-wide resource; the
     /// 2.6.27 kernel's locking in this path was similarly coarse).
     pub pt: Resource,
+    /// Shared trace handle; records one `LockAcquire` per acquisition.
+    trace: Trace,
 }
 
 impl Default for LockSet {
@@ -36,9 +38,15 @@ impl Default for LockSet {
 impl LockSet {
     /// Fresh, uncontended locks.
     pub fn new() -> Self {
+        LockSet::with_trace(Trace::disabled())
+    }
+
+    /// Fresh locks recording acquisitions into `trace`.
+    pub fn with_trace(trace: Trace) -> Self {
         LockSet {
             mmap: Resource::new("mmap_lock"),
             pt: Resource::new("pt_lock"),
+            trace,
         }
     }
 
@@ -60,6 +68,14 @@ impl LockSet {
         let acq = self.pt.acquire(now, serial);
         breakdown.add(component, total_ns);
         breakdown.add(CostComponent::LockWait, acq.wait_ns);
+        self.trace.record(
+            now,
+            TraceEventKind::LockAcquire {
+                name: "pt_lock",
+                wait_ns: acq.wait_ns,
+                hold_ns: serial,
+            },
+        );
         acq.end + parallel
     }
 
@@ -76,6 +92,14 @@ impl LockSet {
         let acq = self.mmap.acquire(now, hold_ns);
         breakdown.add(component, hold_ns);
         breakdown.add(CostComponent::LockWait, acq.wait_ns);
+        self.trace.record(
+            now,
+            TraceEventKind::LockAcquire {
+                name: "mmap_lock",
+                wait_ns: acq.wait_ns,
+                hold_ns,
+            },
+        );
         acq.end
     }
 

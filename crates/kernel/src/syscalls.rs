@@ -12,7 +12,7 @@
 //!   future-work extensions.
 
 use crate::Kernel;
-use numa_sim::SimTime;
+use numa_sim::{SimTime, TraceEventKind};
 use numa_stats::{Breakdown, CostComponent, Counter};
 use numa_topology::{CoreId, NodeId};
 use numa_vm::{
@@ -76,6 +76,8 @@ impl Kernel {
         if pages.len() != dest.len() {
             return Err(VmError::Unsupported("pages/dest length mismatch"));
         }
+        self.trace
+            .record(now, TraceEventKind::SyscallEnter { name: "move_pages" });
         let (mut t, mut b) = self.move_pages_begin(now);
 
         let n = pages.len();
@@ -106,6 +108,14 @@ impl Kernel {
         t = end;
         b.merge(&sb);
 
+        self.trace.record(
+            now,
+            TraceEventKind::SyscallExit {
+                name: "move_pages",
+                pages: moved,
+                dur_ns: t.since(now),
+            },
+        );
         Ok(MovePagesResult {
             outcome: SyscallOutcome {
                 end: t,
@@ -176,6 +186,8 @@ impl Kernel {
         self.counters.bump(Counter::TlbShootdowns);
         let flush = self.topology().cost().tlb_flush_ns(hit);
         b.add(CostComponent::TlbFlush, flush);
+        self.trace
+            .record(now, TraceEventKind::TlbShootdown { dur_ns: flush });
         (now + flush, b)
     }
 
@@ -238,6 +250,7 @@ impl Kernel {
             return (t, b, Some(PageStatus::NoMemory));
         };
         let bytes = if huge { cost.huge_page_size } else { PAGE_SIZE };
+        let copy_start = t;
         t = self.locked_migration_copy(
             t,
             src,
@@ -247,6 +260,15 @@ impl Kernel {
             CostComponent::MigratePagesWalk,
             CostComponent::FaultCopy,
             &mut b,
+        );
+        self.trace.record(
+            copy_start,
+            TraceEventKind::MigrationCopy {
+                page: vpn,
+                from: src.0,
+                to: dst.0,
+                dur_ns: t.since(copy_start),
+            },
         );
         frames.copy_contents(old_frame, new_frame);
         frames.free(old_frame);
@@ -304,6 +326,7 @@ impl Kernel {
             return PageStatus::NoMemory;
         };
         let bytes = if huge { cost.huge_page_size } else { PAGE_SIZE };
+        let copy_start = *t;
         *t = self.locked_migration_copy(
             *t,
             src,
@@ -313,6 +336,15 @@ impl Kernel {
             CostComponent::MovePagesControl,
             CostComponent::MovePagesCopy,
             b,
+        );
+        self.trace.record(
+            copy_start,
+            TraceEventKind::MigrationCopy {
+                page: vpn,
+                from: src.0,
+                to: dst.0,
+                dur_ns: t.since(copy_start),
+            },
         );
 
         frames.copy_contents(old_frame, new_frame);
@@ -346,6 +378,12 @@ impl Kernel {
         if from.is_empty() || from.len() != to.len() {
             return Err(VmError::Unsupported("from/to node sets mismatch"));
         }
+        self.trace.record(
+            now,
+            TraceEventKind::SyscallEnter {
+                name: "migrate_pages",
+            },
+        );
         let (mut t, mut b) = self.migrate_pages_begin(now);
 
         let mut moved = 0u64;
@@ -368,6 +406,14 @@ impl Kernel {
         t = end;
         b.merge(&sb);
 
+        self.trace.record(
+            now,
+            TraceEventKind::SyscallExit {
+                name: "migrate_pages",
+                pages: moved,
+                dur_ns: t.since(now),
+            },
+        );
         Ok(MovePagesResult {
             outcome: SyscallOutcome {
                 end: t,
@@ -412,6 +458,8 @@ impl Kernel {
             }
         }
 
+        self.trace
+            .record(now, TraceEventKind::SyscallEnter { name: "madvise" });
         let cost = self.topology().cost().clone();
         let mut b = Breakdown::new();
         let mut marked = 0u64;
@@ -437,6 +485,14 @@ impl Kernel {
             t += flush;
         }
         self.counters.add(Counter::PagesMarkedNextTouch, marked);
+        self.trace.record(
+            now,
+            TraceEventKind::SyscallExit {
+                name: "madvise",
+                pages: marked,
+                dur_ns: t.since(now),
+            },
+        );
         Ok(SyscallOutcome {
             end: t,
             breakdown: b,
@@ -458,6 +514,8 @@ impl Kernel {
         component: CostComponent,
     ) -> Result<SyscallOutcome, VmError> {
         space.mprotect(range, prot)?;
+        self.trace
+            .record(now, TraceEventKind::SyscallEnter { name: "mprotect" });
         // Keep PTE access bits consistent with the new VMA protection
         // (preserving the next-touch and huge flags).
         for vpn in range.iter() {
@@ -491,6 +549,14 @@ impl Kernel {
         t += flush;
 
         self.counters.bump(Counter::MprotectCalls);
+        self.trace.record(
+            now,
+            TraceEventKind::SyscallExit {
+                name: "mprotect",
+                pages: range.pages(),
+                dur_ns: t.since(now),
+            },
+        );
         Ok(SyscallOutcome {
             end: t,
             breakdown: b,
@@ -509,6 +575,14 @@ impl Kernel {
         let cost = self.topology().cost();
         let mut b = Breakdown::new();
         b.add(CostComponent::Other, cost.mbind_base_ns);
+        self.trace.record(
+            now,
+            TraceEventKind::SyscallExit {
+                name: "mbind",
+                pages: range.pages(),
+                dur_ns: cost.mbind_base_ns,
+            },
+        );
         Ok(SyscallOutcome {
             end: now + cost.mbind_base_ns,
             breakdown: b,

@@ -26,7 +26,7 @@
 //! and application traffic contend honestly.
 
 use crate::Kernel;
-use numa_sim::SimTime;
+use numa_sim::{SimTime, TraceEventKind};
 use numa_stats::{Breakdown, CostComponent, Counter};
 use numa_topology::{MemTier, NodeId};
 use numa_vm::{AddressSpace, FrameAllocator, FrameId, PteFlags, PAGE_SIZE};
@@ -89,6 +89,14 @@ impl Kernel {
             return None;
         }
         let dst_frame = self.alloc_frame(frames, dst_node, None)?;
+        self.trace.record(
+            now,
+            TraceEventKind::MigrationBegin {
+                page: vpn,
+                from: src_node.0,
+                to: dst_node.0,
+            },
+        );
 
         // Short critical section: allocate the shadow PTE slot and
         // snapshot the generation. Deliberately much smaller than the
@@ -179,7 +187,14 @@ impl Kernel {
             frames.free(old);
             self.counters.bump(Counter::FramesFreed);
             self.counters.bump(Counter::TierTxnCommits);
-            self.note_tier_move(frames, Some(src_node), txn.dst_frame);
+            self.trace.record(
+                now,
+                TraceEventKind::MigrationCommit {
+                    page: vpn,
+                    dur_ns: end.since(now),
+                },
+            );
+            self.note_tier_move(frames, Some(src_node), txn.dst_frame, vpn, end);
             (end, TxnOutcome::Committed)
         } else {
             // Abort: discard the copy; the mapping was never disturbed.
@@ -192,6 +207,13 @@ impl Kernel {
             frames.free(txn.dst_frame);
             self.counters.bump(Counter::FramesFreed);
             self.counters.bump(Counter::TierTxnAborts);
+            self.trace.record(
+                now,
+                TraceEventKind::MigrationAbort {
+                    page: vpn,
+                    dur_ns: cost.tier_abort_ns,
+                },
+            );
             (now + cost.tier_abort_ns, TxnOutcome::Aborted)
         }
     }
@@ -237,6 +259,15 @@ impl Kernel {
             CostComponent::MovePagesCopy,
             b,
         );
+        self.trace.record(
+            now,
+            TraceEventKind::MigrationCopy {
+                page: vpn,
+                from: src_node.0,
+                to: dst_node.0,
+                dur_ns: end.since(now),
+            },
+        );
         frames.copy_contents(pte.frame, dst_frame);
         frames.free(pte.frame);
         self.counters.bump(Counter::FramesFreed);
@@ -245,7 +276,7 @@ impl Kernel {
             .get_mut(vpn)
             .expect("pte checked above")
             .frame = dst_frame;
-        self.note_tier_move(frames, Some(src_node), dst_frame);
+        self.note_tier_move(frames, Some(src_node), dst_frame, vpn, end);
         // The page is unmapped for the whole episode: record the window
         // so concurrent touches stall on it.
         self.in_flight_stw.insert(vpn, end);
@@ -273,13 +304,35 @@ impl Kernel {
         frames: &FrameAllocator,
         src_node: Option<NodeId>,
         dst_frame: FrameId,
+        vpn: u64,
+        at: SimTime,
     ) {
         let Some(src) = src_node else { return };
         let dst = frames.node_of(dst_frame);
         let topo = self.topology().clone();
         match (topo.tier_of(src), topo.tier_of(dst)) {
-            (MemTier::Slow, MemTier::Dram) => self.counters.bump(Counter::TierPromotions),
-            (MemTier::Dram, MemTier::Slow) => self.counters.bump(Counter::TierDemotions),
+            (MemTier::Slow, MemTier::Dram) => {
+                self.counters.bump(Counter::TierPromotions);
+                self.trace.record(
+                    at,
+                    TraceEventKind::TierPromote {
+                        page: vpn,
+                        from: src.0,
+                        to: dst.0,
+                    },
+                );
+            }
+            (MemTier::Dram, MemTier::Slow) => {
+                self.counters.bump(Counter::TierDemotions);
+                self.trace.record(
+                    at,
+                    TraceEventKind::TierDemote {
+                        page: vpn,
+                        from: src.0,
+                        to: dst.0,
+                    },
+                );
+            }
             _ => {}
         }
     }

@@ -41,6 +41,9 @@ impl Machine {
         stats: &mut RunStats,
     ) -> (SimTime, NodeId) {
         let cost = self.topology().cost().clone();
+        // Attribute kernel-recorded trace events (faults, locks, TLB
+        // shootdowns) to the faulting thread.
+        self.trace.set_thread(tid);
         for _ in 0..MAX_FAULT_RETRIES {
             let vpn = self.resolve_vpn(addr);
             if let Some(pte) = self.space.page_table.get(vpn) {
@@ -58,17 +61,16 @@ impl Machine {
                 write,
             ) {
                 FaultResolution::Resolved { end, breakdown, .. } => {
+                    // The kernel fault path records the typed PageFault
+                    // trace event itself.
                     stats.breakdown.merge(&breakdown);
                     now = end;
-                    self.trace
-                        .record(now, tid, format!("fault resolved at {addr}"));
                 }
                 FaultResolution::Segv { end } => {
                     now = end + cost.sigsegv_deliver_ns;
                     stats
                         .breakdown
                         .add(CostComponent::PageFaultSignal, cost.sigsegv_deliver_ns);
-                    self.trace.record(now, tid, format!("SIGSEGV at {addr}"));
                     let mut handler = self.segv_handler.take().unwrap_or_else(|| {
                         panic!(
                             "thread {tid} took SIGSEGV at {addr} with no handler registered \

@@ -8,7 +8,7 @@
 
 use crate::op::Op;
 use crate::Machine;
-use numa_sim::{BarrierOutcome, BarrierState, ReadyQueue, SimTime};
+use numa_sim::{BarrierOutcome, BarrierState, ReadyQueue, SimTime, TraceEventKind};
 use numa_stats::{Breakdown, CostComponent, Counter, Counters};
 use numa_topology::CoreId;
 
@@ -150,6 +150,8 @@ struct ThreadState {
     done: bool,
     program: Program,
     micro: std::collections::VecDeque<Micro>,
+    /// The op currently being drained and when it started (tracing only).
+    op: Option<(&'static str, SimTime)>,
 }
 
 impl Machine {
@@ -172,6 +174,7 @@ impl Machine {
                 done: false,
                 program: t.program,
                 micro: std::collections::VecDeque::new(),
+                op: None,
             })
             .collect();
         let n = states.len();
@@ -193,7 +196,44 @@ impl Machine {
             // is passed down so a micro can queue follow-up work (e.g. a
             // transactional tier abort re-queuing its retry).
             if let Some(micro) = state.micro.pop_front() {
+                // With tracing on, diff the breakdown around the micro so
+                // every nanosecond charged to a component also appears as a
+                // trace span — component_totals() then reconciles exactly
+                // with the run's Breakdown by construction.
+                let before = if self.trace.enabled() {
+                    self.trace.set_thread(tid);
+                    Some(stats.breakdown.clone())
+                } else {
+                    None
+                };
                 let end = self.exec_micro(tid, core, now, micro, &mut state.micro, &mut stats);
+                if let Some(before) = before {
+                    for c in CostComponent::ALL {
+                        let delta = stats.breakdown.get(c) - before.get(c);
+                        if delta > 0 {
+                            self.trace.record_for(
+                                now,
+                                tid,
+                                TraceEventKind::Span {
+                                    component: c,
+                                    dur_ns: delta,
+                                },
+                            );
+                        }
+                    }
+                    if state.micro.is_empty() {
+                        if let Some((op, started)) = state.op.take() {
+                            self.trace.record_for(
+                                started,
+                                tid,
+                                TraceEventKind::OpEnd {
+                                    op,
+                                    dur_ns: end.since(started),
+                                },
+                            );
+                        }
+                    }
+                }
                 state.clock = end;
                 queue.push(end, tid);
                 continue;
@@ -231,6 +271,8 @@ impl Machine {
                             waiters,
                         } => {
                             stats.counters.bump(Counter::BarriersCompleted);
+                            self.trace
+                                .record_for(release_at, tid, TraceEventKind::Barrier { id });
                             for w in waiters {
                                 states[w].clock = release_at;
                                 queue.push(release_at, w);
@@ -241,7 +283,13 @@ impl Machine {
                     }
                 }
                 other => {
+                    let op_name = other.name();
                     let micros = self.expand_op(core, other);
+                    if self.trace.enabled() && !micros.is_empty() {
+                        self.trace
+                            .record_for(now, tid, TraceEventKind::OpStart { op: op_name });
+                        states[tid].op = Some((op_name, now));
+                    }
                     states[tid].micro = micros;
                     queue.push(now, tid);
                 }

@@ -90,17 +90,30 @@ impl Machine {
             .node_ids()
             .map(|n| cache::L3Cache::new((topo.node(n).l3_bytes / cost.page_size) as usize))
             .collect();
+        let kernel = Kernel::new(topo.clone(), config);
+        // One shared trace handle across all layers: the kernel (and its
+        // lock set) already hold clones, so enabling the machine's handle
+        // enables recording everywhere at once.
+        let trace = kernel.trace.clone();
         Machine {
-            kernel: Kernel::new(topo.clone(), config),
+            kernel,
             space: AddressSpace::new(),
             frames: FrameAllocator::with_capacities(capacities),
             tlb: Tlb::new(topo.core_count()),
             caches,
-            trace: Trace::disabled(),
+            trace,
             segv_handler: None,
             heat: std::collections::BTreeMap::new(),
             topo,
         }
+    }
+
+    /// Enable event tracing with a bounded buffer of `capacity` events.
+    /// The trace handle is shared with the kernel and lock layers, so one
+    /// call turns on recording everywhere. Call *after* untimed setup
+    /// (population) so the trace covers only the measured run.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
     }
 
     /// The paper's 4-socket Opteron with the paper's kernel.
@@ -211,6 +224,97 @@ impl Machine {
                 .map(|n| self.kernel.interconnect.mem_busy_ns(n))
                 .collect(),
         }
+    }
+
+    /// Per-resource busy/wait/utilisation over `[0, horizon]` (typically
+    /// the run's makespan): every interconnect link, every node memory
+    /// controller, and the two kernel locks.
+    pub fn utilisation_report(&self, horizon: SimTime) -> UtilisationReport {
+        let usage = |r: &numa_sim::Resource| ResourceUsage {
+            name: r.name().to_string(),
+            busy_ns: r.total_busy_ns(),
+            wait_ns: r.total_wait_ns(),
+            acquisitions: r.acquisitions(),
+            utilisation: r.utilisation(horizon),
+        };
+        let ic = &self.kernel.interconnect;
+        let mut resources: Vec<ResourceUsage> =
+            ic.link_resources().iter().map(usage).collect();
+        resources.extend(ic.mem_resources().iter().map(usage));
+        resources.push(usage(&self.kernel.locks.mmap));
+        resources.push(usage(&self.kernel.locks.pt));
+        UtilisationReport {
+            horizon_ns: horizon.ns(),
+            resources,
+        }
+    }
+}
+
+/// Usage counters for one contended resource over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceUsage {
+    /// Diagnostic name ("link0", "mc2", "mmap_lock", ...).
+    pub name: String,
+    /// Total time spent servicing requests.
+    pub busy_ns: u64,
+    /// Total time requesters spent queued.
+    pub wait_ns: u64,
+    /// Number of acquisitions served.
+    pub acquisitions: u64,
+    /// busy_ns / horizon (always <= 1.0 for a serial resource).
+    pub utilisation: f64,
+}
+
+/// Per-run resource utilisation/wait report (links, memory controllers,
+/// kernel locks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilisationReport {
+    /// The horizon the utilisations were computed against.
+    pub horizon_ns: u64,
+    /// One row per resource, links then memory controllers then locks.
+    pub resources: Vec<ResourceUsage>,
+}
+
+impl UtilisationReport {
+    /// Render as a printable table.
+    pub fn to_table(&self) -> numa_stats::Table {
+        let mut t = numa_stats::Table::new([
+            "resource",
+            "busy_ns",
+            "wait_ns",
+            "acquisitions",
+            "utilisation",
+        ]);
+        for r in &self.resources {
+            t.row([
+                r.name.clone(),
+                r.busy_ns.to_string(),
+                r.wait_ns.to_string(),
+                r.acquisitions.to_string(),
+                format!("{:.4}", r.utilisation),
+            ]);
+        }
+        t
+    }
+
+    /// Machine-readable form for the `--json` results file.
+    pub fn to_json(&self) -> numa_stats::Json {
+        use numa_stats::Json;
+        let rows: Vec<Json> = self
+            .resources
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .set("name", r.name.as_str())
+                    .set("busy_ns", r.busy_ns)
+                    .set("wait_ns", r.wait_ns)
+                    .set("acquisitions", r.acquisitions)
+                    .set("utilisation", r.utilisation)
+            })
+            .collect();
+        Json::obj()
+            .set("horizon_ns", self.horizon_ns)
+            .set("resources", rows)
     }
 }
 

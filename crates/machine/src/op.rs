@@ -146,6 +146,25 @@ pub enum Op {
 }
 
 impl Op {
+    /// Stable short name for tracing (`OpStart`/`OpEnd` events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Compute { .. } => "compute",
+            Op::ComputeNs(_) => "compute_ns",
+            Op::Access { .. } => "access",
+            Op::AccessStrided { .. } => "access_strided",
+            Op::Memcpy { .. } => "memcpy",
+            Op::MovePages { .. } => "move_pages",
+            Op::MigratePages { .. } => "migrate_pages",
+            Op::TierMigrate { .. } => "tier_migrate",
+            Op::MadviseNextTouch { .. } => "madvise_next_touch",
+            Op::Mprotect { .. } => "mprotect",
+            Op::Mbind { .. } => "mbind",
+            Op::Barrier(_) => "barrier",
+            Op::Nop => "nop",
+        }
+    }
+
     /// A one-pass read over `[addr, addr+bytes)`.
     pub fn read(addr: VirtAddr, bytes: u64, kind: MemAccessKind) -> Op {
         Op::Access {

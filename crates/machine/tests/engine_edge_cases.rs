@@ -3,7 +3,6 @@
 
 use numa_kernel::KernelConfig;
 use numa_machine::{Machine, MemAccessKind, Op, ThreadSpec};
-use numa_sim::Trace;
 use numa_topology::{presets, CoreId, NodeId};
 use numa_vm::{MemPolicy, PAGES_PER_HUGE, PAGE_SIZE};
 use std::sync::Arc;
@@ -109,8 +108,9 @@ fn zero_byte_ops_are_free() {
 
 #[test]
 fn trace_records_faults_when_enabled() {
+    use numa_sim::TraceEventKind;
     let mut m = Machine::two_node();
-    m.trace = Trace::with_capacity(64);
+    m.enable_trace(1024);
     let buf = m.alloc(2 * PAGE_SIZE, MemPolicy::FirstTouch);
     m.run(
         vec![ThreadSpec::scripted(
@@ -119,12 +119,16 @@ fn trace_records_faults_when_enabled() {
         )],
         &[],
     );
-    let fault_events = m
-        .trace
-        .events()
-        .filter(|e| e.what.contains("fault resolved"))
+    let events = m.trace.snapshot();
+    let fault_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::PageFault { .. }))
         .count();
     assert_eq!(fault_events, 2, "one trace event per first-touch fault");
+    // The engine wraps each fault in a typed span as well.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::Span { .. })));
 }
 
 #[test]

@@ -121,6 +121,13 @@ impl SegvHandler for NtSegvHandler {
         now: SimTime,
         stats: &mut RunStats,
     ) -> SimTime {
+        machine.trace.record_for(
+            now,
+            tid,
+            numa_sim::TraceEventKind::OpStart {
+                op: "user_nt_handler",
+            },
+        );
         // Find and remove the region containing the fault.
         let region = {
             let mut reg = self.registry.borrow_mut();
@@ -168,6 +175,14 @@ impl SegvHandler for NtSegvHandler {
             )
             .expect("mprotect restore inside SIGSEGV handler");
         stats.breakdown.merge(&r2.breakdown);
+        machine.trace.record_for(
+            now,
+            tid,
+            numa_sim::TraceEventKind::OpEnd {
+                op: "user_nt_handler",
+                dur_ns: r2.end.since(now),
+            },
+        );
         r2.end
     }
 }

@@ -29,4 +29,4 @@ pub use queue::ReadyQueue;
 pub use resource::{Acquisition, Resource};
 pub use rng::Splitmix64;
 pub use time::SimTime;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceEventKind, SYSTEM_TID};

@@ -74,7 +74,14 @@ impl Resource {
     /// earlier than `now`. Convenience wrapper over [`Resource::acquire`].
     pub fn transfer(&mut self, now: SimTime, bytes: u64, bytes_per_ns: f64) -> Acquisition {
         debug_assert!(bytes_per_ns > 0.0, "bandwidth must be positive");
-        let service = (bytes as f64 / bytes_per_ns).round() as u64;
+        // Round up, never down: a nonzero transfer must occupy the resource
+        // for at least 1 ns, otherwise streams of small transfers occupy a
+        // link for zero time and congestion is undercounted.
+        let service = if bytes == 0 {
+            0
+        } else {
+            ((bytes as f64 / bytes_per_ns).ceil() as u64).max(1)
+        };
         self.acquire(now, service)
     }
 
@@ -84,8 +91,11 @@ impl Resource {
     /// `busy_until` monotonically; returns when the occupation ends.
     pub fn occupy(&mut self, start: SimTime, service_ns: u64) -> SimTime {
         let end = start + service_ns;
+        // Account only the part that extends past what is already counted
+        // as busy: overlapping occupations (pipelined multi-link transfers
+        // hitting the same controller) must not push utilisation past 1.0.
+        self.total_busy_ns += end.ns().saturating_sub(self.busy_until.max(start).ns());
         self.busy_until = self.busy_until.max(end);
-        self.total_busy_ns += service_ns;
         self.acquisitions += 1;
         end
     }
@@ -180,6 +190,38 @@ mod tests {
         let a2 = r.transfer(SimTime(0), 4096, 4.0);
         assert_eq!(a1.end, SimTime(1024));
         assert_eq!(a2.end, SimTime(2048));
+    }
+
+    #[test]
+    fn tiny_transfers_occupy_at_least_one_ns() {
+        // Regression: `.round()` let sub-ns transfers occupy for 0 ns.
+        let mut r = Resource::new("link");
+        let a = r.transfer(SimTime(0), 1, 4.0); // 0.25 ns -> ceil -> 1 ns
+        assert_eq!(a.end, SimTime(1));
+        let a = r.transfer(SimTime(0), 9, 4.0); // 2.25 ns -> ceil -> 3 ns
+        assert_eq!(a.end, SimTime(4));
+        assert_eq!(r.total_busy_ns(), 4);
+        // Zero bytes still cost nothing.
+        let a = r.transfer(SimTime(10), 0, 4.0);
+        assert_eq!(a.start, a.end);
+    }
+
+    #[test]
+    fn overlapping_occupations_do_not_double_count() {
+        // Regression: occupy() added the full service even when the window
+        // overlapped already-accounted busy time, pushing utilisation > 1.
+        let mut r = Resource::new("mc");
+        r.occupy(SimTime(0), 100);
+        assert_eq!(r.total_busy_ns(), 100);
+        // Fully contained in the existing busy window: no extension.
+        r.occupy(SimTime(20), 50);
+        assert_eq!(r.total_busy_ns(), 100);
+        // Partial overlap: only the 40 ns past busy_until count.
+        r.occupy(SimTime(60), 80);
+        assert_eq!(r.total_busy_ns(), 140);
+        assert_eq!(r.busy_until(), SimTime(140));
+        assert!(r.utilisation(r.busy_until()) <= 1.0);
+        assert_eq!(r.acquisitions(), 3);
     }
 
     #[test]

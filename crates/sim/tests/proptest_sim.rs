@@ -1,7 +1,19 @@
 //! Property-based tests for the discrete-event primitives.
 
-use numa_sim::{BarrierOutcome, BarrierState, ReadyQueue, Resource, SimTime, Splitmix64};
+use numa_sim::{
+    BarrierOutcome, BarrierState, ReadyQueue, Resource, SimTime, Splitmix64, Trace, TraceEventKind,
+};
 use proptest::prelude::*;
+
+fn fault_kind(page: u64) -> TraceEventKind {
+    TraceEventKind::PageFault {
+        page,
+        node: 0,
+        write: false,
+        migrated: false,
+        dur_ns: 1,
+    }
+}
 
 proptest! {
     /// Resource FIFO semantics: for requests issued in nondecreasing
@@ -118,6 +130,49 @@ proptest! {
         Splitmix64::new(seed).shuffle(&mut v);
         v.sort_unstable();
         prop_assert_eq!(v, expected);
+    }
+
+    /// Trace bounded-buffer invariant: at every step `len() <= capacity`,
+    /// and `dropped` counts exactly the events that fell out of the ring.
+    #[test]
+    fn trace_bounded_buffer(capacity in 0usize..16, n in 0u64..100) {
+        let t = Trace::with_capacity(capacity);
+        for i in 0..n {
+            t.record(SimTime(i), fault_kind(i));
+            prop_assert!(t.len() <= capacity);
+            prop_assert_eq!(t.len() as u64 + t.dropped(), i + 1);
+        }
+        prop_assert_eq!(t.len(), (n as usize).min(capacity));
+        prop_assert_eq!(t.dropped(), n - t.len() as u64);
+        // The retained events are exactly the most recent ones, in order.
+        let pages: Vec<u64> = t.snapshot().iter().map(|e| match e.kind {
+            TraceEventKind::PageFault { page, .. } => page,
+            _ => unreachable!(),
+        }).collect();
+        let expected: Vec<u64> = (n - t.len() as u64..n).collect();
+        prop_assert_eq!(pages, expected);
+    }
+
+    /// Under any mix of FIFO acquisitions and externally-synchronised
+    /// occupations, accounted busy time never exceeds the busy horizon —
+    /// i.e. `utilisation(busy_until) <= 1.0`.
+    #[test]
+    fn resource_utilisation_at_most_one(
+        steps in proptest::collection::vec(
+            (any::<bool>(), 0u64..1000, 0u64..100), 1..60)
+    ) {
+        let mut r = Resource::new("r");
+        for (is_occupy, t, svc) in steps {
+            if is_occupy {
+                r.occupy(SimTime(t), svc);
+            } else {
+                r.acquire(SimTime(t), svc);
+            }
+            prop_assert!(r.total_busy_ns() <= r.busy_until().ns());
+            if r.busy_until().ns() > 0 {
+                prop_assert!(r.utilisation(r.busy_until()) <= 1.0);
+            }
+        }
     }
 
     /// SimTime arithmetic never panics and saturates instead of wrapping.

@@ -11,11 +11,13 @@
 pub mod breakdown;
 pub mod counters;
 pub mod histogram;
+pub mod json;
 pub mod table;
 
 pub use breakdown::{Breakdown, CostComponent};
 pub use counters::{Counter, Counters};
 pub use histogram::Histogram;
+pub use json::Json;
 pub use table::Table;
 
 /// Throughput in MB/s given a byte count and a duration in nanoseconds.

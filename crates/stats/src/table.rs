@@ -4,6 +4,7 @@
 //! harness output looks like the paper's tables (e.g. Table 1: matrix size,
 //! block size, static time, next-touch time, improvement).
 
+use crate::json::Json;
 use std::fmt;
 
 /// A simple column-aligned table with a header row.
@@ -37,6 +38,28 @@ impl Table {
     /// True when the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Render as a JSON object `{"headers": [...], "rows": [[...], ...]}`.
+    pub fn to_json(&self) -> Json {
+        let headers = Json::Arr(self.headers.iter().map(|h| Json::Str(h.clone())).collect());
+        let rows = Json::Arr(
+            self.rows
+                .iter()
+                .map(|r| Json::Arr(r.iter().map(|c| Json::Str(c.clone())).collect()))
+                .collect(),
+        );
+        Json::obj().set("headers", headers).set("rows", rows)
     }
 
     /// Render as CSV (RFC-4180-ish: cells containing commas or quotes are
@@ -145,6 +168,17 @@ mod tests {
         assert!(s.contains('3'));
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn to_json_preserves_shape() {
+        let mut t = Table::new(["size", "MB/s"]);
+        t.row(["4", "612.0"]);
+        let j = t.to_json();
+        assert_eq!(
+            j.to_string(),
+            r#"{"headers":["size","MB/s"],"rows":[["4","612.0"]]}"#
+        );
     }
 
     #[test]

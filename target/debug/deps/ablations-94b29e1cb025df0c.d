@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-94b29e1cb025df0c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-94b29e1cb025df0c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a209d3ea4f0a8a5f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-a209d3ea4f0a8a5f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blas1_check-17ab09804311e7b8.d: crates/bench/src/bin/blas1_check.rs
+
+/root/repo/target/debug/deps/blas1_check-17ab09804311e7b8: crates/bench/src/bin/blas1_check.rs
+
+crates/bench/src/bin/blas1_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blas1_check-38b7d83373469cbd.d: crates/bench/src/bin/blas1_check.rs
+
+/root/repo/target/debug/deps/blas1_check-38b7d83373469cbd: crates/bench/src/bin/blas1_check.rs
+
+crates/bench/src/bin/blas1_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-e5b55bf2276ad0af.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-e5b55bf2276ad0af: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

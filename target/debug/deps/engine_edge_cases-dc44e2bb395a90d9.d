@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_edge_cases-dc44e2bb395a90d9.d: crates/machine/tests/engine_edge_cases.rs
+
+/root/repo/target/debug/deps/engine_edge_cases-dc44e2bb395a90d9: crates/machine/tests/engine_edge_cases.rs
+
+crates/machine/tests/engine_edge_cases.rs:

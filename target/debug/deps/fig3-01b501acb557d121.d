@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-01b501acb557d121.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-01b501acb557d121: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-c9ac9b1439034676.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-c9ac9b1439034676: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

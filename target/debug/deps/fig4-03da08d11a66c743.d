@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-03da08d11a66c743.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-03da08d11a66c743: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-1ebc0fcc0c995a3a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-1ebc0fcc0c995a3a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-38073a75c55fe6a6.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-38073a75c55fe6a6: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-c4c7d588bd438cbc.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-c4c7d588bd438cbc: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-632fd7d3a109f3c3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-632fd7d3a109f3c3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-5008f494feeaad90.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-5008f494feeaad90: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

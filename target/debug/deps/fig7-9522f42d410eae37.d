@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-9522f42d410eae37.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-9522f42d410eae37: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

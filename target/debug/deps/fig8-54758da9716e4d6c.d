@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-54758da9716e4d6c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-54758da9716e4d6c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

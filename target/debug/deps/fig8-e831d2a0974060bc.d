@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-e831d2a0974060bc.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-e831d2a0974060bc: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

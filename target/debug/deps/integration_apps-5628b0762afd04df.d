@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_apps-5628b0762afd04df.d: crates/core/../../tests/integration_apps.rs
+
+/root/repo/target/debug/deps/integration_apps-5628b0762afd04df: crates/core/../../tests/integration_apps.rs
+
+crates/core/../../tests/integration_apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_experiments-9e93d3bbf1e77a34.d: crates/core/../../tests/integration_experiments.rs
+
+/root/repo/target/debug/deps/integration_experiments-9e93d3bbf1e77a34: crates/core/../../tests/integration_experiments.rs
+
+crates/core/../../tests/integration_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_migration-74fb05975b180be2.d: crates/core/../../tests/integration_migration.rs
+
+/root/repo/target/debug/deps/integration_migration-74fb05975b180be2: crates/core/../../tests/integration_migration.rs
+
+crates/core/../../tests/integration_migration.rs:

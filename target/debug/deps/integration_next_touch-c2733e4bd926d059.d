@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_next_touch-c2733e4bd926d059.d: crates/core/../../tests/integration_next_touch.rs
+
+/root/repo/target/debug/deps/integration_next_touch-c2733e4bd926d059: crates/core/../../tests/integration_next_touch.rs
+
+crates/core/../../tests/integration_next_touch.rs:

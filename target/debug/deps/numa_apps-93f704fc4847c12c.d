@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numa_apps-93f704fc4847c12c.d: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+/root/repo/target/debug/deps/numa_apps-93f704fc4847c12c: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/amr.rs:
+crates/apps/src/blas.rs:
+crates/apps/src/blas1.rs:
+crates/apps/src/gemm.rs:
+crates/apps/src/lu.rs:
+crates/apps/src/matrix.rs:
+crates/apps/src/model.rs:
+crates/apps/src/pde.rs:

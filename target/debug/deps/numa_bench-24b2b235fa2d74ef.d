@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numa_bench-24b2b235fa2d74ef.d: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs
+
+/root/repo/target/debug/deps/libnuma_bench-24b2b235fa2d74ef.rlib: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs
+
+/root/repo/target/debug/deps/libnuma_bench-24b2b235fa2d74ef.rmeta: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/output.rs:
+crates/bench/src/trace_run.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numa_bench-791649855f3398fe.d: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs
+
+/root/repo/target/debug/deps/numa_bench-791649855f3398fe: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/output.rs:
+crates/bench/src/trace_run.rs:

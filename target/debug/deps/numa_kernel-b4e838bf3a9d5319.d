@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/numa_kernel-b4e838bf3a9d5319.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/extensions_tests.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs
+
+/root/repo/target/debug/deps/numa_kernel-b4e838bf3a9d5319: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/extensions_tests.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/extensions_tests.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/interconnect.rs:
+crates/kernel/src/locks.rs:
+crates/kernel/src/syscalls.rs:
+crates/kernel/src/tier.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numa_kernel-d1d0d9a38654ee66.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs
+
+/root/repo/target/debug/deps/libnuma_kernel-d1d0d9a38654ee66.rlib: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs
+
+/root/repo/target/debug/deps/libnuma_kernel-d1d0d9a38654ee66.rmeta: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/interconnect.rs:
+crates/kernel/src/locks.rs:
+crates/kernel/src/syscalls.rs:
+crates/kernel/src/tier.rs:

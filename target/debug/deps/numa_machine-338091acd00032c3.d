@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numa_machine-338091acd00032c3.d: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+/root/repo/target/debug/deps/libnuma_machine-338091acd00032c3.rlib: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+/root/repo/target/debug/deps/libnuma_machine-338091acd00032c3.rmeta: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/access.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/engine.rs:
+crates/machine/src/op.rs:

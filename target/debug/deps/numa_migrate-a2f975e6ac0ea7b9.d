@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/numa_migrate-a2f975e6ac0ea7b9.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/blas1.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tiering.rs crates/core/src/prelude.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libnuma_migrate-a2f975e6ac0ea7b9.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/blas1.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tiering.rs crates/core/src/prelude.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libnuma_migrate-a2f975e6ac0ea7b9.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/blas1.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tiering.rs crates/core/src/prelude.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/blas1.rs:
+crates/core/src/experiments/fig4.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/scaling.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/tiering.rs:
+crates/core/src/prelude.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numa_rt-2a11ab97b0e1e7ee.d: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs
+
+/root/repo/target/debug/deps/numa_rt-2a11ab97b0e1e7ee: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/autobalance.rs:
+crates/rt/src/buffer.rs:
+crates/rt/src/lazy.rs:
+crates/rt/src/next_touch.rs:
+crates/rt/src/omp.rs:
+crates/rt/src/setup.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numa_rt-c07d5f91d79711d6.d: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs
+
+/root/repo/target/debug/deps/libnuma_rt-c07d5f91d79711d6.rlib: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs
+
+/root/repo/target/debug/deps/libnuma_rt-c07d5f91d79711d6.rmeta: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/autobalance.rs:
+crates/rt/src/buffer.rs:
+crates/rt/src/lazy.rs:
+crates/rt/src/next_touch.rs:
+crates/rt/src/omp.rs:
+crates/rt/src/setup.rs:

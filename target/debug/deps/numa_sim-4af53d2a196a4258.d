@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numa_sim-4af53d2a196a4258.d: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libnuma_sim-4af53d2a196a4258.rlib: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libnuma_sim-4af53d2a196a4258.rmeta: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/barrier.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

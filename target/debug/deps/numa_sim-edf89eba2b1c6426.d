@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numa_sim-edf89eba2b1c6426.d: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/numa_sim-edf89eba2b1c6426: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/barrier.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/numa_stats-2881d398fead4460.d: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs
+/root/repo/target/debug/deps/numa_stats-2881d398fead4460.d: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs
 
-/root/repo/target/debug/deps/libnuma_stats-2881d398fead4460.rlib: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs
+/root/repo/target/debug/deps/libnuma_stats-2881d398fead4460.rlib: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs
 
-/root/repo/target/debug/deps/libnuma_stats-2881d398fead4460.rmeta: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs
+/root/repo/target/debug/deps/libnuma_stats-2881d398fead4460.rmeta: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs
 
 crates/stats/src/lib.rs:
 crates/stats/src/breakdown.rs:
 crates/stats/src/counters.rs:
 crates/stats/src/histogram.rs:
+crates/stats/src/json.rs:
 crates/stats/src/table.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/numa_stats-7f95237e96332134.d: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs
+/root/repo/target/debug/deps/numa_stats-7f95237e96332134.d: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs
 
-/root/repo/target/debug/deps/numa_stats-7f95237e96332134: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs
+/root/repo/target/debug/deps/numa_stats-7f95237e96332134: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs
 
 crates/stats/src/lib.rs:
 crates/stats/src/breakdown.rs:
 crates/stats/src/counters.rs:
 crates/stats/src/histogram.rs:
+crates/stats/src/json.rs:
 crates/stats/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numa_tier-832564f402522b4f.d: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/debug/deps/libnuma_tier-832564f402522b4f.rlib: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/debug/deps/libnuma_tier-832564f402522b4f.rmeta: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+crates/tier/src/lib.rs:
+crates/tier/src/daemon.rs:
+crates/tier/src/policy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/numa_tier-a06325c41a3037bb.d: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/debug/deps/numa_tier-a06325c41a3037bb: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+crates/tier/src/lib.rs:
+crates/tier/src/daemon.rs:
+crates/tier/src/policy.rs:

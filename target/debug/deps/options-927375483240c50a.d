@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/options-927375483240c50a.d: crates/bench/tests/options.rs
+
+/root/repo/target/debug/deps/options-927375483240c50a: crates/bench/tests/options.rs
+
+crates/bench/tests/options.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_apps-bb37e3404fc1abc3.d: crates/apps/tests/proptest_apps.rs
+
+/root/repo/target/debug/deps/proptest_apps-bb37e3404fc1abc3: crates/apps/tests/proptest_apps.rs
+
+crates/apps/tests/proptest_apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_kernel-f210093c5ebb99c8.d: crates/kernel/tests/proptest_kernel.rs
+
+/root/repo/target/debug/deps/proptest_kernel-f210093c5ebb99c8: crates/kernel/tests/proptest_kernel.rs
+
+crates/kernel/tests/proptest_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_machine-8a5ec0a790b3ef39.d: crates/machine/tests/proptest_machine.rs
+
+/root/repo/target/debug/deps/proptest_machine-8a5ec0a790b3ef39: crates/machine/tests/proptest_machine.rs
+
+crates/machine/tests/proptest_machine.rs:

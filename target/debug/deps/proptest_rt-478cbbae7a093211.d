@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_rt-478cbbae7a093211.d: crates/rt/tests/proptest_rt.rs
+
+/root/repo/target/debug/deps/proptest_rt-478cbbae7a093211: crates/rt/tests/proptest_rt.rs
+
+crates/rt/tests/proptest_rt.rs:

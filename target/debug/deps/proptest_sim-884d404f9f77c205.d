@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-884d404f9f77c205.d: crates/sim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-884d404f9f77c205: crates/sim/tests/proptest_sim.rs
+
+crates/sim/tests/proptest_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_tier-4fc22d05a282dcbf.d: crates/tier/tests/proptest_tier.rs
+
+/root/repo/target/debug/deps/proptest_tier-4fc22d05a282dcbf: crates/tier/tests/proptest_tier.rs
+
+crates/tier/tests/proptest_tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling8-9a57b5847636260b.d: crates/bench/src/bin/scaling8.rs
+
+/root/repo/target/debug/deps/scaling8-9a57b5847636260b: crates/bench/src/bin/scaling8.rs
+
+crates/bench/src/bin/scaling8.rs:

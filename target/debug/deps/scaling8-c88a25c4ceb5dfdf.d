@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling8-c88a25c4ceb5dfdf.d: crates/bench/src/bin/scaling8.rs
+
+/root/repo/target/debug/deps/scaling8-c88a25c4ceb5dfdf: crates/bench/src/bin/scaling8.rs
+
+crates/bench/src/bin/scaling8.rs:

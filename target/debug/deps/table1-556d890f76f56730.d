@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-556d890f76f56730.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-556d890f76f56730: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-74df1f6bd8d13648.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-74df1f6bd8d13648: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tiering-6c9d3323ebcd900c.d: crates/bench/src/bin/tiering.rs
+
+/root/repo/target/debug/deps/tiering-6c9d3323ebcd900c: crates/bench/src/bin/tiering.rs
+
+crates/bench/src/bin/tiering.rs:

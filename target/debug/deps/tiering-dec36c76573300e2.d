@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tiering-dec36c76573300e2.d: crates/bench/src/bin/tiering.rs
+
+/root/repo/target/debug/deps/tiering-dec36c76573300e2: crates/bench/src/bin/tiering.rs
+
+crates/bench/src/bin/tiering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_reconcile-865eb19b9eed1c86.d: crates/bench/tests/trace_reconcile.rs
+
+/root/repo/target/debug/deps/trace_reconcile-865eb19b9eed1c86: crates/bench/tests/trace_reconcile.rs
+
+crates/bench/tests/trace_reconcile.rs:

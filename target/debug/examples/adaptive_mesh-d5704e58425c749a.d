@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_mesh-d5704e58425c749a.d: crates/core/../../examples/adaptive_mesh.rs
+
+/root/repo/target/debug/examples/adaptive_mesh-d5704e58425c749a: crates/core/../../examples/adaptive_mesh.rs
+
+crates/core/../../examples/adaptive_mesh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lu_factorization-c8ff3d5759647cfa.d: crates/core/../../examples/lu_factorization.rs
+
+/root/repo/target/debug/examples/lu_factorization-c8ff3d5759647cfa: crates/core/../../examples/lu_factorization.rs
+
+crates/core/../../examples/lu_factorization.rs:

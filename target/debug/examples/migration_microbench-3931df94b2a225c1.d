@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration_microbench-3931df94b2a225c1.d: crates/core/../../examples/migration_microbench.rs
+
+/root/repo/target/debug/examples/migration_microbench-3931df94b2a225c1: crates/core/../../examples/migration_microbench.rs
+
+crates/core/../../examples/migration_microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pde_solver-698301738577ac8a.d: crates/core/../../examples/pde_solver.rs
+
+/root/repo/target/debug/examples/pde_solver-698301738577ac8a: crates/core/../../examples/pde_solver.rs
+
+crates/core/../../examples/pde_solver.rs:

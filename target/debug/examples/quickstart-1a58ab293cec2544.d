@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1a58ab293cec2544.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1a58ab293cec2544: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-d4ecd901ca352cd7.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-d4ecd901ca352cd7: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blas1_check-629d77eb58a3b4ce.d: crates/bench/src/bin/blas1_check.rs
+
+/root/repo/target/release/deps/blas1_check-629d77eb58a3b4ce: crates/bench/src/bin/blas1_check.rs
+
+crates/bench/src/bin/blas1_check.rs:

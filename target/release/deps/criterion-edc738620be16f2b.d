@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-edc738620be16f2b.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-edc738620be16f2b.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-edc738620be16f2b.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

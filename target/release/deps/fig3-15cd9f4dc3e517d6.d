@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-15cd9f4dc3e517d6.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-15cd9f4dc3e517d6: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-1d8437153d064fc4.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-1d8437153d064fc4: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f23931d0e4328af8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f23931d0e4328af8: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-1c38b2a068084c14.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-1c38b2a068084c14: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

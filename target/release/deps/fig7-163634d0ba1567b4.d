@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-163634d0ba1567b4.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-163634d0ba1567b4: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

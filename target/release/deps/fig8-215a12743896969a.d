@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-215a12743896969a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-215a12743896969a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/numa_apps-7206376200c39b65.d: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+/root/repo/target/release/deps/libnuma_apps-7206376200c39b65.rlib: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+/root/repo/target/release/deps/libnuma_apps-7206376200c39b65.rmeta: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/amr.rs:
+crates/apps/src/blas.rs:
+crates/apps/src/blas1.rs:
+crates/apps/src/gemm.rs:
+crates/apps/src/lu.rs:
+crates/apps/src/matrix.rs:
+crates/apps/src/model.rs:
+crates/apps/src/pde.rs:

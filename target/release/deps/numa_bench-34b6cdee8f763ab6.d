@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/numa_bench-34b6cdee8f763ab6.d: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs
+
+/root/repo/target/release/deps/libnuma_bench-34b6cdee8f763ab6.rlib: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs
+
+/root/repo/target/release/deps/libnuma_bench-34b6cdee8f763ab6.rmeta: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/output.rs:
+crates/bench/src/trace_run.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/numa_kernel-83b9f0de519e022c.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs
+
+/root/repo/target/release/deps/libnuma_kernel-83b9f0de519e022c.rlib: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs
+
+/root/repo/target/release/deps/libnuma_kernel-83b9f0de519e022c.rmeta: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/interconnect.rs:
+crates/kernel/src/locks.rs:
+crates/kernel/src/syscalls.rs:
+crates/kernel/src/tier.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/numa_machine-b276cc7433784984.d: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+/root/repo/target/release/deps/libnuma_machine-b276cc7433784984.rlib: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+/root/repo/target/release/deps/libnuma_machine-b276cc7433784984.rmeta: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/access.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/engine.rs:
+crates/machine/src/op.rs:

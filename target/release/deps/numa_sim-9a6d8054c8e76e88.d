@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/numa_sim-9a6d8054c8e76e88.d: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libnuma_sim-9a6d8054c8e76e88.rlib: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libnuma_sim-9a6d8054c8e76e88.rmeta: crates/sim/src/lib.rs crates/sim/src/barrier.rs crates/sim/src/queue.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/barrier.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/numa_stats-69589d719f02c863.d: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs
+/root/repo/target/release/deps/numa_stats-69589d719f02c863.d: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs
 
-/root/repo/target/release/deps/libnuma_stats-69589d719f02c863.rlib: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs
+/root/repo/target/release/deps/libnuma_stats-69589d719f02c863.rlib: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs
 
-/root/repo/target/release/deps/libnuma_stats-69589d719f02c863.rmeta: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs
+/root/repo/target/release/deps/libnuma_stats-69589d719f02c863.rmeta: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs
 
 crates/stats/src/lib.rs:
 crates/stats/src/breakdown.rs:
 crates/stats/src/counters.rs:
 crates/stats/src/histogram.rs:
+crates/stats/src/json.rs:
 crates/stats/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/numa_tier-c43295690d3b8c89.d: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/release/deps/libnuma_tier-c43295690d3b8c89.rlib: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+/root/repo/target/release/deps/libnuma_tier-c43295690d3b8c89.rmeta: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs
+
+crates/tier/src/lib.rs:
+crates/tier/src/daemon.rs:
+crates/tier/src/policy.rs:

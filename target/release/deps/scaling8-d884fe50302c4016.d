@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling8-d884fe50302c4016.d: crates/bench/src/bin/scaling8.rs
+
+/root/repo/target/release/deps/scaling8-d884fe50302c4016: crates/bench/src/bin/scaling8.rs
+
+crates/bench/src/bin/scaling8.rs:

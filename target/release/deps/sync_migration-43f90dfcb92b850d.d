@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sync_migration-43f90dfcb92b850d.d: crates/bench/benches/sync_migration.rs
+
+/root/repo/target/release/deps/sync_migration-43f90dfcb92b850d: crates/bench/benches/sync_migration.rs
+
+crates/bench/benches/sync_migration.rs:

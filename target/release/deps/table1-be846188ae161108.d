@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-be846188ae161108.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-be846188ae161108: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

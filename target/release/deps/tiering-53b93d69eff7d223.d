@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tiering-53b93d69eff7d223.d: crates/bench/src/bin/tiering.rs
+
+/root/repo/target/release/deps/tiering-53b93d69eff7d223: crates/bench/src/bin/tiering.rs
+
+crates/bench/src/bin/tiering.rs:

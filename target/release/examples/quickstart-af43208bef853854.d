@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-af43208bef853854.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-af43208bef853854: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:
