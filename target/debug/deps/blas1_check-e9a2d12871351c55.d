@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blas1_check-e9a2d12871351c55.d: crates/bench/src/bin/blas1_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblas1_check-e9a2d12871351c55.rmeta: crates/bench/src/bin/blas1_check.rs Cargo.toml
+
+crates/bench/src/bin/blas1_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

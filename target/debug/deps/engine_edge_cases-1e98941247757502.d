@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_edge_cases-1e98941247757502.d: crates/machine/tests/engine_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_edge_cases-1e98941247757502.rmeta: crates/machine/tests/engine_edge_cases.rs Cargo.toml
+
+crates/machine/tests/engine_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-b08e55cae28de8d9.d: crates/bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-b08e55cae28de8d9.rmeta: crates/bench/src/bin/fig3.rs Cargo.toml
+
+crates/bench/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_apps-065a0e20fbb78183.d: crates/core/../../tests/integration_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_apps-065a0e20fbb78183.rmeta: crates/core/../../tests/integration_apps.rs Cargo.toml
+
+crates/core/../../tests/integration_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

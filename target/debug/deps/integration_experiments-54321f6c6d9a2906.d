@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_experiments-54321f6c6d9a2906.d: crates/core/../../tests/integration_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_experiments-54321f6c6d9a2906.rmeta: crates/core/../../tests/integration_experiments.rs Cargo.toml
+
+crates/core/../../tests/integration_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_migration-d9e1fbc865a90aeb.d: crates/core/../../tests/integration_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_migration-d9e1fbc865a90aeb.rmeta: crates/core/../../tests/integration_migration.rs Cargo.toml
+
+crates/core/../../tests/integration_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

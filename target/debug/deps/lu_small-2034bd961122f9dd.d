@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lu_small-2034bd961122f9dd.d: crates/bench/benches/lu_small.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblu_small-2034bd961122f9dd.rmeta: crates/bench/benches/lu_small.rs Cargo.toml
+
+crates/bench/benches/lu_small.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/next_touch-a60c8f4bdddac4ea.d: crates/bench/benches/next_touch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnext_touch-a60c8f4bdddac4ea.rmeta: crates/bench/benches/next_touch.rs Cargo.toml
+
+crates/bench/benches/next_touch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

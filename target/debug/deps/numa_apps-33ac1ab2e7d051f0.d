@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/numa_apps-33ac1ab2e7d051f0.d: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_apps-33ac1ab2e7d051f0.rmeta: crates/apps/src/lib.rs crates/apps/src/amr.rs crates/apps/src/blas.rs crates/apps/src/blas1.rs crates/apps/src/gemm.rs crates/apps/src/lu.rs crates/apps/src/matrix.rs crates/apps/src/model.rs crates/apps/src/pde.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/amr.rs:
+crates/apps/src/blas.rs:
+crates/apps/src/blas1.rs:
+crates/apps/src/gemm.rs:
+crates/apps/src/lu.rs:
+crates/apps/src/matrix.rs:
+crates/apps/src/model.rs:
+crates/apps/src/pde.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

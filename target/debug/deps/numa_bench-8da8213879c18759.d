@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numa_bench-8da8213879c18759.d: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_bench-8da8213879c18759.rmeta: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/trace_run.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/output.rs:
+crates/bench/src/trace_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

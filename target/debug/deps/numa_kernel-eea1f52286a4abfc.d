@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/numa_kernel-eea1f52286a4abfc.d: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_kernel-eea1f52286a4abfc.rmeta: crates/kernel/src/lib.rs crates/kernel/src/config.rs crates/kernel/src/fault.rs crates/kernel/src/interconnect.rs crates/kernel/src/locks.rs crates/kernel/src/syscalls.rs crates/kernel/src/tier.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/config.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/interconnect.rs:
+crates/kernel/src/locks.rs:
+crates/kernel/src/syscalls.rs:
+crates/kernel/src/tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

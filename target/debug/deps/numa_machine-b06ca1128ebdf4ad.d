@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/numa_machine-b06ca1128ebdf4ad.d: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_machine-b06ca1128ebdf4ad.rmeta: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/cache.rs crates/machine/src/engine.rs crates/machine/src/op.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/access.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/engine.rs:
+crates/machine/src/op.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/numa_migrate-6c61c60f88aff3d4.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/blas1.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tiering.rs crates/core/src/prelude.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_migrate-6c61c60f88aff3d4.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/blas1.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/scaling.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tiering.rs crates/core/src/prelude.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/blas1.rs:
+crates/core/src/experiments/fig4.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/scaling.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/tiering.rs:
+crates/core/src/prelude.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/numa_rt-41c3e57fbe8d3e82.d: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_rt-41c3e57fbe8d3e82.rmeta: crates/rt/src/lib.rs crates/rt/src/autobalance.rs crates/rt/src/buffer.rs crates/rt/src/lazy.rs crates/rt/src/next_touch.rs crates/rt/src/omp.rs crates/rt/src/setup.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+crates/rt/src/autobalance.rs:
+crates/rt/src/buffer.rs:
+crates/rt/src/lazy.rs:
+crates/rt/src/next_touch.rs:
+crates/rt/src/omp.rs:
+crates/rt/src/setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/numa_stats-3552e3280da7ad12.d: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/numa_stats-3552e3280da7ad12.d: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnuma_stats-3552e3280da7ad12.rmeta: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libnuma_stats-3552e3280da7ad12.rmeta: crates/stats/src/lib.rs crates/stats/src/breakdown.rs crates/stats/src/counters.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/table.rs Cargo.toml
 
 crates/stats/src/lib.rs:
 crates/stats/src/breakdown.rs:
 crates/stats/src/counters.rs:
 crates/stats/src/histogram.rs:
+crates/stats/src/json.rs:
 crates/stats/src/table.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

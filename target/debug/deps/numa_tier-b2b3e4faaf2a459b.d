@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/numa_tier-b2b3e4faaf2a459b.d: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_tier-b2b3e4faaf2a459b.rmeta: crates/tier/src/lib.rs crates/tier/src/daemon.rs crates/tier/src/policy.rs Cargo.toml
+
+crates/tier/src/lib.rs:
+crates/tier/src/daemon.rs:
+crates/tier/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

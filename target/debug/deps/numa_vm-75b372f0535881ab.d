@@ -13,5 +13,5 @@ crates/vm/src/tlb.rs:
 crates/vm/src/vma.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/options-d0eadc9b290158ab.d: crates/bench/tests/options.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptions-d0eadc9b290158ab.rmeta: crates/bench/tests/options.rs Cargo.toml
+
+crates/bench/tests/options.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

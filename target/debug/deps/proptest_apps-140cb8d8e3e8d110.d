@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_apps-140cb8d8e3e8d110.d: crates/apps/tests/proptest_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_apps-140cb8d8e3e8d110.rmeta: crates/apps/tests/proptest_apps.rs Cargo.toml
+
+crates/apps/tests/proptest_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

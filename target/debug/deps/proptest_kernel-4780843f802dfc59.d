@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_kernel-4780843f802dfc59.d: crates/kernel/tests/proptest_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_kernel-4780843f802dfc59.rmeta: crates/kernel/tests/proptest_kernel.rs Cargo.toml
+
+crates/kernel/tests/proptest_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

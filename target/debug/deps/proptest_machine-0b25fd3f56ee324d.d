@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_machine-0b25fd3f56ee324d.d: crates/machine/tests/proptest_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_machine-0b25fd3f56ee324d.rmeta: crates/machine/tests/proptest_machine.rs Cargo.toml
+
+crates/machine/tests/proptest_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

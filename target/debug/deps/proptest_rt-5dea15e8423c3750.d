@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_rt-5dea15e8423c3750.d: crates/rt/tests/proptest_rt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_rt-5dea15e8423c3750.rmeta: crates/rt/tests/proptest_rt.rs Cargo.toml
+
+crates/rt/tests/proptest_rt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

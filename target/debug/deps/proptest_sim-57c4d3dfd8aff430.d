@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sim-57c4d3dfd8aff430.d: crates/sim/tests/proptest_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sim-57c4d3dfd8aff430.rmeta: crates/sim/tests/proptest_sim.rs Cargo.toml
+
+crates/sim/tests/proptest_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_tier-e1f91003044e1567.d: crates/tier/tests/proptest_tier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_tier-e1f91003044e1567.rmeta: crates/tier/tests/proptest_tier.rs Cargo.toml
+
+crates/tier/tests/proptest_tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

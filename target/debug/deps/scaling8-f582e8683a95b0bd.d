@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling8-f582e8683a95b0bd.d: crates/bench/src/bin/scaling8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling8-f582e8683a95b0bd.rmeta: crates/bench/src/bin/scaling8.rs Cargo.toml
+
+crates/bench/src/bin/scaling8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

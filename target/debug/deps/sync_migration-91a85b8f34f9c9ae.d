@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sync_migration-91a85b8f34f9c9ae.d: crates/bench/benches/sync_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsync_migration-91a85b8f34f9c9ae.rmeta: crates/bench/benches/sync_migration.rs Cargo.toml
+
+crates/bench/benches/sync_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

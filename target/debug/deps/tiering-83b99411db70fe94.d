@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tiering-83b99411db70fe94.d: crates/bench/src/bin/tiering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiering-83b99411db70fe94.rmeta: crates/bench/src/bin/tiering.rs Cargo.toml
+
+crates/bench/src/bin/tiering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

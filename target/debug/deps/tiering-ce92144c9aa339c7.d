@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tiering-ce92144c9aa339c7.d: crates/bench/src/bin/tiering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiering-ce92144c9aa339c7.rmeta: crates/bench/src/bin/tiering.rs Cargo.toml
+
+crates/bench/src/bin/tiering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

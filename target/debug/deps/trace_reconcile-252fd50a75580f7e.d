@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_reconcile-252fd50a75580f7e.d: crates/bench/tests/trace_reconcile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_reconcile-252fd50a75580f7e.rmeta: crates/bench/tests/trace_reconcile.rs Cargo.toml
+
+crates/bench/tests/trace_reconcile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

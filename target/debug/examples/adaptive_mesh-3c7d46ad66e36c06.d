@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_mesh-3c7d46ad66e36c06.d: crates/core/../../examples/adaptive_mesh.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_mesh-3c7d46ad66e36c06.rmeta: crates/core/../../examples/adaptive_mesh.rs Cargo.toml
+
+crates/core/../../examples/adaptive_mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lu_factorization-96d0f2aeee0c4d47.d: crates/core/../../examples/lu_factorization.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblu_factorization-96d0f2aeee0c4d47.rmeta: crates/core/../../examples/lu_factorization.rs Cargo.toml
+
+crates/core/../../examples/lu_factorization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/migration_microbench-9e93f0d70d9f22f7.d: crates/core/../../examples/migration_microbench.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmigration_microbench-9e93f0d70d9f22f7.rmeta: crates/core/../../examples/migration_microbench.rs Cargo.toml
+
+crates/core/../../examples/migration_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

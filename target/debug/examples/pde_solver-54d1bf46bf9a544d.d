@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pde_solver-54d1bf46bf9a544d.d: crates/core/../../examples/pde_solver.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpde_solver-54d1bf46bf9a544d.rmeta: crates/core/../../examples/pde_solver.rs Cargo.toml
+
+crates/core/../../examples/pde_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::inherent_to_string__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR
