@@ -17,7 +17,7 @@ fn main() {
         vec![64, 1024, 4096]
     };
     let mut t = Table::new(["pages", "patched MB/s", "quadratic MB/s", "ratio"]);
-    for (p, a, b) in ablations::lookup_ablation(&pages) {
+    for (p, a, b) in ablations::lookup_ablation_jobs(&pages, opts.jobs) {
         t.row([p.to_string(), mbps(a), mbps(b), format!("{:.1}x", a / b)]);
     }
     out.table(
@@ -27,7 +27,7 @@ fn main() {
 
     let fractions = [0.1, 0.3, 0.55, 0.7, 0.9];
     let mut t = Table::new(["fraction", "4-thread speedup"]);
-    for (f, s) in ablations::lock_fraction_sweep(&fractions, 8192) {
+    for (f, s) in ablations::lock_fraction_sweep_jobs(&fractions, 8192, opts.jobs) {
         t.row([format!("{f:.2}"), format!("{s:.2}x")]);
     }
     out.table(

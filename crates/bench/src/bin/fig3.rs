@@ -75,6 +75,9 @@ fn main() {
         format!("{:.0} ns", cost.unpatched_lookup_ns_per_entry),
         "Fig. 4 shape".to_string(),
     ]);
-    out.table("\nCalibrated kernel constants (DESIGN.md \u{a7}4):", &consts);
+    out.table(
+        "\nCalibrated kernel constants (DESIGN.md \u{a7}4):",
+        &consts,
+    );
     out.finish();
 }

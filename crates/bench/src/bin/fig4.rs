@@ -13,7 +13,7 @@ fn main() {
     } else {
         vec![1, 16, 256, 2048, 8192]
     };
-    let rows = fig4::run(&pages);
+    let rows = fig4::run_jobs(&pages, opts.jobs);
     let mut table = Table::new([
         "pages",
         "memcpy MB/s",

@@ -19,7 +19,7 @@ fn main() {
     } else {
         vec![4, 16, 128, 1024, 4096]
     };
-    let rows = fig5::run(&pages);
+    let rows = fig5::run_jobs(&pages, opts.jobs);
     let mut table = Table::new([
         "pages",
         "user NT (no patch) MB/s",
@@ -47,9 +47,7 @@ fn main() {
             bt.row([c.label().to_string(), ns.to_string(), format!("{pct:.2}")]);
         }
         out.table(
-            &format!(
-                "\nTraced episode (kernel NT, {episode_pages} pages): cost breakdown"
-            ),
+            &format!("\nTraced episode (kernel NT, {episode_pages} pages): cost breakdown"),
             &bt,
         );
         let util = m.utilisation_report(r.makespan);

@@ -13,7 +13,7 @@ fn main() {
     } else {
         vec![64, 512, 4096, 16384]
     };
-    let rows = fig7::run(&pages, 4);
+    let rows = fig7::run_jobs(&pages, 4, opts.jobs);
     let mut table = Table::new([
         "pages", "sync-1", "sync-2", "sync-3", "sync-4", "lazy-1", "lazy-2", "lazy-3", "lazy-4",
     ]);

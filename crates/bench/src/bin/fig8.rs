@@ -14,13 +14,12 @@ fn main() {
         vec![128, 256, 512, 1024]
     };
     let mut table = Table::new(["N", "Static", "Next-touch kernel", "Next-touch user"]);
-    for n in sizes {
-        if opts.verbose {
-            eprintln!("running n={n} ...");
-        }
-        let row = fig8::run_case(n);
+    if opts.verbose {
+        eprintln!("running n in {sizes:?} with {} job(s) ...", opts.jobs);
+    }
+    for row in fig8::run_jobs(&sizes, opts.jobs) {
         table.row([
-            n.to_string(),
+            row.n.to_string(),
             secs(row.static_s),
             secs(row.kernel_nt_s),
             secs(row.user_nt_s),

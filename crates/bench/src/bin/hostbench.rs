@@ -1,0 +1,122 @@
+//! Host-performance benchmark for the simulator itself (DESIGN.md §10).
+//!
+//! Times the two heaviest sweeps (fig7 quick, table1 quick) in-process at
+//! `--jobs 1` and at the requested `--jobs`, checksums every result set,
+//! and writes the measurements to a JSON file (default `BENCH_pr3.json`).
+//! The checksums make the equivalence contract auditable: every run of a
+//! workload must report the same checksum no matter the jobs count, and a
+//! checksum change across commits means virtual-time results moved — which
+//! the host-performance work must never do.
+//!
+//! `baseline_seconds` records the same workloads measured on this
+//! codebase before the fast path / allocation work landed (same quick
+//! sweeps, one host thread), so `speedup` tracks the optimisation
+//! trajectory in-repo.
+
+use numa_bench::Options;
+use numa_migrate::experiments::{fig7, table1};
+use numa_migrate::sim::hash::FxHasher;
+use std::hash::Hasher;
+use std::time::Instant;
+
+/// Pre-optimisation wall-clock of the quick sweeps, single host thread
+/// (seconds). Measured on the commit preceding the host-performance work;
+/// useful as a trajectory marker, not as a cross-machine constant.
+const BASELINE_SECONDS: [(&str, f64); 2] = [("fig7", 0.248), ("table1", 4.777)];
+
+fn checksum(debug_rows: &str) -> String {
+    let mut h = FxHasher::default();
+    h.write(debug_rows.as_bytes());
+    format!("{:016x}", h.finish())
+}
+
+/// Best-of-`reps` wall-clock for `f`, plus the checksum of its output.
+fn measure<F: Fn() -> String>(reps: usize, f: F) -> (f64, String) {
+    let mut best = f64::INFINITY;
+    let mut sum = String::new();
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let rows = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        sum = checksum(&rows);
+    }
+    (best, sum)
+}
+
+fn main() {
+    let opts = Options::parse("hostbench", "host wall-clock of the heavy sweeps");
+    let out_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr3.json".into());
+    let fig7_pages: Vec<u64> = vec![64, 512, 4096, 16384];
+    let table1_cases = table1::quick_cases();
+    // (name, reps, runner) — reps are best-of to shrug off scheduler noise;
+    // table1 is slow enough that one rep is already stable.
+    type Runner<'a> = Box<dyn Fn(usize) -> String + 'a>;
+    let workloads: Vec<(&str, usize, Runner)> = vec![
+        (
+            "fig7",
+            3,
+            Box::new(|jobs| format!("{:?}", fig7::run_jobs(&fig7_pages, 4, jobs))),
+        ),
+        (
+            "table1",
+            1,
+            Box::new(|jobs| format!("{:?}", table1::run_jobs(&table1_cases, jobs))),
+        ),
+    ];
+
+    let jobs_values = if opts.jobs > 1 {
+        vec![1, opts.jobs]
+    } else {
+        vec![1]
+    };
+    let mut runs = Vec::new();
+    let mut seq_seconds = Vec::new();
+    for (name, reps, run) in &workloads {
+        let mut sums = Vec::new();
+        for &jobs in &jobs_values {
+            let (secs, sum) = measure(*reps, || run(jobs));
+            if opts.verbose {
+                eprintln!("{name} jobs={jobs}: {secs:.3}s checksum={sum}");
+            }
+            if jobs == 1 {
+                seq_seconds.push((*name, secs));
+            }
+            runs.push(format!(
+                "    {{\"binary\": \"{name}\", \"jobs\": {jobs}, \"seconds\": {secs:.4}, \
+                 \"checksum\": \"{sum}\"}}"
+            ));
+            sums.push(sum);
+        }
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "{name}: results differ across --jobs values — the parallel sweep \
+             runner broke the determinism contract"
+        );
+    }
+
+    let baseline: Vec<String> = BASELINE_SECONDS
+        .iter()
+        .map(|(n, s)| format!("    \"{n}\": {s:.4}"))
+        .collect();
+    let speedup: Vec<String> = BASELINE_SECONDS
+        .iter()
+        .filter_map(|(n, base)| {
+            seq_seconds
+                .iter()
+                .find(|(m, _)| m == n)
+                .map(|(_, now)| format!("    \"{n}\": {:.2}", base / now))
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"host-performance\",\n  \"runs\": [\n{}\n  ],\n  \
+         \"baseline_seconds\": {{\n{}\n  }},\n  \"speedup\": {{\n{}\n  }}\n}}\n",
+        runs.join(",\n"),
+        baseline.join(",\n"),
+        speedup.join(",\n")
+    );
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("hostbench: cannot write {out_path}: {e}"));
+    print!("{json}");
+    eprintln!("hostbench: wrote {out_path}");
+}

@@ -11,7 +11,7 @@ fn main() {
     let opts = Options::parse("scaling8", "the §6 larger-machines outlook");
     let n = if opts.full { 1024 } else { 512 };
     let mut table = Table::new(["nodes", "threads", "Static", "Next-touch", "Improvement"]);
-    for r in scaling::run(n) {
+    for r in scaling::run_jobs(n, opts.jobs) {
         table.row([
             r.nodes.to_string(),
             r.threads.to_string(),

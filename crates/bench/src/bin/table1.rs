@@ -20,14 +20,17 @@ fn main() {
         "Next-touch",
         "Improvement",
     ]);
-    for (n, bs) in cases {
-        if opts.verbose {
-            eprintln!("running n={n} bs={bs} ...");
-        }
-        let row = table1::run_case(n, bs);
+    if opts.verbose {
+        eprintln!(
+            "running {} cases with {} job(s) ...",
+            cases.len(),
+            opts.jobs
+        );
+    }
+    for row in table1::run_jobs(&cases, opts.jobs) {
         table.row([
-            format!("{}k x {}k", n / 1024, n / 1024),
-            format!("{bs} x {bs}"),
+            format!("{}k x {}k", row.n / 1024, row.n / 1024),
+            format!("{} x {}", row.bs, row.bs),
             secs(row.static_s),
             secs(row.next_touch_s),
             percent(row.improvement_percent()),

@@ -16,7 +16,7 @@ fn main() {
     } else {
         (vec![1, 4], 256, 64)
     };
-    let mech = tiering_mechanism_table(&writer_counts, pages, hot, opts.seed);
+    let mech = tiering_mechanism_table(&writer_counts, pages, hot, opts.seed, opts.jobs);
     out.table(
         &format!(
             "Tiering mechanism: writer completion time (ms) while {pages} slow-tier pages\n\
@@ -31,7 +31,7 @@ fn main() {
     } else {
         (vec![1024, 4096, 8192], 512, 4)
     };
-    let cap = tiering_capacity_table(&hot_counts, dram_per_node, rounds);
+    let cap = tiering_capacity_table(&hot_counts, dram_per_node, rounds, opts.jobs);
     out.table(
         &format!(
             "\nTiering capacity sweep: 4 readers over a slow-resident hot set,\n\

@@ -32,7 +32,16 @@ pub struct Options {
     /// Write the run's tables and metadata as machine-readable JSON to
     /// this file (e.g. `results/fig5.json`).
     pub json: Option<String>,
+    /// Host threads for the sweep runner (`--jobs`, or the
+    /// `NUMA_BENCH_JOBS` environment variable when the flag is absent;
+    /// default 1). Sweeps distribute their independent items over this
+    /// many threads; every simulation stays single-threaded and the
+    /// emitted tables/JSON are byte-identical to a `--jobs 1` run.
+    pub jobs: usize,
 }
+
+/// Environment variable consulted for the default `--jobs` value.
+pub const JOBS_ENV: &str = "NUMA_BENCH_JOBS";
 
 /// Why [`Options::try_parse_from`] stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +59,10 @@ impl Options {
     where
         I: IntoIterator<Item = String>,
     {
-        let mut o = Options::default();
+        let mut o = Options {
+            jobs: threadpool::jobs_from_env(JOBS_ENV).unwrap_or(1),
+            ..Options::default()
+        };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let (flag, inline) = match arg.split_once('=') {
@@ -70,13 +82,17 @@ impl Options {
                 "--seed" => {
                     let v = value("--seed")?;
                     o.seed = v.parse().map_err(|_| {
-                        ParseError::Invalid(format!(
-                            "--seed takes an unsigned integer, got {v}"
-                        ))
+                        ParseError::Invalid(format!("--seed takes an unsigned integer, got {v}"))
                     })?;
                 }
                 "--trace" => o.trace = Some(value("--trace")?),
                 "--json" => o.json = Some(value("--json")?),
+                "--jobs" | "-j" => {
+                    let v = value("--jobs")?;
+                    o.jobs = v.parse().ok().filter(|&j| j > 0).ok_or_else(|| {
+                        ParseError::Invalid(format!("--jobs takes a positive integer, got {v}"))
+                    })?;
+                }
                 "--help" | "-h" => return Err(ParseError::Help),
                 other => {
                     return Err(ParseError::Invalid(format!(
@@ -101,7 +117,7 @@ impl Options {
                 eprintln!("{binary}: regenerate {what}");
                 eprintln!(
                     "usage: {binary} [--csv] [--full] [--verbose] [--seed <u64>] \
-                     [--trace <file>] [--json <file>]"
+                     [--trace <file>] [--json <file>] [--jobs <n>]"
                 );
                 eprintln!("  --csv           emit CSV instead of an aligned table");
                 eprintln!("  --full          run the paper-sized sweep (slower)");
@@ -109,6 +125,10 @@ impl Options {
                 eprintln!("  --seed <n>      workload seed (default 0); same seed, same table");
                 eprintln!("  --trace <file>  write a Chrome/Perfetto event trace");
                 eprintln!("  --json <file>   write the tables as machine-readable JSON");
+                eprintln!(
+                    "  --jobs <n>      host threads for the sweep (default \
+                     $NUMA_BENCH_JOBS or 1); output is identical for any value"
+                );
                 eprintln!("  (value flags also accept --flag=value)");
                 std::process::exit(0);
             }
@@ -150,12 +170,13 @@ pub fn tiering_mechanism_table(
     pages: u64,
     hot: u64,
     seed: u64,
+    jobs: usize,
 ) -> numa_migrate::stats::Table {
     use numa_migrate::experiments::tiering;
     let mut table = numa_migrate::stats::Table::new([
         "writers", "txn-ms", "stw-ms", "commits", "aborts", "stalls", "txn-prom", "stw-prom",
     ]);
-    for r in tiering::mechanism(writer_counts, pages, hot, seed) {
+    for r in tiering::mechanism_jobs(writer_counts, pages, hot, seed, jobs) {
         table.row([
             r.writers.to_string(),
             format!("{:.3}", r.txn_writer_ns as f64 / 1e6),
@@ -176,6 +197,7 @@ pub fn tiering_capacity_table(
     hot_page_counts: &[u64],
     dram_pages_per_node: u64,
     rounds: usize,
+    jobs: usize,
 ) -> numa_migrate::stats::Table {
     use numa_migrate::experiments::tiering;
     let mut table = numa_migrate::stats::Table::new([
@@ -186,7 +208,7 @@ pub fn tiering_capacity_table(
         "speedup",
         "promotions",
     ]);
-    for r in tiering::capacity_sweep(hot_page_counts, dram_pages_per_node, rounds) {
+    for r in tiering::capacity_sweep_jobs(hot_page_counts, dram_pages_per_node, rounds, jobs) {
         table.row([
             r.hot_pages.to_string(),
             r.dram_pages.to_string(),

@@ -170,6 +170,41 @@ pub mod strategy {
     );
 }
 
+pub mod option {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// The strategy returned by [`weighted`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct OptionStrategy<S> {
+        probability: f64,
+        inner: S,
+    }
+
+    /// Generate `Some` from `inner` with the given probability, `None`
+    /// otherwise (the proptest `option::weighted` combinator).
+    pub fn weighted<S: Strategy>(probability: f64, inner: S) -> OptionStrategy<S> {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1], got {probability}"
+        );
+        OptionStrategy { probability, inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Draw the coin first so the inner strategy's stream
+            // consumption stays conditional, as in real proptest.
+            if rng.unit_f64() < self.probability {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 pub mod arbitrary {
     use crate::rng::TestRng;
     use crate::strategy::Strategy;

@@ -13,46 +13,50 @@ use super::pages_throughput;
 /// Sweep the page-table-lock serialized fraction and report the 4-thread
 /// lazy-migration speedup for each value (the Fig. 7 calibration knob).
 pub fn lock_fraction_sweep(fractions: &[f64], pages: u64) -> Vec<(f64, f64)> {
-    fractions
-        .iter()
-        .map(|&f| {
-            let run = |threads: usize| {
-                let mut m = NumaSystem::new()
-                    .tweak_cost(|c| c.pt_lock_fraction = f)
-                    .build();
-                let buf = Buffer::alloc(&mut m, pages * PAGE_SIZE);
-                setup::populate_on_node(&mut m, &buf, NodeId(0));
-                let cores = m.topology().cores_of_node(NodeId(1));
-                let chunks = buf.split_pages(threads);
-                let n = chunks.len();
-                let specs = chunks
-                    .iter()
-                    .enumerate()
-                    .map(|(i, chunk)| {
-                        let mut ops = Vec::new();
-                        if i == 0 {
-                            ops.push(Op::MadviseNextTouch {
-                                range: buf.page_range(),
-                            });
-                        }
-                        ops.push(Op::Barrier(0));
-                        ops.push(Op::Access {
-                            addr: chunk.addr,
-                            bytes: chunk.len,
-                            traffic: 0,
-                            write: true,
-                            kind: MemAccessKind::Stream,
+    lock_fraction_sweep_jobs(fractions, pages, 1)
+}
+
+/// [`lock_fraction_sweep`] with the fractions distributed over `jobs`
+/// host threads. Items are independent (fresh machine each), so the rows
+/// are identical to the sequential run's, in the same order.
+pub fn lock_fraction_sweep_jobs(fractions: &[f64], pages: u64, jobs: usize) -> Vec<(f64, f64)> {
+    threadpool::par_map(jobs, fractions, |_, &f| {
+        let run = |threads: usize| {
+            let mut m = NumaSystem::new()
+                .tweak_cost(|c| c.pt_lock_fraction = f)
+                .build();
+            let buf = Buffer::alloc(&mut m, pages * PAGE_SIZE);
+            setup::populate_on_node(&mut m, &buf, NodeId(0));
+            let cores = m.topology().cores_of_node(NodeId(1));
+            let chunks = buf.split_pages(threads);
+            let n = chunks.len();
+            let specs = chunks
+                .iter()
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let mut ops = Vec::new();
+                    if i == 0 {
+                        ops.push(Op::MadviseNextTouch {
+                            range: buf.page_range(),
                         });
-                        ThreadSpec::scripted(cores[i % cores.len()], ops)
-                    })
-                    .collect();
-                m.run(specs, &[n]).makespan.ns()
-            };
-            let t1 = run(1);
-            let t4 = run(4);
-            (f, t1 as f64 / t4 as f64)
-        })
-        .collect()
+                    }
+                    ops.push(Op::Barrier(0));
+                    ops.push(Op::Access {
+                        addr: chunk.addr,
+                        bytes: chunk.len,
+                        traffic: 0,
+                        write: true,
+                        kind: MemAccessKind::Stream,
+                    });
+                    ThreadSpec::scripted(cores[i % cores.len()], ops)
+                })
+                .collect();
+            m.run(specs, &[n]).makespan.ns()
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        (f, t1 as f64 / t4 as f64)
+    })
 }
 
 /// Compare user next-touch granularities: marking a buffer as one region
@@ -288,32 +292,36 @@ pub fn hooked_vs_auto(buf_pages: u64, phases: usize) -> (u64, u64, u64) {
 /// function of request size, patched vs not. Returns rows of
 /// `(pages, patched_mbps, unpatched_mbps)`.
 pub fn lookup_ablation(page_counts: &[u64]) -> Vec<(u64, f64, f64)> {
-    page_counts
-        .iter()
-        .map(|&pages| {
-            let t = |patched: bool| {
-                let mut m = NumaSystem::new()
-                    .kernel(KernelConfig {
-                        patched_move_pages: patched,
-                        ..KernelConfig::default()
-                    })
-                    .build();
-                let buf = Buffer::alloc(&mut m, pages * PAGE_SIZE);
-                setup::populate_on_node(&mut m, &buf, NodeId(0));
-                let addrs = buf.page_addrs();
-                let dest = vec![NodeId(1); addrs.len()];
-                let r = m.run(
-                    vec![ThreadSpec::scripted(
-                        CoreId(0),
-                        vec![Op::MovePages { pages: addrs, dest }],
-                    )],
-                    &[],
-                );
-                pages_throughput(pages, r.makespan.ns())
-            };
-            (pages, t(true), t(false))
-        })
-        .collect()
+    lookup_ablation_jobs(page_counts, 1)
+}
+
+/// [`lookup_ablation`] with the sizes distributed over `jobs` host
+/// threads. Items are independent (fresh machine each), so the rows are
+/// identical to the sequential run's, in the same order.
+pub fn lookup_ablation_jobs(page_counts: &[u64], jobs: usize) -> Vec<(u64, f64, f64)> {
+    threadpool::par_map(jobs, page_counts, |_, &pages| {
+        let t = |patched: bool| {
+            let mut m = NumaSystem::new()
+                .kernel(KernelConfig {
+                    patched_move_pages: patched,
+                    ..KernelConfig::default()
+                })
+                .build();
+            let buf = Buffer::alloc(&mut m, pages * PAGE_SIZE);
+            setup::populate_on_node(&mut m, &buf, NodeId(0));
+            let addrs = buf.page_addrs();
+            let dest = vec![NodeId(1); addrs.len()];
+            let r = m.run(
+                vec![ThreadSpec::scripted(
+                    CoreId(0),
+                    vec![Op::MovePages { pages: addrs, dest }],
+                )],
+                &[],
+            );
+            pages_throughput(pages, r.makespan.ns())
+        };
+        (pages, t(true), t(false))
+    })
 }
 
 #[cfg(test)]

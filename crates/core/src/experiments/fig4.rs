@@ -42,16 +42,25 @@ pub struct Fig4Row {
 /// Run the sweep. Every measurement uses a fresh machine so earlier calls
 /// leave no warm state (mirrors the paper's per-size runs).
 pub fn run(page_counts: &[u64]) -> Vec<Fig4Row> {
-    page_counts
-        .iter()
-        .map(|&pages| Fig4Row {
-            pages,
-            memcpy_mbps: measure_memcpy(pages),
-            migrate_pages_mbps: measure_migrate_pages(pages),
-            move_pages_mbps: measure_move_pages(pages, true),
-            move_pages_nopatch_mbps: measure_move_pages(pages, false),
-        })
-        .collect()
+    run_jobs(page_counts, 1)
+}
+
+/// [`run`] with the sweep items distributed over `jobs` host threads.
+/// Items are independent (fresh machine each), so the rows are identical
+/// to the sequential run's, in the same order.
+pub fn run_jobs(page_counts: &[u64], jobs: usize) -> Vec<Fig4Row> {
+    threadpool::par_map(jobs, page_counts, |_, &pages| run_case(pages))
+}
+
+/// Run the four curves for one buffer size.
+pub fn run_case(pages: u64) -> Fig4Row {
+    Fig4Row {
+        pages,
+        memcpy_mbps: measure_memcpy(pages),
+        migrate_pages_mbps: measure_migrate_pages(pages),
+        move_pages_mbps: measure_move_pages(pages, true),
+        move_pages_nopatch_mbps: measure_move_pages(pages, false),
+    }
 }
 
 fn measure_memcpy(pages: u64) -> f64 {

@@ -47,18 +47,27 @@ pub enum NtVariant {
 
 /// Run the sweep.
 pub fn run(page_counts: &[u64]) -> Vec<Fig5Row> {
-    page_counts
-        .iter()
-        .map(|&pages| Fig5Row {
+    run_jobs(page_counts, 1)
+}
+
+/// [`run`] with the sweep items distributed over `jobs` host threads.
+/// Items are independent (fresh machine each), so the rows are identical
+/// to the sequential run's, in the same order.
+pub fn run_jobs(page_counts: &[u64], jobs: usize) -> Vec<Fig5Row> {
+    threadpool::par_map(jobs, page_counts, |_, &pages| run_case(pages))
+}
+
+/// Run the three variants for one buffer size.
+pub fn run_case(pages: u64) -> Fig5Row {
+    Fig5Row {
+        pages,
+        user_nopatch_mbps: pages_throughput(
             pages,
-            user_nopatch_mbps: pages_throughput(
-                pages,
-                measure(pages, NtVariant::UserUnpatched).makespan.ns(),
-            ),
-            user_mbps: pages_throughput(pages, measure(pages, NtVariant::User).makespan.ns()),
-            kernel_mbps: pages_throughput(pages, measure(pages, NtVariant::Kernel).makespan.ns()),
-        })
-        .collect()
+            measure(pages, NtVariant::UserUnpatched).makespan.ns(),
+        ),
+        user_mbps: pages_throughput(pages, measure(pages, NtVariant::User).makespan.ns()),
+        kernel_mbps: pages_throughput(pages, measure(pages, NtVariant::Kernel).makespan.ns()),
+    }
 }
 
 /// One next-touch migration episode: populate on node 0, mark from a
@@ -76,7 +85,11 @@ pub fn measure_traced(pages: u64, variant: NtVariant, capacity: usize) -> (RunRe
     measure_impl(pages, variant, Some(capacity))
 }
 
-fn measure_impl(pages: u64, variant: NtVariant, trace_capacity: Option<usize>) -> (RunResult, Machine) {
+fn measure_impl(
+    pages: u64,
+    variant: NtVariant,
+    trace_capacity: Option<usize>,
+) -> (RunResult, Machine) {
     let mut m: Machine = match variant {
         NtVariant::UserUnpatched => NumaSystem::new()
             .kernel(KernelConfig {

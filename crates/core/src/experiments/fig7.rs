@@ -37,18 +37,28 @@ pub struct Fig7Row {
 /// Run the sweep with 1..=`max_threads` threads (the paper uses 4 — one
 /// per core of the destination node).
 pub fn run(page_counts: &[u64], max_threads: usize) -> Vec<Fig7Row> {
-    page_counts
-        .iter()
-        .map(|&pages| Fig7Row {
-            pages,
-            sync_mbps: (1..=max_threads)
-                .map(|t| pages_throughput(pages, measure_sync(pages, t)))
-                .collect(),
-            lazy_mbps: (1..=max_threads)
-                .map(|t| pages_throughput(pages, measure_lazy(pages, t)))
-                .collect(),
-        })
-        .collect()
+    run_jobs(page_counts, max_threads, 1)
+}
+
+/// [`run`] with the sweep items distributed over `jobs` host threads.
+/// Items are independent (fresh machine each), so the rows are identical
+/// to the sequential run's, in the same order.
+pub fn run_jobs(page_counts: &[u64], max_threads: usize, jobs: usize) -> Vec<Fig7Row> {
+    threadpool::par_map(jobs, page_counts, |_, &pages| run_case(pages, max_threads))
+}
+
+/// Run one buffer size across both migration styles and all thread
+/// counts.
+pub fn run_case(pages: u64, max_threads: usize) -> Fig7Row {
+    Fig7Row {
+        pages,
+        sync_mbps: (1..=max_threads)
+            .map(|t| pages_throughput(pages, measure_sync(pages, t)))
+            .collect(),
+        lazy_mbps: (1..=max_threads)
+            .map(|t| pages_throughput(pages, measure_lazy(pages, t)))
+            .collect(),
+    }
 }
 
 /// Synchronous parallel migration: `threads` concurrent `move_pages`

@@ -50,7 +50,14 @@ pub fn run_case(n: u64) -> Fig8Row {
 
 /// Run the whole sweep.
 pub fn run(sizes: &[u64]) -> Vec<Fig8Row> {
-    sizes.iter().map(|&n| run_case(n)).collect()
+    run_jobs(sizes, 1)
+}
+
+/// [`run`] with the sweep items distributed over `jobs` host threads.
+/// Items are independent (fresh machine each), so the rows are identical
+/// to the sequential run's, in the same order.
+pub fn run_jobs(sizes: &[u64], jobs: usize) -> Vec<Fig8Row> {
+    threadpool::par_map(jobs, sizes, |_, &n| run_case(n))
 }
 
 #[cfg(test)]

@@ -37,37 +37,45 @@ impl ScalingRow {
 
 /// Run the sweep over machine sizes at matrix dimension `n` per thread.
 pub fn run(n: u64) -> Vec<ScalingRow> {
-    [Platform::TwoNode, Platform::Opteron4P, Platform::EightNode]
-        .into_iter()
-        .map(|platform| {
-            let time = |strategy: MigrationStrategy| {
-                let mut m = NumaSystem::new().platform(platform).build();
-                let threads = m.topology().core_count();
-                let cfg = IndepGemmConfig {
-                    n,
-                    threads,
-                    strategy,
-                    mode: DataMode::Phantom,
-                };
-                let r = run_indep_gemm(&mut m, &cfg).0.makespan.secs_f64();
-                (r, threads)
-            };
-            let (static_s, threads) = time(MigrationStrategy::Static);
-            let (next_touch_s, _) = time(MigrationStrategy::KernelNextTouch);
-            let nodes = match platform {
-                Platform::TwoNode => 2,
-                Platform::Opteron4P => 4,
-                Platform::EightNode => 8,
-                Platform::Tiered4p2 => 6,
-            };
-            ScalingRow {
-                nodes,
-                threads,
-                static_s,
-                next_touch_s,
-            }
-        })
-        .collect()
+    run_jobs(n, 1)
+}
+
+/// [`run`] with the platforms distributed over `jobs` host threads.
+/// Platforms are independent (fresh machine each), so the rows are
+/// identical to the sequential run's, in the same order.
+pub fn run_jobs(n: u64, jobs: usize) -> Vec<ScalingRow> {
+    let platforms = [Platform::TwoNode, Platform::Opteron4P, Platform::EightNode];
+    threadpool::par_map(jobs, &platforms, |_, &platform| run_platform(platform, n))
+}
+
+/// Run one platform's static-vs-next-touch pair.
+fn run_platform(platform: Platform, n: u64) -> ScalingRow {
+    let time = |strategy: MigrationStrategy| {
+        let mut m = NumaSystem::new().platform(platform).build();
+        let threads = m.topology().core_count();
+        let cfg = IndepGemmConfig {
+            n,
+            threads,
+            strategy,
+            mode: DataMode::Phantom,
+        };
+        let r = run_indep_gemm(&mut m, &cfg).0.makespan.secs_f64();
+        (r, threads)
+    };
+    let (static_s, threads) = time(MigrationStrategy::Static);
+    let (next_touch_s, _) = time(MigrationStrategy::KernelNextTouch);
+    let nodes = match platform {
+        Platform::TwoNode => 2,
+        Platform::Opteron4P => 4,
+        Platform::EightNode => 8,
+        Platform::Tiered4p2 => 6,
+    };
+    ScalingRow {
+        nodes,
+        threads,
+        static_s,
+        next_touch_s,
+    }
 }
 
 #[cfg(test)]

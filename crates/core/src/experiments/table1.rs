@@ -75,7 +75,14 @@ pub fn run_case(n: u64, bs: u64) -> Table1Row {
 
 /// Run a list of cases.
 pub fn run(cases: &[(u64, u64)]) -> Vec<Table1Row> {
-    cases.iter().map(|&(n, bs)| run_case(n, bs)).collect()
+    run_jobs(cases, 1)
+}
+
+/// [`run`] with the cases distributed over `jobs` host threads. Cases are
+/// independent (fresh machine each), so the rows are identical to the
+/// sequential run's, in the same order.
+pub fn run_jobs(cases: &[(u64, u64)], jobs: usize) -> Vec<Table1Row> {
+    threadpool::par_map(jobs, cases, |_, &(n, bs)| run_case(n, bs))
 }
 
 #[cfg(test)]

@@ -74,23 +74,33 @@ pub struct MechanismRow {
 /// give different interleavings (and abort counts); equal seeds give
 /// byte-identical results.
 pub fn mechanism(writer_counts: &[usize], pages: u64, hot: u64, seed: u64) -> Vec<MechanismRow> {
-    writer_counts
-        .iter()
-        .map(|&writers| {
-            let (txn_writer_ns, txn) = measure_mechanism(writers, pages, hot, seed, true);
-            let (stw_writer_ns, stw) = measure_mechanism(writers, pages, hot, seed, false);
-            MechanismRow {
-                writers,
-                txn_writer_ns,
-                stw_writer_ns,
-                txn_commits: txn.get(Counter::TierTxnCommits),
-                txn_aborts: txn.get(Counter::TierTxnAborts),
-                stw_stalls: stw.get(Counter::TierStwStalls),
-                txn_promoted: txn.get(Counter::TierPromotions),
-                stw_promoted: stw.get(Counter::TierPromotions),
-            }
-        })
-        .collect()
+    mechanism_jobs(writer_counts, pages, hot, seed, 1)
+}
+
+/// [`mechanism`] with the writer counts distributed over `jobs` host
+/// threads. Items are independent (fresh machine each), so the rows are
+/// identical to the sequential run's, in the same order.
+pub fn mechanism_jobs(
+    writer_counts: &[usize],
+    pages: u64,
+    hot: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<MechanismRow> {
+    threadpool::par_map(jobs, writer_counts, |_, &writers| {
+        let (txn_writer_ns, txn) = measure_mechanism(writers, pages, hot, seed, true);
+        let (stw_writer_ns, stw) = measure_mechanism(writers, pages, hot, seed, false);
+        MechanismRow {
+            writers,
+            txn_writer_ns,
+            stw_writer_ns,
+            txn_commits: txn.get(Counter::TierTxnCommits),
+            txn_aborts: txn.get(Counter::TierTxnAborts),
+            stw_stalls: stw.get(Counter::TierStwStalls),
+            txn_promoted: txn.get(Counter::TierPromotions),
+            stw_promoted: stw.get(Counter::TierPromotions),
+        }
+    })
 }
 
 /// One timed migration-under-writers run. Returns the writers' completion
@@ -180,21 +190,30 @@ pub fn capacity_sweep(
     dram_pages_per_node: u64,
     rounds: usize,
 ) -> Vec<CapacityRow> {
-    hot_page_counts
-        .iter()
-        .map(|&hot_pages| {
-            let (tiered_ns, promotions) =
-                measure_capacity(hot_pages, dram_pages_per_node, rounds, true);
-            let (static_ns, _) = measure_capacity(hot_pages, dram_pages_per_node, rounds, false);
-            CapacityRow {
-                hot_pages,
-                dram_pages: 4 * dram_pages_per_node,
-                tiered_ns,
-                static_ns,
-                promotions,
-            }
-        })
-        .collect()
+    capacity_sweep_jobs(hot_page_counts, dram_pages_per_node, rounds, 1)
+}
+
+/// [`capacity_sweep`] with the hot-set sizes distributed over `jobs` host
+/// threads. Items are independent (fresh machine each), so the rows are
+/// identical to the sequential run's, in the same order.
+pub fn capacity_sweep_jobs(
+    hot_page_counts: &[u64],
+    dram_pages_per_node: u64,
+    rounds: usize,
+    jobs: usize,
+) -> Vec<CapacityRow> {
+    threadpool::par_map(jobs, hot_page_counts, |_, &hot_pages| {
+        let (tiered_ns, promotions) =
+            measure_capacity(hot_pages, dram_pages_per_node, rounds, true);
+        let (static_ns, _) = measure_capacity(hot_pages, dram_pages_per_node, rounds, false);
+        CapacityRow {
+            hot_pages,
+            dram_pages: 4 * dram_pages_per_node,
+            tiered_ns,
+            static_ns,
+            promotions,
+        }
+    })
 }
 
 /// Build the capacity-sweep machine: DRAM shrunk, slow tier ample.

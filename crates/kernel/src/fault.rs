@@ -88,18 +88,24 @@ impl Kernel {
         write: bool,
     ) -> FaultResolution {
         let topo = self.topology().clone();
-        let cost = topo.cost().clone();
+        let cost = topo.cost();
         let local = topo.node_of_core(core);
 
         let Some(vma) = space.find_vma(addr) else {
             return FaultResolution::Fatal(VmError::NoVma(addr));
         };
-        let vma = vma.clone();
+        let prot = vma.prot;
         let huge = vma.huge;
         let vpn = if huge {
             crate::syscalls::huge_head(vma.range.start_vpn, addr.vpn())
         } else {
             addr.vpn()
+        };
+        // Placement decisions are pure; resolve them up front so the VMA
+        // borrow does not have to outlive the page-table mutations below.
+        let (policy_target, policy_fallback) = {
+            let policy = effective_policy(space, vma);
+            (policy.choose_node(vpn, local), policy.fallback_node(local))
         };
         let pages_covered = if huge { PAGES_PER_HUGE } else { 1 };
         let bytes = pages_covered * PAGE_SIZE;
@@ -107,22 +113,19 @@ impl Kernel {
         match space.page_table.get(vpn).copied() {
             // ---------------------------------------------- first touch
             None => {
-                if !vma.prot.permits(write) {
+                if !prot.permits(write) {
                     self.counters.bump(Counter::SegvSignals);
                     self.trace.record(now, TraceEventKind::Signal { page: vpn });
                     return FaultResolution::Segv {
                         end: now + cost.page_fault_ns,
                     };
                 }
-                let policy = effective_policy(space, &vma).clone();
-                let target = policy.choose_node(vpn, local);
-                let fallback = policy.fallback_node(local);
-                let Some(frame) = self.alloc_frame(frames, target, fallback) else {
+                let Some(frame) = self.alloc_frame(frames, policy_target, policy_fallback) else {
                     return FaultResolution::Fatal(VmError::OutOfMemory);
                 };
                 let node = frames.node_of(frame);
                 let mut flags = PteFlags::PRESENT | PteFlags::READ;
-                if vma.prot == Protection::ReadWrite {
+                if prot == Protection::ReadWrite {
                     flags |= PteFlags::WRITE;
                 }
                 if huge {
@@ -219,7 +222,7 @@ impl Kernel {
                 // point of the kernel implementation (§4.3).
                 let entry = space.page_table.get_mut(vpn).expect("pte exists");
                 entry.clear_next_touch();
-                if vma.prot == Protection::ReadOnly {
+                if prot == Protection::ReadOnly {
                     entry.flags = entry.flags & !PteFlags::WRITE;
                 }
                 tlb.invalidate_local(core);
@@ -244,11 +247,11 @@ impl Kernel {
 
             // ------------------------------------------ protection fault
             Some(pte) if !pte.permits(write) => {
-                if vma.prot.permits(write) {
+                if prot.permits(write) {
                     // PTE lagging behind a VMA-level restore: repair it.
                     let entry = space.page_table.get_mut(vpn).expect("pte exists");
                     entry.flags |= PteFlags::PRESENT | PteFlags::READ;
-                    if vma.prot == Protection::ReadWrite {
+                    if prot == Protection::ReadWrite {
                         entry.flags |= PteFlags::WRITE;
                     }
                     let node = frames.node_of(entry.frame);

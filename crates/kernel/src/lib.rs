@@ -38,10 +38,10 @@ pub use locks::LockSet;
 pub use syscalls::{MovePagesResult, PageStatus, SyscallOutcome};
 pub use tier::{TierTxn, TxnOutcome};
 
+use numa_sim::FxHashMap;
 use numa_stats::Counters;
 use numa_topology::{NodeId, Topology};
 use numa_vm::{FrameAllocator, FrameId};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The simulated kernel: configuration, lock set, interconnect model and
@@ -63,12 +63,15 @@ pub struct Kernel {
     topo: Arc<Topology>,
     /// Read-only replicas per vpn (replication extension): which nodes hold
     /// a copy, and in which frame.
-    replicas: HashMap<u64, Vec<(NodeId, FrameId)>>,
+    replicas: FxHashMap<u64, Vec<(NodeId, FrameId)>>,
     /// In-flight transactional tier migrations, keyed by vpn.
-    pub(crate) pending_txns: HashMap<u64, tier::TierTxn>,
+    pub(crate) pending_txns: FxHashMap<u64, tier::TierTxn>,
     /// Pages currently unmapped by a stop-the-world tier migration:
     /// vpn -> time the window closes. Touches stall until then.
-    pub(crate) in_flight_stw: HashMap<u64, numa_sim::SimTime>,
+    pub(crate) in_flight_stw: FxHashMap<u64, numa_sim::SimTime>,
+    /// Memoized per-page migration cost quanta (safe: `topo` is immutable
+    /// for the kernel's lifetime).
+    quanta: numa_topology::QuantaCache,
 }
 
 impl Kernel {
@@ -83,9 +86,10 @@ impl Kernel {
             counters: Counters::new(),
             trace,
             topo,
-            replicas: HashMap::new(),
-            pending_txns: HashMap::new(),
-            in_flight_stw: HashMap::new(),
+            replicas: FxHashMap::default(),
+            pending_txns: FxHashMap::default(),
+            in_flight_stw: FxHashMap::default(),
+            quanta: numa_topology::QuantaCache::default(),
         }
     }
 
@@ -143,11 +147,8 @@ impl Kernel {
         b: &mut numa_stats::Breakdown,
     ) -> numa_sim::SimTime {
         let topo = self.topo.clone();
-        let cost = topo.cost();
-        let f = cost.pt_lock_fraction.min(0.95);
-        let nominal_copy = cost.kernel_copy_ns(bytes);
-        let serial = (f * (control_ns + nominal_copy) as f64).round() as u64;
-        let acq = self.locks.pt.acquire(now, serial);
+        let q = self.quanta.get(topo.cost(), control_ns, bytes);
+        let acq = self.locks.pt.acquire(now, q.serial_ns);
         b.add(control_component, control_ns);
         b.add(numa_stats::CostComponent::LockWait, acq.wait_ns);
         self.trace.record(
@@ -155,18 +156,17 @@ impl Kernel {
             numa_sim::TraceEventKind::LockAcquire {
                 name: "pt_lock",
                 wait_ns: acq.wait_ns,
-                hold_ns: serial,
+                hold_ns: q.serial_ns,
             },
         );
-        let parallel_ctl = control_ns - (f * control_ns as f64).round() as u64;
-        let t = acq.end + parallel_ctl;
+        let t = acq.end + q.parallel_ctl_ns;
         // The unlocked remainder of the copy: same bytes through the
         // links, initiator time scaled so control+copy totals are
         // preserved.
-        let xfer =
-            self.interconnect
-                .transfer(&topo, t, src, dst, bytes, cost.kernel_copy_bw / (1.0 - f));
-        b.add(copy_component, nominal_copy + xfer.wait_ns);
+        let xfer = self
+            .interconnect
+            .transfer(&topo, t, src, dst, bytes, q.copy_bw);
+        b.add(copy_component, q.nominal_copy_ns + xfer.wait_ns);
         xfer.end
     }
 
@@ -185,7 +185,14 @@ impl Kernel {
         self.replicas.contains_key(&vpn)
     }
 
-    pub(crate) fn replicas_mut(&mut self) -> &mut HashMap<u64, Vec<(NodeId, FrameId)>> {
+    /// Does *any* page have replicas? One branch; lets the access hot path
+    /// skip per-touch replica lookups entirely when the replication
+    /// extension is unused (every run except the replication experiments).
+    pub fn has_any_replicas(&self) -> bool {
+        !self.replicas.is_empty()
+    }
+
+    pub(crate) fn replicas_mut(&mut self) -> &mut FxHashMap<u64, Vec<(NodeId, FrameId)>> {
         &mut self.replicas
     }
 }

@@ -157,7 +157,8 @@ impl Kernel {
         dest: NodeId,
         unpatched_n: usize,
     ) -> (SimTime, Breakdown, PageStatus) {
-        let cost = self.topology().cost().clone();
+        let topo = self.topology().clone();
+        let cost = topo.cost();
         let mut b = Breakdown::new();
         let mut t = now;
         if !self.config.patched_move_pages && unpatched_n > 0 {
@@ -166,7 +167,7 @@ impl Kernel {
             b.add(CostComponent::QuadraticLookup, lookup_ns);
             t += lookup_ns;
         }
-        let status = self.move_one_page(space, frames, &mut t, &mut b, addr, dest, &cost);
+        let status = self.move_one_page(space, frames, &mut t, &mut b, addr, dest, cost);
         if matches!(status, PageStatus::Moved(_)) {
             self.counters.add(Counter::PagesMovedSyscall, 1);
         }
@@ -219,7 +220,8 @@ impl Kernel {
         from: &[NodeId],
         to: &[NodeId],
     ) -> (SimTime, Breakdown, Option<PageStatus>) {
-        let cost = self.topology().cost().clone();
+        let topo = self.topology().clone();
+        let cost = topo.cost();
         let mut b = Breakdown::new();
         let mut t = now;
         let Some(pte) = space.page_table.get(vpn) else {
@@ -460,7 +462,8 @@ impl Kernel {
 
         self.trace
             .record(now, TraceEventKind::SyscallEnter { name: "madvise" });
-        let cost = self.topology().cost().clone();
+        let topo = self.topology().clone();
+        let cost = topo.cost();
         let mut b = Breakdown::new();
         let mut marked = 0u64;
         for vpn in range.iter() {
@@ -534,7 +537,8 @@ impl Kernel {
                 pte.flags = flags;
             }
         }
-        let cost = self.topology().cost().clone();
+        let topo = self.topology().clone();
+        let cost = topo.cost();
         let mut b = Breakdown::new();
         let ns = cost.mprotect_base_ns + cost.mprotect_per_page_ns * range.pages();
         b.add(component, ns);
@@ -678,7 +682,7 @@ impl Kernel {
             VmaKind::PrivateAnonymous,
             policy,
         )?;
-        space.find_vma_mut(addr).expect("vma just created").huge = true;
+        space.set_vma_huge(addr).expect("vma just created");
         Ok(addr)
     }
 
@@ -710,7 +714,7 @@ impl Kernel {
             vpn = vma.range.end_vpn;
         }
         let topo = self.topology().clone();
-        let cost = topo.cost().clone();
+        let cost = topo.cost();
         let mut b = Breakdown::new();
         let mut t = now;
         let mut replicated = 0u64;

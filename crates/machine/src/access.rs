@@ -18,6 +18,11 @@ impl Machine {
     /// Resolve the page-table vpn that backs `addr` (huge mappings are
     /// keyed by their head page).
     pub fn resolve_vpn(&self, addr: VirtAddr) -> u64 {
+        // All-4kB address spaces (every run without the huge-page
+        // extension) resolve without walking the VMA tree.
+        if !self.space.has_huge_vmas() {
+            return addr.vpn();
+        }
         match self.space.find_vma(addr) {
             Some(vma) if vma.huge => {
                 let rel = addr.vpn() - vma.range.start_vpn;
@@ -40,7 +45,7 @@ impl Machine {
         write: bool,
         stats: &mut RunStats,
     ) -> (SimTime, NodeId) {
-        let cost = self.topology().cost().clone();
+        let sigsegv_deliver_ns = self.topology().cost().sigsegv_deliver_ns;
         // Attribute kernel-recorded trace events (faults, locks, TLB
         // shootdowns) to the faulting thread.
         self.trace.set_thread(tid);
@@ -67,10 +72,10 @@ impl Machine {
                     now = end;
                 }
                 FaultResolution::Segv { end } => {
-                    now = end + cost.sigsegv_deliver_ns;
+                    now = end + sigsegv_deliver_ns;
                     stats
                         .breakdown
-                        .add(CostComponent::PageFaultSignal, cost.sigsegv_deliver_ns);
+                        .add(CostComponent::PageFaultSignal, sigsegv_deliver_ns);
                     let mut handler = self.segv_handler.take().unwrap_or_else(|| {
                         panic!(
                             "thread {tid} took SIGSEGV at {addr} with no handler registered \
@@ -202,7 +207,7 @@ impl Machine {
         stats: &mut RunStats,
     ) -> SimTime {
         let topo = self.topology().clone();
-        let cost = topo.cost().clone();
+        let cost = topo.cost();
         let core_node = topo.node_of_core(core);
         let vpn = page_addr.vpn();
 
@@ -233,8 +238,10 @@ impl Machine {
             *self.heat.entry(tvpn).or_insert(0) += 1;
         }
 
-        // Reads may be served by a closer replica (extension).
-        if !write && self.kernel.has_replicas(self.resolve_vpn(page_addr)) {
+        // Reads may be served by a closer replica (extension). Gated on
+        // the table being non-empty at all so unreplicated runs pay one
+        // branch here, not an address resolution plus a map probe.
+        if !write && self.kernel.has_any_replicas() {
             if let Some((node, _)) = self
                 .kernel
                 .nearest_replica(self.resolve_vpn(page_addr), core_node)
@@ -313,7 +320,7 @@ impl Machine {
         stats: &mut RunStats,
     ) -> SimTime {
         let topo = self.topology().clone();
-        let cost = topo.cost().clone();
+        let cost = topo.cost();
         let mut off = 0u64;
         while off < bytes {
             let chunk = (PAGE_SIZE - (src + off).page_offset()).min(bytes - off);
@@ -339,12 +346,17 @@ impl Machine {
     }
 }
 
-/// The distinct page-touch addresses of a contiguous access.
-pub(crate) fn build_touches(addr: VirtAddr, bytes: u64) -> Vec<VirtAddr> {
+/// The distinct page-touch addresses of a contiguous access, streamed
+/// without materialising a `Vec` (the engine's expansion hot path).
+pub(crate) fn touch_iter(addr: VirtAddr, bytes: u64) -> impl Iterator<Item = VirtAddr> {
     PageRange::covering(addr, bytes)
         .iter()
-        .map(|vpn| VirtAddr::from_vpn(vpn).max_addr(addr))
-        .collect()
+        .map(move |vpn| VirtAddr::from_vpn(vpn).max_addr(addr))
+}
+
+/// The distinct page-touch addresses of a contiguous access.
+pub(crate) fn build_touches(addr: VirtAddr, bytes: u64) -> Vec<VirtAddr> {
+    touch_iter(addr, bytes).collect()
 }
 
 /// The distinct page-touch addresses of a strided access, preserving

@@ -6,14 +6,15 @@
 //! shared by the node's four cores, which the per-node granularity models
 //! directly.
 
-use std::collections::{HashSet, VecDeque};
+use numa_sim::FxHashSet;
+use std::collections::VecDeque;
 
 /// A page-granular FIFO cache of fixed capacity.
 #[derive(Debug, Clone)]
 pub struct L3Cache {
     capacity: usize,
     order: VecDeque<u64>,
-    resident: HashSet<u64>,
+    resident: FxHashSet<u64>,
     hits: u64,
     misses: u64,
 }
@@ -24,7 +25,7 @@ impl L3Cache {
         L3Cache {
             capacity,
             order: VecDeque::with_capacity(capacity),
-            resident: HashSet::with_capacity(capacity * 2),
+            resident: FxHashSet::with_capacity_and_hasher(capacity * 2, Default::default()),
             hits: 0,
             misses: 0,
         }

@@ -97,12 +97,10 @@ enum Micro {
     },
     /// `migrate_pages` base bookkeeping.
     MigratePagesBegin,
-    /// One page of a `migrate_pages` walk.
-    MigratePage {
-        vpn: u64,
-        from: std::rc::Rc<Vec<numa_topology::NodeId>>,
-        to: std::rc::Rc<Vec<numa_topology::NodeId>>,
-    },
+    /// One page of a `migrate_pages` walk. The from/to node sets live in
+    /// the thread's [`ThreadState::migrate_args`] (one walk in flight per
+    /// thread), so the per-page micro stays pointer-free.
+    MigratePage { vpn: u64 },
     /// The batched TLB shootdown ending a migration syscall.
     MigrationShootdown,
     /// Start the transactional copy of one page (tiering).
@@ -150,8 +148,27 @@ struct ThreadState {
     done: bool,
     program: Program,
     micro: std::collections::VecDeque<Micro>,
+    /// The from/to node sets of the thread's in-flight `migrate_pages`
+    /// walk (set at expansion, read by every `Micro::MigratePage`).
+    migrate_args: Option<(Vec<numa_topology::NodeId>, Vec<numa_topology::NodeId>)>,
     /// The op currently being drained and when it started (tracing only).
     op: Option<(&'static str, SimTime)>,
+}
+
+/// Process-wide default for the engine's lookahead fast path. Machines
+/// snapshot it at construction; tests flip it to prove batched and
+/// per-page execution produce bit-identical results.
+static FAST_PATH_DEFAULT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Set the process-wide default for the lookahead fast path (applies to
+/// machines constructed afterwards).
+pub fn set_fast_path_default(enabled: bool) {
+    FAST_PATH_DEFAULT.store(enabled, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// The current process-wide fast-path default.
+pub fn fast_path_default() -> bool {
+    FAST_PATH_DEFAULT.load(std::sync::atomic::Ordering::SeqCst)
 }
 
 impl Machine {
@@ -174,15 +191,21 @@ impl Machine {
                 done: false,
                 program: t.program,
                 micro: std::collections::VecDeque::new(),
+                migrate_args: None,
                 op: None,
             })
             .collect();
         let n = states.len();
-        let mut queue = ReadyQueue::new();
+        // The engine pushes/pops at most one entry per live thread (plus
+        // the one being re-queued), so sized here the heap never grows.
+        let mut queue = ReadyQueue::with_capacity(n + 1);
         for tid in 0..n {
             queue.push(SimTime::ZERO, tid);
         }
         let mut thread_end = vec![SimTime::ZERO; n];
+        // Scratch snapshot for the traced-micro breakdown diff, reused
+        // across micros instead of cloning a fresh Vec per drain.
+        let mut snap = Breakdown::new();
 
         while let Some((t, tid)) = queue.pop() {
             let state = &mut states[tid];
@@ -190,52 +213,75 @@ impl Machine {
                 continue;
             }
             state.clock = state.clock.max(t);
-            let (core, now) = (state.core, state.clock);
+            let core = state.core;
+            let mut now = state.clock;
 
-            // Drain one pending micro-op if there is one. The micro deque
-            // is passed down so a micro can queue follow-up work (e.g. a
+            // Drain pending micro-ops if there are any. The thread state is
+            // passed down so a micro can queue follow-up work (e.g. a
             // transactional tier abort re-queuing its retry).
-            if let Some(micro) = state.micro.pop_front() {
-                // With tracing on, diff the breakdown around the micro so
-                // every nanosecond charged to a component also appears as a
-                // trace span — component_totals() then reconciles exactly
-                // with the run's Breakdown by construction.
-                let before = if self.trace.enabled() {
-                    self.trace.set_thread(tid);
-                    Some(stats.breakdown.clone())
-                } else {
-                    None
-                };
-                let end = self.exec_micro(tid, core, now, micro, &mut state.micro, &mut stats);
-                if let Some(before) = before {
-                    for c in CostComponent::ALL {
-                        let delta = stats.breakdown.get(c) - before.get(c);
-                        if delta > 0 {
-                            self.trace.record_for(
-                                now,
-                                tid,
-                                TraceEventKind::Span {
-                                    component: c,
-                                    dur_ns: delta,
-                                },
-                            );
+            if let Some(first) = state.micro.pop_front() {
+                let mut micro = first;
+                loop {
+                    // With tracing on, diff the breakdown around the micro
+                    // so every nanosecond charged to a component also
+                    // appears as a trace span — component_totals() then
+                    // reconciles exactly with the run's Breakdown by
+                    // construction.
+                    let traced = self.trace.enabled();
+                    if traced {
+                        self.trace.set_thread(tid);
+                        snap.clone_from(&stats.breakdown);
+                    }
+                    let end = self.exec_micro(tid, core, now, micro, state, &mut stats);
+                    if traced {
+                        for c in CostComponent::ALL {
+                            let delta = stats.breakdown.get(c) - snap.get(c);
+                            if delta > 0 {
+                                self.trace.record_for(
+                                    now,
+                                    tid,
+                                    TraceEventKind::Span {
+                                        component: c,
+                                        dur_ns: delta,
+                                    },
+                                );
+                            }
+                        }
+                        if state.micro.is_empty() {
+                            if let Some((op, started)) = state.op.take() {
+                                self.trace.record_for(
+                                    started,
+                                    tid,
+                                    TraceEventKind::OpEnd {
+                                        op,
+                                        dur_ns: end.since(started),
+                                    },
+                                );
+                            }
                         }
                     }
-                    if state.micro.is_empty() {
-                        if let Some((op, started)) = state.op.take() {
-                            self.trace.record_for(
-                                started,
-                                tid,
-                                TraceEventKind::OpEnd {
-                                    op,
-                                    dur_ns: end.since(started),
-                                },
-                            );
-                        }
+                    state.clock = end;
+                    // Lookahead fast path: if this thread still has micros
+                    // and every other runnable thread wakes *strictly after*
+                    // `end`, pushing and re-popping the queue would
+                    // deterministically select this same thread (an
+                    // equal-time entry would win the FIFO tie-break, hence
+                    // the strict inequality). Executing the next micro
+                    // inline is therefore exact by construction: micros
+                    // never release barriers, so no parked thread can
+                    // become runnable inside the window. See DESIGN.md §10.
+                    if self.fast_path
+                        && !state.micro.is_empty()
+                        && queue.peek_time().is_none_or(|p| p > end)
+                    {
+                        self.fastpath_micros += 1;
+                        now = end;
+                        micro = state.micro.pop_front().expect("checked non-empty");
+                        continue;
                     }
+                    queue.push(end, tid);
+                    break;
                 }
-                state.clock = end;
-                queue.push(end, tid);
                 continue;
             }
 
@@ -284,13 +330,13 @@ impl Machine {
                 }
                 other => {
                     let op_name = other.name();
-                    let micros = self.expand_op(core, other);
-                    if self.trace.enabled() && !micros.is_empty() {
+                    let state = &mut states[tid];
+                    self.expand_op_into(core, other, state);
+                    if self.trace.enabled() && !state.micro.is_empty() {
                         self.trace
                             .record_for(now, tid, TraceEventKind::OpStart { op: op_name });
-                        states[tid].op = Some((op_name, now));
+                        state.op = Some((op_name, now));
                     }
-                    states[tid].micro = micros;
                     queue.push(now, tid);
                 }
             }
@@ -304,11 +350,14 @@ impl Machine {
         }
     }
 
-    /// Expand an op into its scheduling quanta.
-    fn expand_op(&mut self, core: CoreId, op: Op) -> std::collections::VecDeque<Micro> {
-        use crate::access::{build_strided_touches, build_touches};
-        use numa_vm::PAGE_SIZE;
-        let mut micros = std::collections::VecDeque::new();
+    /// Expand an op into its scheduling quanta, pushed onto the thread's
+    /// (empty) micro deque — reused across ops so expansion stops
+    /// allocating once the deque has grown to the run's largest op.
+    fn expand_op_into(&mut self, core: CoreId, op: Op, state: &mut ThreadState) {
+        use crate::access::{build_strided_touches, touch_iter};
+        use numa_vm::{PageRange, PAGE_SIZE};
+        debug_assert!(state.micro.is_empty(), "expansion into a drained deque");
+        let micros = &mut state.micro;
         match op {
             Op::Access {
                 addr,
@@ -318,10 +367,19 @@ impl Machine {
                 kind,
             } => {
                 if bytes == 0 {
-                    return micros;
+                    return;
                 }
-                let touches = build_touches(addr, bytes);
-                push_touches(&mut micros, self, core, touches, traffic, write, kind);
+                let pages = PageRange::covering(addr, bytes).pages();
+                push_touches(
+                    micros,
+                    self,
+                    core,
+                    pages,
+                    touch_iter(addr, bytes),
+                    traffic,
+                    write,
+                    kind,
+                );
             }
             Op::AccessStrided {
                 base,
@@ -333,10 +391,11 @@ impl Machine {
                 kind,
             } => {
                 if seg_bytes == 0 || count == 0 {
-                    return micros;
+                    return;
                 }
                 let touches = build_strided_touches(base, seg_bytes, stride, count);
-                push_touches(&mut micros, self, core, touches, traffic, write, kind);
+                let pages = touches.len() as u64;
+                push_touches(micros, self, core, pages, touches, traffic, write, kind);
             }
             Op::Memcpy { src, dst, bytes } => {
                 let mut off = 0u64;
@@ -374,7 +433,7 @@ impl Machine {
                 transactional,
             } => {
                 if pages.is_empty() {
-                    return micros;
+                    return;
                 }
                 for vpn in pages {
                     if transactional {
@@ -398,34 +457,30 @@ impl Machine {
                     "from/to node sets mismatch"
                 );
                 micros.push_back(Micro::MigratePagesBegin);
-                let from = std::rc::Rc::new(from);
-                let to = std::rc::Rc::new(to);
-                // The ordered address-space walk (§4.2).
+                // The ordered address-space walk (§4.2). The node sets are
+                // parked on the thread, not cloned into every micro.
                 for vpn in self.space.page_table.sorted_vpns() {
-                    micros.push_back(Micro::MigratePage {
-                        vpn,
-                        from: std::rc::Rc::clone(&from),
-                        to: std::rc::Rc::clone(&to),
-                    });
+                    micros.push_back(Micro::MigratePage { vpn });
                 }
                 micros.push_back(Micro::MigrationShootdown);
+                state.migrate_args = Some((from, to));
             }
             other => micros.push_back(Micro::Whole(other)),
         }
-        micros
     }
 
-    /// Execute one micro-op, returning its completion time. `pending` is
-    /// the thread's remaining micro queue: a micro may consume its
-    /// follow-up (a failed tier begin drops its paired commit) or queue
-    /// new work at the front (an aborted commit re-queues a retry pair).
+    /// Execute one micro-op, returning its completion time. `state` is the
+    /// executing thread: a micro may consume its follow-up from the micro
+    /// queue (a failed tier begin drops its paired commit), queue new work
+    /// at the front (an aborted commit re-queues a retry pair), or read
+    /// the thread's parked `migrate_args`.
     fn exec_micro(
         &mut self,
         tid: usize,
         core: CoreId,
         now: SimTime,
         micro: Micro,
-        pending: &mut std::collections::VecDeque<Micro>,
+        state: &mut ThreadState,
         stats: &mut RunStats,
     ) -> SimTime {
         match micro {
@@ -456,14 +511,18 @@ impl Machine {
                 stats.breakdown.merge(&b);
                 end
             }
-            Micro::MigratePage { vpn, from, to } => {
+            Micro::MigratePage { vpn } => {
+                let (from, to) = state
+                    .migrate_args
+                    .as_ref()
+                    .expect("migrate_args set when the walk was expanded");
                 let (end, b, _status) = self.kernel.migrate_page_step(
                     &mut self.space,
                     &mut self.frames,
                     now,
                     vpn,
-                    &from,
-                    &to,
+                    from,
+                    to,
                 );
                 stats.breakdown.merge(&b);
                 end
@@ -490,10 +549,10 @@ impl Machine {
                         // Ineligible page (unmapped, already placed, bank
                         // full, ...): drop the paired commit micro.
                         if matches!(
-                            pending.front(),
+                            state.micro.front(),
                             Some(Micro::TierTxnCommit { vpn: v, .. }) if *v == vpn
                         ) {
-                            pending.pop_front();
+                            state.micro.pop_front();
                         }
                         now
                     }
@@ -514,12 +573,12 @@ impl Machine {
                 );
                 stats.breakdown.merge(&b);
                 if outcome == numa_kernel::TxnOutcome::Aborted && retries_left > 0 {
-                    pending.push_front(Micro::TierTxnCommit {
+                    state.micro.push_front(Micro::TierTxnCommit {
                         vpn,
                         dest,
                         retries_left: retries_left - 1,
                     });
-                    pending.push_front(Micro::TierTxnBegin { vpn, dest });
+                    state.micro.push_front(Micro::TierTxnBegin { vpn, dest });
                 }
                 end
             }
@@ -617,16 +676,20 @@ impl Machine {
 }
 
 /// Queue one `Micro::Touch` per page, spreading `traffic` uniformly.
+/// `pages` must equal the number of addresses `touches` yields; taking it
+/// separately lets the contiguous path stream page addresses straight
+/// from the range iterator instead of materialising a `Vec`.
+#[allow(clippy::too_many_arguments)]
 fn push_touches(
     micros: &mut std::collections::VecDeque<Micro>,
     machine: &Machine,
     core: CoreId,
-    touches: Vec<numa_vm::VirtAddr>,
+    pages: u64,
+    touches: impl IntoIterator<Item = numa_vm::VirtAddr>,
     traffic: u64,
     write: bool,
     kind: crate::op::MemAccessKind,
 ) {
-    let pages = touches.len() as u64;
     let per_page = traffic / pages.max(1);
     let remainder = traffic - per_page * pages;
     let fits = machine.operand_fits_in_cache(core, pages);

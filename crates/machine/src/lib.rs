@@ -70,6 +70,14 @@ pub struct Machine {
     /// driven by the simulated accesses themselves. A `BTreeMap` so that
     /// daemon scans iterate in a deterministic order.
     pub heat: std::collections::BTreeMap<u64, u64>,
+    /// Engine lookahead fast path (see `engine`): inline-continue a
+    /// thread's micro-ops while no other thread is runnable before its
+    /// clock. Exact by construction; disable to cross-check equivalence.
+    pub(crate) fast_path: bool,
+    /// Micro-ops executed via the fast path (host-performance telemetry,
+    /// deliberately *not* part of `RunStats` so enabling/disabling the
+    /// fast path cannot perturb any reported statistic).
+    pub fastpath_micros: u64,
 }
 
 impl Machine {
@@ -105,7 +113,16 @@ impl Machine {
             segv_handler: None,
             heat: std::collections::BTreeMap::new(),
             topo,
+            fast_path: engine::fast_path_default(),
+            fastpath_micros: 0,
         }
+    }
+
+    /// Force the engine's lookahead fast path on or off for this machine
+    /// (it defaults to [`engine::fast_path_default`]). Results are
+    /// bit-identical either way; the slow path exists to prove that.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
     }
 
     /// Enable event tracing with a bounded buffer of `capacity` events.
@@ -238,8 +255,7 @@ impl Machine {
             utilisation: r.utilisation(horizon),
         };
         let ic = &self.kernel.interconnect;
-        let mut resources: Vec<ResourceUsage> =
-            ic.link_resources().iter().map(usage).collect();
+        let mut resources: Vec<ResourceUsage> = ic.link_resources().iter().map(usage).collect();
         resources.extend(ic.mem_resources().iter().map(usage));
         resources.push(usage(&self.kernel.locks.mmap));
         resources.push(usage(&self.kernel.locks.pt));

@@ -1,0 +1,140 @@
+//! A fast, deterministic hasher for host-side lookup tables.
+//!
+//! The simulator's hottest maps (page table, frame table, cache residency)
+//! are keyed by small integers and hit several times per simulated page
+//! touch. `std`'s default SipHash is DoS-resistant but an order of
+//! magnitude slower than needed for trusted in-process keys, and its
+//! per-process random seed is wasted here: no simulation result may depend
+//! on iteration order anyway (that would be a determinism bug), so the
+//! fixed-seed multiply-xor scheme below is both faster and *more*
+//! reproducible.
+//!
+//! The mixing function is the Fx scheme used by the Rust compiler's own
+//! interning tables: `state = (state.rotate_left(5) ^ word) * K` with a
+//! golden-ratio-derived odd constant. Good enough dispersion for
+//! page-number keys, one multiply per word.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio-derived odd multiplier (2^64 / phi).
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A non-cryptographic, fixed-seed hasher for trusted integer-like keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (str keys etc.): fold 8 bytes at a time.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`-constructible, so
+/// serde and `HashMap::default()` keep working unchanged).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast fixed-seed hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast fixed-seed hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn nearby_keys_disperse() {
+        // Page numbers are dense; consecutive keys must not collide in the
+        // low bits the table indexes by.
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        let mut low_bits: Vec<u64> = (0..256u64).map(|v| hash(v) & 0xff).collect();
+        low_bits.sort_unstable();
+        low_bits.dedup();
+        assert!(
+            low_bits.len() > 128,
+            "dense keys collapse to {} buckets",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(5, 50);
+        assert_eq!(m.get(&5), Some(&50));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn str_keys_hash_consistently() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("pt_lock".into(), 1);
+        assert_eq!(m.get("pt_lock"), Some(&1));
+    }
+}

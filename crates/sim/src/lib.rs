@@ -18,6 +18,7 @@
 //! (DESIGN.md §7).
 
 pub mod barrier;
+pub mod hash;
 pub mod queue;
 pub mod resource;
 pub mod rng;
@@ -25,6 +26,7 @@ pub mod time;
 pub mod trace;
 
 pub use barrier::{BarrierOutcome, BarrierState};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use queue::ReadyQueue;
 pub use resource::{Acquisition, Resource};
 pub use rng::Splitmix64;

@@ -54,6 +54,16 @@ impl<T> ReadyQueue<T> {
         ReadyQueue::default()
     }
 
+    /// An empty queue with room for `capacity` items before reallocating.
+    /// Engines that push/pop once per micro-op size the queue to the
+    /// thread count up front so the heap never grows mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ReadyQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
     /// Schedule `item` to run at `time`.
     pub fn push(&mut self, time: SimTime, item: T) {
         self.heap.push(Reverse((time, self.seq, OrdWrap(item))));

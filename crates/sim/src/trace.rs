@@ -89,7 +89,10 @@ pub enum TraceEventKind {
     /// Cost attributed to one component while executing a micro-op. The
     /// engine emits these by diffing the breakdown around each micro-op, so
     /// summing them reproduces the run's `Breakdown` exactly.
-    Span { component: CostComponent, dur_ns: u64 },
+    Span {
+        component: CostComponent,
+        dur_ns: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -154,21 +157,24 @@ impl TraceEventKind {
             TraceEventKind::Signal { page } => Json::obj().set("page", page),
             TraceEventKind::SyscallEnter { .. } => Json::obj(),
             TraceEventKind::SyscallExit { pages, .. } => Json::obj().set("pages", pages),
-            TraceEventKind::MigrationBegin { page, from, to } => {
-                Json::obj().set("page", page).set("from", from).set("to", to)
-            }
-            TraceEventKind::MigrationCopy { page, from, to, .. } => {
-                Json::obj().set("page", page).set("from", from).set("to", to)
-            }
+            TraceEventKind::MigrationBegin { page, from, to } => Json::obj()
+                .set("page", page)
+                .set("from", from)
+                .set("to", to),
+            TraceEventKind::MigrationCopy { page, from, to, .. } => Json::obj()
+                .set("page", page)
+                .set("from", from)
+                .set("to", to),
             TraceEventKind::MigrationCommit { page, .. } => Json::obj().set("page", page),
             TraceEventKind::MigrationAbort { page, .. } => Json::obj().set("page", page),
             TraceEventKind::LockAcquire { wait_ns, .. } => Json::obj().set("wait_ns", wait_ns),
             TraceEventKind::TlbShootdown { .. } => Json::obj(),
             TraceEventKind::Barrier { id } => Json::obj().set("id", id),
             TraceEventKind::TierPromote { page, from, to }
-            | TraceEventKind::TierDemote { page, from, to } => {
-                Json::obj().set("page", page).set("from", from).set("to", to)
-            }
+            | TraceEventKind::TierDemote { page, from, to } => Json::obj()
+                .set("page", page)
+                .set("from", from)
+                .set("to", to),
             TraceEventKind::OpStart { .. } => Json::obj(),
             TraceEventKind::OpEnd { .. } => Json::obj(),
             TraceEventKind::Span { component, .. } => {
@@ -198,7 +204,7 @@ impl fmt::Display for TraceEvent {
             self.at.ns(),
             self.tid,
             self.kind.label(),
-            self.kind.args_json().to_string(),
+            self.kind.args_json(),
         )
     }
 }

@@ -78,6 +78,54 @@ proptest! {
         prop_assert_eq!(count, items.len());
     }
 
+    /// ReadyQueue's observable behaviour is independent of its initial
+    /// capacity and survives reuse (interleaved push/pop, the engine's
+    /// once-per-micro-op pattern): every step of an arbitrary op sequence
+    /// produces identical pops, peeks, and lengths on a `new()` queue, a
+    /// zero-capacity queue, and an over-provisioned one — and matches a
+    /// stable-sort model, so FIFO tie-breaking holds across drains.
+    #[test]
+    fn ready_queue_capacity_and_reuse_invariant(
+        cap in 0usize..32,
+        ops in proptest::collection::vec(proptest::option::weighted(0.6, 0u64..10), 1..200)
+    ) {
+        let mut plain = ReadyQueue::new();
+        let mut zero = ReadyQueue::with_capacity(0);
+        let mut sized = ReadyQueue::with_capacity(cap);
+        // Model: a vec of (time, seq) pairs, popped by min time then min seq.
+        let mut model: Vec<(u64, usize)> = Vec::new();
+        let mut seq = 0usize;
+        for op in ops {
+            match op {
+                Some(t) => {
+                    plain.push(SimTime(t), seq);
+                    zero.push(SimTime(t), seq);
+                    sized.push(SimTime(t), seq);
+                    model.push((t, seq));
+                    seq += 1;
+                }
+                None => {
+                    let want = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(t, s))| (t, s))
+                        .map(|(i, _)| i);
+                    let expect = want.map(|i| model.remove(i));
+                    let got = plain.pop();
+                    prop_assert_eq!(got, zero.pop());
+                    prop_assert_eq!(got, sized.pop());
+                    prop_assert_eq!(got, expect.map(|(t, s)| (SimTime(t), s)));
+                }
+            }
+            let head = model.iter().map(|&(t, _)| t).min().map(SimTime);
+            prop_assert_eq!(plain.peek_time(), head);
+            prop_assert_eq!(zero.peek_time(), head);
+            prop_assert_eq!(sized.peek_time(), head);
+            prop_assert_eq!(plain.len(), model.len());
+            prop_assert_eq!(plain.is_empty(), model.is_empty());
+        }
+    }
+
     /// A barrier of size n releases exactly once per episode, at the max
     /// arrival time, naming every earlier arriver.
     #[test]

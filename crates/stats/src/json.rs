@@ -86,13 +86,6 @@ impl Json {
         }
     }
 
-    /// Serialize to a compact JSON string.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -155,6 +148,15 @@ impl Json {
             return Err(format!("trailing data at byte {pos}"));
         }
         Ok(value)
+    }
+}
+
+/// Serializes to a compact JSON string (`to_string()` comes with it).
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 

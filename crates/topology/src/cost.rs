@@ -256,6 +256,23 @@ impl CostModel {
         }
     }
 
+    /// Per-page migration cost quanta for a page of `bytes` with
+    /// `control_ns` of control work: the serialized page-table-lock
+    /// quantum, the unlocked control remainder, the nominal copy time and
+    /// the effective initiator-side copy bandwidth. Pure in the model's
+    /// constants; see [`QuantaCache`] for the memoized form the kernel's
+    /// per-page path uses.
+    pub fn migration_quanta(&self, control_ns: u64, bytes: u64) -> MigrationQuanta {
+        let f = self.pt_lock_fraction.min(0.95);
+        let nominal_copy_ns = self.kernel_copy_ns(bytes);
+        MigrationQuanta {
+            nominal_copy_ns,
+            serial_ns: (f * (control_ns + nominal_copy_ns) as f64).round() as u64,
+            parallel_ctl_ns: control_ns - (f * control_ns as f64).round() as u64,
+            copy_bw: self.kernel_copy_bw / (1.0 - f),
+        }
+    }
+
     /// Sanity-check invariants that the rest of the stack relies on.
     pub fn validate(&self) -> Result<(), String> {
         if self.page_size == 0 || !self.page_size.is_power_of_two() {
@@ -280,6 +297,47 @@ impl CostModel {
             return Err("slow_tier_bw_mult must be in (0, 1]".into());
         }
         Ok(())
+    }
+}
+
+/// The integer-nanosecond pipeline of one page migration, resolved from
+/// the cost model's f64 constants once per distinct `(control_ns, bytes)`
+/// pair instead of once per page.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationQuanta {
+    /// Nominal (contention-free) kernel copy time for the page.
+    pub nominal_copy_ns: u64,
+    /// Work serialized under the page-table lock:
+    /// `pt_lock_fraction * (control + copy)`.
+    pub serial_ns: u64,
+    /// Control remainder that runs after the lock drops.
+    pub parallel_ctl_ns: u64,
+    /// Initiator-side bandwidth of the unlocked copy remainder, scaled so
+    /// control + copy totals are preserved.
+    pub copy_bw: f64,
+}
+
+/// Memo table for [`CostModel::migration_quanta`]. A run only ever sees a
+/// handful of distinct `(control_ns, bytes)` pairs (move vs migrate vs
+/// next-touch control, base vs huge page), so a linear-probe vector beats
+/// a hash map. Valid as long as the cost model it is fed does not change —
+/// which holds because kernels read the model through a shared immutable
+/// `Arc<Topology>`.
+#[derive(Debug, Default)]
+pub struct QuantaCache {
+    entries: Vec<((u64, u64), MigrationQuanta)>,
+}
+
+impl QuantaCache {
+    /// The quanta for `(control_ns, bytes)`, computing and caching on miss.
+    pub fn get(&mut self, cost: &CostModel, control_ns: u64, bytes: u64) -> MigrationQuanta {
+        let key = (control_ns, bytes);
+        if let Some((_, q)) = self.entries.iter().find(|(k, _)| *k == key) {
+            return *q;
+        }
+        let q = cost.migration_quanta(control_ns, bytes);
+        self.entries.push((key, q));
+        q
     }
 }
 
@@ -363,6 +421,27 @@ mod tests {
             ..CostModel::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn quanta_cache_matches_direct_computation() {
+        let c = CostModel::default();
+        let mut cache = QuantaCache::default();
+        for (ctl, bytes) in [(2_500u64, 4096u64), (1_150, 4096), (520, 2 << 20)] {
+            let direct = c.migration_quanta(ctl, bytes);
+            assert_eq!(cache.get(&c, ctl, bytes), direct);
+            // Second lookup hits the memo and must return the same quanta.
+            assert_eq!(cache.get(&c, ctl, bytes), direct);
+        }
+        let q = c.migration_quanta(2_500, 4096);
+        let f = c.pt_lock_fraction;
+        assert_eq!(q.nominal_copy_ns, c.kernel_copy_ns(4096));
+        assert_eq!(
+            q.serial_ns,
+            (f * (2_500 + q.nominal_copy_ns) as f64).round() as u64
+        );
+        assert_eq!(q.parallel_ctl_ns, 2_500 - (f * 2_500f64).round() as u64);
+        assert!((q.copy_bw - c.kernel_copy_bw / (1.0 - f)).abs() < 1e-12);
     }
 
     #[test]

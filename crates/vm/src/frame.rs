@@ -5,9 +5,9 @@
 //! the kernel copies the tag from the old frame to the new one exactly where
 //! the real kernel would call `copy_highpage`.
 
+use numa_sim::FxHashMap;
 use numa_topology::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Identifier of a physical frame (unique machine-wide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -35,7 +35,7 @@ pub struct Frame {
 /// instead of silent aliasing.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FrameAllocator {
-    frames: HashMap<u64, Frame>,
+    frames: FxHashMap<u64, Frame>,
     next_id: u64,
     next_content: u64,
     /// Frames currently live per node.
@@ -57,7 +57,7 @@ impl FrameAllocator {
     /// have small fast banks and large slow ones.
     pub fn with_capacities(capacity_per_node: Vec<u64>) -> Self {
         FrameAllocator {
-            frames: HashMap::new(),
+            frames: FxHashMap::default(),
             next_id: 0,
             next_content: 0,
             live_per_node: vec![0; capacity_per_node.len()],

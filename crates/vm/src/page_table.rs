@@ -8,12 +8,16 @@
 
 use crate::pte::Pte;
 use crate::FrameId;
-use std::collections::HashMap;
+use numa_sim::FxHashMap;
 
 /// Map from virtual page number to page-table entry.
+///
+/// Keyed with the fixed-seed [`numa_sim::FxHasher`]: the table is hit on
+/// every simulated page touch, and its iteration order is never allowed to
+/// reach results (ordered walks go through [`PageTable::sorted_vpns`]).
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: HashMap<u64, Pte>,
+    entries: FxHashMap<u64, Pte>,
 }
 
 impl PageTable {

@@ -54,6 +54,10 @@ pub struct AddressSpace {
     /// Incremented on every VMA-structure change; the TLB model and the
     /// user-space runtime use it to detect staleness cheaply.
     generation: u64,
+    /// Monotone: set once any VMA is remapped huge, never cleared. Lets
+    /// address resolution skip the VMA walk in the (overwhelmingly common)
+    /// all-4kB case; a stale `true` only disables that shortcut.
+    has_huge: bool,
 }
 
 impl AddressSpace {
@@ -66,7 +70,24 @@ impl AddressSpace {
             next_map_vpn: (4u64 << 30) / PAGE_SIZE,
             default_policy: MemPolicy::FirstTouch,
             generation: 0,
+            has_huge: false,
         }
+    }
+
+    /// Mark the VMA covering `addr` as huge-mapped. The dedicated entry
+    /// point (rather than flipping `Vma::huge` through `find_vma_mut`)
+    /// keeps the space's huge-VMA knowledge accurate.
+    pub fn set_vma_huge(&mut self, addr: VirtAddr) -> Result<(), VmError> {
+        let vma = self.find_vma_mut(addr).ok_or(VmError::NoVma(addr))?;
+        vma.huge = true;
+        self.has_huge = true;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// True when any VMA may be huge-mapped (conservative: never reset).
+    pub fn has_huge_vmas(&self) -> bool {
+        self.has_huge
     }
 
     /// Map `len` bytes of fresh memory and return its base address.
@@ -130,6 +151,9 @@ impl AddressSpace {
             if next.range.start_vpn < vma.range.end_vpn {
                 return Err(VmError::Overlap);
             }
+        }
+        if vma.huge {
+            self.has_huge = true;
         }
         self.vmas.insert(vma.range.start_vpn, vma);
         self.generation += 1;
