@@ -7,7 +7,7 @@
 //! with the printed breakdown table (asserted in
 //! `tests/trace_reconcile.rs`).
 
-use numa_bench::{mbps, Options};
+use numa_bench::{embed_counters, mbps, Options};
 use numa_migrate::experiments::fig5::{self, NtVariant};
 use numa_migrate::experiments::fig5_page_counts;
 use numa_migrate::stats::{Json, Table};
@@ -62,7 +62,9 @@ fn main() {
                 .set("trace_dropped", m.trace.dropped())
                 .set("utilisation", util.to_json()),
         );
-        out.set_trace_json(m.trace.chrome_trace_json());
+        let mut counters = m.kernel.counters.clone();
+        counters.merge(&r.stats.counters);
+        out.set_trace_json(embed_counters(&m.trace.chrome_trace_json(), &counters));
     }
     out.finish();
 }

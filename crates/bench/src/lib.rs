@@ -9,7 +9,7 @@ pub mod output;
 pub mod trace_run;
 
 pub use output::RunOutput;
-pub use trace_run::{traced_next_touch_episode, TracedEpisode};
+pub use trace_run::{embed_counters, traced_next_touch_episode, TracedEpisode};
 
 use std::env;
 
@@ -216,6 +216,46 @@ pub fn tiering_capacity_table(
             format!("{:.3}", r.static_ns as f64 / 1e6),
             format!("{:.2}x", r.speedup()),
             r.promotions.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Build the chaos fault-injection sweep table: every workload at every
+/// injection rate, each case executed twice and audited (see
+/// `experiments::chaos`). Shared by the `chaos` binary and the
+/// determinism regression test.
+pub fn chaos_table(
+    workloads: &[&'static str],
+    rates: &[u32],
+    seed: u64,
+    jobs: usize,
+) -> numa_migrate::stats::Table {
+    use numa_migrate::experiments::chaos;
+    let mut table = numa_migrate::stats::Table::new([
+        "workload",
+        "rate-ppm",
+        "makespan-ms",
+        "injected",
+        "retried",
+        "degraded",
+        "gave-up",
+        "moved",
+        "left",
+        "violations",
+    ]);
+    for r in chaos::sweep_jobs(workloads, rates, seed, jobs) {
+        table.row([
+            r.workload.to_string(),
+            r.rate_ppm.to_string(),
+            format!("{:.3}", r.makespan_ns as f64 / 1e6),
+            r.injected.to_string(),
+            r.retried.to_string(),
+            r.degraded.to_string(),
+            r.gave_up.to_string(),
+            r.moved.to_string(),
+            r.left_behind.to_string(),
+            r.invariant_violations.to_string(),
         ]);
     }
     table

@@ -10,13 +10,14 @@
 
 use numa_migrate::machine::{Machine, MemAccessKind, Op, ThreadSpec, UtilisationReport};
 use numa_migrate::rt::{setup, Buffer};
-use numa_migrate::stats::Breakdown;
+use numa_migrate::stats::{Breakdown, Counters, Json};
 use numa_migrate::topology::{CoreId, NodeId};
 use numa_migrate::vm::{PageRange, PAGE_SIZE};
 
 /// Everything a traced episode produces.
 pub struct TracedEpisode {
-    /// Chrome-trace-format JSON (Perfetto-loadable).
+    /// Chrome-trace-format JSON (Perfetto-loadable), with the run's
+    /// event counters embedded as a top-level `"counters"` object.
     pub chrome_json: String,
     /// The run's cost breakdown, as returned by the engine.
     pub breakdown: Breakdown,
@@ -30,6 +31,25 @@ pub struct TracedEpisode {
     /// Events dropped by the bounded trace buffer (0 for this episode's
     /// default capacity).
     pub dropped: u64,
+    /// Kernel + run event counters (fault-path, migration, and — when a
+    /// fault plan is installed — injection/retry/degradation totals).
+    pub counters: Counters,
+}
+
+/// Splice `counters` into a Chrome-trace JSON document as a top-level
+/// `"counters"` object, so the exported trace carries the run's event
+/// totals alongside the event stream. Perfetto ignores unknown top-level
+/// keys, so the file stays loadable.
+pub fn embed_counters(chrome_json: &str, counters: &Counters) -> String {
+    let mut obj = Json::obj();
+    for (k, v) in counters.iter() {
+        obj = obj.set(format!("{k:?}"), v);
+    }
+    let body = chrome_json
+        .trim_end()
+        .strip_suffix('}')
+        .expect("chrome trace JSON must be an object");
+    format!("{body},\"counters\":{obj}}}")
 }
 
 /// Splitmix64: tiny, deterministic, and plenty for shuffling page orders.
@@ -90,12 +110,15 @@ pub fn traced_next_touch_episode(seed: u64) -> TracedEpisode {
     ];
     let r = m.run(threads, &[2]);
 
+    let mut counters = m.kernel.counters.clone();
+    counters.merge(&r.stats.counters);
     TracedEpisode {
-        chrome_json: m.trace.chrome_trace_json(),
+        chrome_json: embed_counters(&m.trace.chrome_trace_json(), &counters),
         trace_totals: m.trace.component_totals(),
         utilisation: m.utilisation_report(r.makespan),
         makespan_ns: r.makespan.ns(),
         dropped: m.trace.dropped(),
         breakdown: r.stats.breakdown,
+        counters,
     }
 }

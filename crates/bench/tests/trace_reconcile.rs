@@ -105,4 +105,33 @@ fn chrome_trace_is_valid_json_with_expected_shape() {
             );
         }
     }
+    // The run's counters are embedded alongside the event stream; the
+    // episode's next-touch path must have moved pages through the fault
+    // handler, and the in-memory copy must agree with the export.
+    let counters = pairs
+        .iter()
+        .find(|(k, _)| k == "counters")
+        .map(|(_, v)| v)
+        .expect("counters key");
+    let Json::Obj(counters) = counters else {
+        panic!("counters must be an object")
+    };
+    let moved = counters
+        .iter()
+        .find(|(k, _)| k == "PagesMovedFault")
+        .map(|(_, v)| v)
+        .expect("PagesMovedFault counter");
+    assert_eq!(
+        format!("{moved}"),
+        e.counters
+            .get(numa_migrate::stats::Counter::PagesMovedFault)
+            .to_string(),
+        "embedded counter must match the in-memory counter"
+    );
+    assert!(
+        e.counters
+            .get(numa_migrate::stats::Counter::PagesMovedFault)
+            > 0,
+        "episode must move pages through the next-touch fault path"
+    );
 }

@@ -13,6 +13,7 @@
 //! | [`scaling`] | §6 outlook — larger NUMA machines |
 //! | [`tiering`] | heterogeneous tiering: transactional vs stop-the-world promotion, DRAM-capacity crossover |
 //! | [`ablations`] | design-choice sweeps (lookup fix, lock fraction, granularity, extensions) |
+//! | [`chaos`]  | fault-injection sweep: retry/degradation robustness across every migration path |
 //!
 //! Each experiment returns plain row structs; the `numa-bench` binaries
 //! format them as the paper's tables, and the integration tests assert
@@ -20,6 +21,7 @@
 
 pub mod ablations;
 pub mod blas1;
+pub mod chaos;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

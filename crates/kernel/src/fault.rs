@@ -189,8 +189,16 @@ impl Kernel {
                     );
                 } else {
                     // Allocate on the toucher's node; fall back to leaving
-                    // the page where it is if the local bank is full.
-                    if let Some(new_frame) = self.alloc_frame(frames, local, None) {
+                    // the page where it is if the local bank is full — the
+                    // paper's silent degradation, which the fault plan can
+                    // also force (injection decided before any side effect).
+                    let injected = self.inject(t, numa_sim::FaultSite::NextTouchFault);
+                    let new_frame = if injected.is_some() {
+                        None
+                    } else {
+                        self.alloc_frame(frames, local, None)
+                    };
+                    if let Some(new_frame) = new_frame {
                         t = self.locked_migration_copy(
                             t,
                             src,
@@ -202,15 +210,30 @@ impl Kernel {
                             &mut b,
                         );
                         frames.copy_contents(pte.frame, new_frame);
-                        frames.free(pte.frame);
-                        self.counters.bump(Counter::FramesFreed);
-                        space.page_table.get_mut(vpn).expect("pte exists").frame = new_frame;
-                        migrated = true;
-                        node = local;
-                        self.counters.bump(Counter::PagesMovedFault);
-                        if huge {
-                            self.counters.bump(Counter::HugePagesMoved);
+                        match space.page_table.get_mut(vpn) {
+                            Some(entry) => {
+                                entry.frame = new_frame;
+                                frames.free(pte.frame);
+                                self.counters.bump(Counter::FramesFreed);
+                                migrated = true;
+                                node = local;
+                                self.counters.bump(Counter::PagesMovedFault);
+                                if huge {
+                                    self.counters.bump(Counter::HugePagesMoved);
+                                }
+                            }
+                            None => {
+                                // Mapping vanished mid-copy: discard the
+                                // copy; the fault resolution below reports
+                                // the page un-migrated.
+                                frames.free(new_frame);
+                                self.counters.bump(Counter::FramesFreed);
+                                self.degrade(t, vpn, "racing_unmap");
+                            }
                         }
+                    } else {
+                        let reason = injected.map_or("frame_exhausted", |k| k.name());
+                        self.degrade(t, vpn, reason);
                     }
                 }
                 if src == local {
@@ -220,7 +243,9 @@ impl Kernel {
                 // TLB needs invalidating (the madvise already shot down the
                 // stale entries) — the cheapness of this path is the whole
                 // point of the kernel implementation (§4.3).
-                let entry = space.page_table.get_mut(vpn).expect("pte exists");
+                let Some(entry) = space.page_table.get_mut(vpn) else {
+                    return FaultResolution::Fatal(VmError::NoVma(addr));
+                };
                 entry.clear_next_touch();
                 if prot == Protection::ReadOnly {
                     entry.flags = entry.flags & !PteFlags::WRITE;
@@ -249,7 +274,9 @@ impl Kernel {
             Some(pte) if !pte.permits(write) => {
                 if prot.permits(write) {
                     // PTE lagging behind a VMA-level restore: repair it.
-                    let entry = space.page_table.get_mut(vpn).expect("pte exists");
+                    let Some(entry) = space.page_table.get_mut(vpn) else {
+                        return FaultResolution::Fatal(VmError::NoVma(addr));
+                    };
                     entry.flags |= PteFlags::PRESENT | PteFlags::READ;
                     if prot == Protection::ReadWrite {
                         entry.flags |= PteFlags::WRITE;

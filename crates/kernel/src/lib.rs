@@ -60,6 +60,10 @@ pub struct Kernel {
     /// Shared trace handle. Clones of this handle live in [`LockSet`] and
     /// in the machine layer; enabling any of them enables all.
     pub trace: numa_sim::Trace,
+    /// Deterministic fault injection, consulted at every migration
+    /// decision point. Disabled by default: a consult is then one branch,
+    /// with no RNG draw, counter or trace event.
+    pub faults: numa_sim::FaultInjector,
     topo: Arc<Topology>,
     /// Read-only replicas per vpn (replication extension): which nodes hold
     /// a copy, and in which frame.
@@ -85,6 +89,7 @@ impl Kernel {
             interconnect,
             counters: Counters::new(),
             trace,
+            faults: numa_sim::FaultInjector::disabled(),
             topo,
             replicas: FxHashMap::default(),
             pending_txns: FxHashMap::default(),
@@ -96,6 +101,38 @@ impl Kernel {
     /// In-flight transactional tier migration for `vpn`, if any.
     pub fn pending_tier_txn(&self, vpn: u64) -> Option<&tier::TierTxn> {
         self.pending_txns.get(&vpn)
+    }
+
+    /// Number of transactional tier migrations currently in flight
+    /// (invariant checks: must be zero after a quiesced run).
+    pub fn pending_tier_txn_count(&self) -> usize {
+        self.pending_txns.len()
+    }
+
+    /// Install a fault-injection plan (chaos experiments). Pass a vacuous
+    /// plan to exercise the enabled-but-silent path.
+    pub fn set_fault_plan(&mut self, plan: numa_sim::FaultPlan) {
+        self.faults = numa_sim::FaultInjector::new(plan);
+    }
+
+    /// Consult the fault injector at `site`; on injection, account and
+    /// trace it. `None` (the only answer when injection is disabled) means
+    /// proceed normally.
+    pub(crate) fn inject(
+        &mut self,
+        now: numa_sim::SimTime,
+        site: numa_sim::FaultSite,
+    ) -> Option<numa_sim::FaultKind> {
+        let kind = self.faults.consult(site)?;
+        self.counters.bump(numa_stats::Counter::FaultsInjected);
+        self.trace.record(
+            now,
+            numa_sim::TraceEventKind::FaultInjected {
+                site: site.name(),
+                kind: kind.name(),
+            },
+        );
+        Some(kind)
     }
 
     /// The machine topology this kernel runs on.

@@ -36,12 +36,18 @@ pub enum PageStatus {
     Moved(NodeId),
     /// Page was already on the requested node.
     AlreadyThere(NodeId),
-    /// Page not present (never touched) — `-ENOENT`.
+    /// Page not present (never touched, or unmapped by a racer mid-copy)
+    /// — `-ENOENT`.
     NotPresent,
     /// Address not covered by any mapping — `-EFAULT`.
     NoVma,
-    /// Destination node out of frames — `-ENOMEM`.
+    /// Destination node out of frames — `-ENOMEM`. Degradable: the page
+    /// stays on its source node and the caller keeps running.
     NoMemory,
+    /// Transient failure (page momentarily pinned/locked) — `-EBUSY`.
+    /// Retryable: the engine and the user-space runtime re-attempt these
+    /// under their retry policies.
+    Busy,
 }
 
 /// Result of a `move_pages` call.
@@ -248,10 +254,39 @@ impl Kernel {
             self.counters.bump(Counter::PagesAlreadyPlaced);
             return (t, b, Some(PageStatus::AlreadyThere(dst)));
         }
+        let bytes = if huge { cost.huge_page_size } else { PAGE_SIZE };
+        // Injection decision precedes all side effects (see move_one_page).
+        match self.inject(t, numa_sim::FaultSite::MigratePagesCopy) {
+            Some(numa_sim::FaultKind::TransientCopy) => {
+                self.charge_failed_page(&mut t, &mut b, cost, CostComponent::MigratePagesWalk);
+                return (t, b, Some(PageStatus::Busy));
+            }
+            Some(numa_sim::FaultKind::FrameExhausted) => {
+                self.charge_failed_page(&mut t, &mut b, cost, CostComponent::MigratePagesWalk);
+                self.degrade(t, vpn, "frame_exhausted");
+                return (t, b, Some(PageStatus::NoMemory));
+            }
+            Some(numa_sim::FaultKind::RacingUnmap) => {
+                t = self.locked_migration_copy(
+                    t,
+                    src,
+                    dst,
+                    bytes,
+                    cost.migrate_pages_control_ns,
+                    CostComponent::MigratePagesWalk,
+                    CostComponent::FaultCopy,
+                    &mut b,
+                );
+                self.degrade(t, vpn, "racing_unmap");
+                return (t, b, Some(PageStatus::NotPresent));
+            }
+            None => {}
+        }
         let Some(new_frame) = self.alloc_frame(frames, dst, None) else {
+            self.charge_failed_page(&mut t, &mut b, cost, CostComponent::MigratePagesWalk);
+            self.degrade(t, vpn, "frame_exhausted");
             return (t, b, Some(PageStatus::NoMemory));
         };
-        let bytes = if huge { cost.huge_page_size } else { PAGE_SIZE };
         let copy_start = t;
         t = self.locked_migration_copy(
             t,
@@ -273,9 +308,17 @@ impl Kernel {
             },
         );
         frames.copy_contents(old_frame, new_frame);
+        let Some(entry) = space.page_table.get_mut(vpn) else {
+            // Mapping vanished mid-copy: discard the copy, report the
+            // page gone (typed status, not an abort).
+            frames.free(new_frame);
+            self.counters.bump(Counter::FramesFreed);
+            self.degrade(t, vpn, "racing_unmap");
+            return (t, b, Some(PageStatus::NotPresent));
+        };
+        entry.frame = new_frame;
         frames.free(old_frame);
         self.counters.bump(Counter::FramesFreed);
-        space.page_table.get_mut(vpn).expect("pte exists").frame = new_frame;
         self.counters.add(Counter::PagesMovedProcess, 1);
         (t, b, Some(PageStatus::Moved(dst)))
     }
@@ -304,6 +347,9 @@ impl Kernel {
             addr.vpn()
         };
         let Some(pte) = space.page_table.get(vpn) else {
+            // A not-present page still costs the lookup and isolate
+            // attempt under the page-table lock (cheaper than a move).
+            self.charge_failed_page(t, b, cost, CostComponent::MovePagesControl);
             return PageStatus::NotPresent;
         };
         let old_frame = pte.frame;
@@ -324,7 +370,41 @@ impl Kernel {
             return PageStatus::AlreadyThere(dst);
         }
 
+        // Fault injection is decided before any side effect (allocation,
+        // lock, interconnect), so a disabled injector leaves this path
+        // byte-identical and an injected fault charges only failure costs.
+        match self.inject(*t, numa_sim::FaultSite::MovePagesCopy) {
+            Some(numa_sim::FaultKind::TransientCopy) => {
+                self.charge_failed_page(t, b, cost, CostComponent::MovePagesControl);
+                return PageStatus::Busy;
+            }
+            Some(numa_sim::FaultKind::FrameExhausted) => {
+                self.charge_failed_page(t, b, cost, CostComponent::MovePagesControl);
+                self.degrade(*t, vpn, "frame_exhausted");
+                return PageStatus::NoMemory;
+            }
+            Some(numa_sim::FaultKind::RacingUnmap) => {
+                // The unmap is discovered mid-copy: the copy work is
+                // wasted but its cost (and contention) is real.
+                *t = self.locked_migration_copy(
+                    *t,
+                    src,
+                    dst,
+                    if huge { cost.huge_page_size } else { PAGE_SIZE },
+                    cost.move_pages_control_ns,
+                    CostComponent::MovePagesControl,
+                    CostComponent::MovePagesCopy,
+                    b,
+                );
+                self.degrade(*t, vpn, "racing_unmap");
+                return PageStatus::NotPresent;
+            }
+            None => {}
+        }
+
         let Some(new_frame) = self.alloc_frame(frames, dst, None) else {
+            self.charge_failed_page(t, b, cost, CostComponent::MovePagesControl);
+            self.degrade(*t, vpn, "frame_exhausted");
             return PageStatus::NoMemory;
         };
         let bytes = if huge { cost.huge_page_size } else { PAGE_SIZE };
@@ -350,17 +430,49 @@ impl Kernel {
         );
 
         frames.copy_contents(old_frame, new_frame);
+        // Typed propagation instead of an `expect`: if the mapping
+        // vanished while the copy ran, discard the copy and report the
+        // page gone rather than aborting the simulation.
+        let Some(entry) = space.page_table.get_mut(vpn) else {
+            frames.free(new_frame);
+            self.counters.bump(Counter::FramesFreed);
+            self.degrade(*t, vpn, "racing_unmap");
+            return PageStatus::NotPresent;
+        };
+        entry.frame = new_frame;
         frames.free(old_frame);
         self.counters.bump(Counter::FramesFreed);
         if huge {
             self.counters.bump(Counter::HugePagesMoved);
         }
-        space
-            .page_table
-            .get_mut(vpn)
-            .expect("pte checked above")
-            .frame = new_frame;
         PageStatus::Moved(dst)
+    }
+
+    /// Charge the (cheaper) cost of a page that could not be migrated:
+    /// the kernel still walked the page tables and attempted the isolate
+    /// under the page-table lock before bailing, but no copy ever ran.
+    fn charge_failed_page(
+        &mut self,
+        t: &mut SimTime,
+        b: &mut Breakdown,
+        cost: &numa_topology::CostModel,
+        component: CostComponent,
+    ) {
+        *t = self.locks.pt_serialized(
+            *t,
+            cost.move_pages_control_ns,
+            cost.pt_lock_fraction,
+            component,
+            b,
+        );
+    }
+
+    /// Account a migration that degraded gracefully: the page stays on
+    /// its source node and the caller keeps running.
+    pub(crate) fn degrade(&mut self, now: SimTime, vpn: u64, reason: &'static str) {
+        self.counters.bump(Counter::MigrationsDegraded);
+        self.trace
+            .record(now, TraceEventKind::MigrationDegraded { page: vpn, reason });
     }
 
     /// `migrate_pages(2)`: move every page currently on a node in `from`
@@ -682,7 +794,7 @@ impl Kernel {
             VmaKind::PrivateAnonymous,
             policy,
         )?;
-        space.set_vma_huge(addr).expect("vma just created");
+        space.set_vma_huge(addr)?;
         Ok(addr)
     }
 
@@ -749,7 +861,9 @@ impl Kernel {
                 copies.push((home, home_frame));
                 self.replicas_mut().insert(vpn, copies);
                 replicated += 1;
-                space.page_table.get_mut(vpn).expect("pte exists").flags |= PteFlags::REPLICA;
+                if let Some(entry) = space.page_table.get_mut(vpn) {
+                    entry.flags |= PteFlags::REPLICA;
+                }
             }
         }
         self.counters.add(Counter::PagesReplicated, replicated);
@@ -779,8 +893,9 @@ impl Kernel {
                     }
                 }
             }
-            let pte = space.page_table.get_mut(vpn).expect("pte exists");
-            pte.flags = pte.flags & !PteFlags::REPLICA;
+            if let Some(pte) = space.page_table.get_mut(vpn) {
+                pte.flags = pte.flags & !PteFlags::REPLICA;
+            }
         }
     }
 }
@@ -929,6 +1044,102 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, VmError::Unsupported(_)));
+    }
+
+    /// Pins the Linux `move_pages(2)` partial-failure contract: a per-page
+    /// failure is reported in the status array and the syscall keeps
+    /// processing the remaining pages instead of aborting the batch.
+    #[test]
+    fn move_pages_partial_failure_keeps_processing() {
+        use numa_sim::{FaultKind, FaultPlan, FaultSite};
+        let mut fx = Fixture::new();
+        let base = fx.map_anon(3);
+        touch_all(&mut fx, base, 3, CoreId(0));
+        // ENOMEM on the first copy attempt only.
+        fx.kernel.set_fault_plan(FaultPlan::new(0).with_schedule(
+            FaultSite::MovePagesCopy,
+            FaultKind::FrameExhausted,
+            vec![0],
+        ));
+        let pages: Vec<VirtAddr> = (0..3).map(|p| base + p * PAGE_SIZE).collect();
+        let r = fx
+            .kernel
+            .move_pages(
+                &mut fx.space,
+                &mut fx.frames,
+                &mut fx.tlb,
+                SimTime(1_000_000),
+                CoreId(0),
+                &pages,
+                &[NodeId(1); 3],
+            )
+            .unwrap();
+        assert_eq!(
+            r.status,
+            vec![
+                PageStatus::NoMemory,
+                PageStatus::Moved(NodeId(1)),
+                PageStatus::Moved(NodeId(1)),
+            ]
+        );
+        assert_eq!(r.moved, 2);
+        // Graceful degradation: the failed page stays on its source node,
+        // still mapped and readable.
+        let pte = fx.space.page_table.get(pages[0].vpn()).unwrap();
+        assert_eq!(fx.frames.node_of(pte.frame), NodeId(0));
+        assert_eq!(fx.kernel.counters.get(Counter::MigrationsDegraded), 1);
+    }
+
+    /// Pins the cost model for failed pages: a page that fails the
+    /// isolate/copy still costs something (the page-table walk under the
+    /// lock), but strictly less than a page that is actually copied.
+    #[test]
+    fn failed_page_charges_less_than_moved_page() {
+        use numa_sim::{FaultKind, FaultPlan, FaultSite};
+        let run_one = |plan: Option<FaultPlan>| -> (PageStatus, u64) {
+            let mut fx = Fixture::new();
+            let base = fx.map_anon(1);
+            touch_all(&mut fx, base, 1, CoreId(0));
+            if let Some(plan) = plan {
+                fx.kernel.set_fault_plan(plan);
+            }
+            let r = fx
+                .kernel
+                .move_pages(
+                    &mut fx.space,
+                    &mut fx.frames,
+                    &mut fx.tlb,
+                    SimTime(1_000_000),
+                    CoreId(0),
+                    &[base],
+                    &[NodeId(1)],
+                )
+                .unwrap();
+            (r.status[0], r.outcome.end.since(SimTime(1_000_000)))
+        };
+        let (ok_status, moved_cost) = run_one(None);
+        assert_eq!(ok_status, PageStatus::Moved(NodeId(1)));
+        for kind in [FaultKind::TransientCopy, FaultKind::FrameExhausted] {
+            let plan = FaultPlan::new(0).with_schedule(FaultSite::MovePagesCopy, kind, vec![0]);
+            let (status, failed_cost) = run_one(Some(plan));
+            assert_ne!(status, PageStatus::Moved(NodeId(1)), "{kind:?}");
+            assert!(failed_cost > 0, "{kind:?}: failure must not be free");
+            assert!(
+                failed_cost < moved_cost,
+                "{kind:?}: failed page cost {failed_cost} must be below \
+                 moved cost {moved_cost}"
+            );
+        }
+        // A racing unmap is discovered mid-copy: the wasted copy work is
+        // still charged, so it is *not* cheaper than a successful move.
+        let plan = FaultPlan::new(0).with_schedule(
+            FaultSite::MovePagesCopy,
+            FaultKind::RacingUnmap,
+            vec![0],
+        );
+        let (status, unmap_cost) = run_one(Some(plan));
+        assert_eq!(status, PageStatus::NotPresent);
+        assert!(unmap_cost >= moved_cost);
     }
 
     #[test]

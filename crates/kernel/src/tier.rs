@@ -40,6 +40,9 @@ pub struct TierTxn {
     pub dst_frame: FrameId,
     /// Source write generation snapshotted when the copy started.
     pub gen_at_copy: u64,
+    /// Fault injection marked this copy as transiently failed: the commit
+    /// must abort regardless of the write-generation check.
+    pub poisoned: bool,
 }
 
 /// Outcome of a transactional commit attempt.
@@ -88,7 +91,24 @@ impl Kernel {
             self.counters.bump(Counter::PagesAlreadyPlaced);
             return None;
         }
-        let dst_frame = self.alloc_frame(frames, dst_node, None)?;
+        // Injection decided before any side effect. Frame exhaustion and
+        // unmap races degrade exactly like a full destination bank: the
+        // page stays put, the daemon moves on. A transient-copy injection
+        // poisons the transaction so the commit aborts — exercising the
+        // same abort/retry machinery a racing writer does.
+        let mut poisoned = false;
+        match self.inject(now, numa_sim::FaultSite::TierPromotion) {
+            None => {}
+            Some(numa_sim::FaultKind::TransientCopy) => poisoned = true,
+            Some(kind) => {
+                self.degrade(now, vpn, kind.name());
+                return None;
+            }
+        }
+        let Some(dst_frame) = self.alloc_frame(frames, dst_node, None) else {
+            self.degrade(now, vpn, "frame_exhausted");
+            return None;
+        };
         self.trace.record(
             now,
             TraceEventKind::MigrationBegin {
@@ -125,17 +145,22 @@ impl Kernel {
 
         frames.copy_contents(pte.frame, dst_frame);
         let gen_at_copy = frames.write_gen(pte.frame);
-        space
-            .page_table
-            .get_mut(vpn)
-            .expect("pte checked above")
-            .set_shadow(dst_frame);
+        let Some(entry) = space.page_table.get_mut(vpn) else {
+            // The mapping vanished during the copy: discard it and leave
+            // whatever the racer installed; no transaction to commit.
+            frames.free(dst_frame);
+            self.counters.bump(Counter::FramesFreed);
+            self.degrade(xfer.end, vpn, "racing_unmap");
+            return None;
+        };
+        entry.set_shadow(dst_frame);
         self.pending_txns.insert(
             vpn,
             TierTxn {
                 src_frame: pte.frame,
                 dst_frame,
                 gen_at_copy,
+                poisoned,
             },
         );
         Some(xfer.end)
@@ -165,13 +190,19 @@ impl Kernel {
         let topo = self.topology().clone();
         let cost = topo.cost();
 
-        // The page may have been remapped out from under the transaction
-        // (e.g. a next-touch migration): treat as a dirty copy.
-        let clean = space.page_table.get(vpn).is_some_and(|pte| {
-            pte.frame == txn.src_frame && frames.write_gen(txn.src_frame) == txn.gen_at_copy
-        });
+        // A poisoned (fault-injected) copy aborts unconditionally.
+        // Otherwise the page may have been remapped out from under the
+        // transaction (e.g. a next-touch migration): treat as a dirty
+        // copy.
+        let clean_pte = if txn.poisoned {
+            None
+        } else {
+            space.page_table.get_mut(vpn).filter(|pte| {
+                pte.frame == txn.src_frame && frames.write_gen(txn.src_frame) == txn.gen_at_copy
+            })
+        };
 
-        if clean {
+        if let Some(pte) = clean_pte {
             // Commit: flip the PTE inside a short critical section.
             let end = self.locks.pt_serialized(
                 now,
@@ -180,7 +211,6 @@ impl Kernel {
                 CostComponent::FaultControl,
                 b,
             );
-            let pte = space.page_table.get_mut(vpn).expect("checked above");
             let old = pte.commit_shadow();
             debug_assert_eq!(old, txn.src_frame);
             let src_node = frames.node_of(old);
@@ -246,7 +276,17 @@ impl Kernel {
             self.counters.bump(Counter::PagesAlreadyPlaced);
             return None;
         }
-        let dst_frame = self.alloc_frame(frames, dst_node, None)?;
+        // Injection decided before any side effect. Stop-the-world has no
+        // in-flight state to retry from, so every injected kind degrades:
+        // the page stays in its current tier and the daemon moves on.
+        if let Some(kind) = self.inject(now, numa_sim::FaultSite::TierPromotion) {
+            self.degrade(now, vpn, kind.name());
+            return None;
+        }
+        let Some(dst_frame) = self.alloc_frame(frames, dst_node, None) else {
+            self.degrade(now, vpn, "frame_exhausted");
+            return None;
+        };
 
         let cost_control = self.topology().cost().move_pages_control_ns;
         let end = self.locked_migration_copy(
@@ -269,13 +309,17 @@ impl Kernel {
             },
         );
         frames.copy_contents(pte.frame, dst_frame);
+        let Some(entry) = space.page_table.get_mut(vpn) else {
+            // The mapping vanished while the page was unmapped for the
+            // copy: discard the copy, leave whatever the racer installed.
+            frames.free(dst_frame);
+            self.counters.bump(Counter::FramesFreed);
+            self.degrade(end, vpn, "racing_unmap");
+            return None;
+        };
+        entry.frame = dst_frame;
         frames.free(pte.frame);
         self.counters.bump(Counter::FramesFreed);
-        space
-            .page_table
-            .get_mut(vpn)
-            .expect("pte checked above")
-            .frame = dst_frame;
         self.note_tier_move(frames, Some(src_node), dst_frame, vpn, end);
         // The page is unmapped for the whole episode: record the window
         // so concurrent touches stall on it.

@@ -89,18 +89,21 @@ enum Micro {
     Whole(Op),
     /// `move_pages` base bookkeeping.
     MovePagesBegin,
-    /// Migrate one page of a `move_pages` call.
+    /// Migrate one page of a `move_pages` call; a transient (`EBUSY`)
+    /// failure with retries left re-queues the same micro.
     MovePage {
         addr: numa_vm::VirtAddr,
         dest: numa_topology::NodeId,
         unpatched_n: usize,
+        retries_left: u32,
     },
     /// `migrate_pages` base bookkeeping.
     MigratePagesBegin,
     /// One page of a `migrate_pages` walk. The from/to node sets live in
     /// the thread's [`ThreadState::migrate_args`] (one walk in flight per
-    /// thread), so the per-page micro stays pointer-free.
-    MigratePage { vpn: u64 },
+    /// thread), so the per-page micro stays pointer-free. Transient
+    /// failures retry like [`Micro::MovePage`].
+    MigratePage { vpn: u64, retries_left: u32 },
     /// The batched TLB shootdown ending a migration syscall.
     MigrationShootdown,
     /// Start the transactional copy of one page (tiering).
@@ -141,6 +144,12 @@ enum Micro {
 /// retries the same way: a page hot enough to keep aborting is exactly
 /// the page not worth moving right now.
 const TIER_TXN_RETRIES: u32 = 3;
+
+/// How many times a page whose migration failed transiently (`EBUSY`,
+/// fault-injected) is retried before the kernel reports the failure in
+/// the per-page status and moves on — mirroring Linux's bounded
+/// `migrate_pages()` retry loop.
+const MOVE_PAGE_RETRIES: u32 = 3;
 
 struct ThreadState {
     core: CoreId,
@@ -423,6 +432,7 @@ impl Machine {
                         addr,
                         dest: d,
                         unpatched_n,
+                        retries_left: MOVE_PAGE_RETRIES,
                     });
                 }
                 micros.push_back(Micro::MigrationShootdown);
@@ -460,12 +470,44 @@ impl Machine {
                 // The ordered address-space walk (§4.2). The node sets are
                 // parked on the thread, not cloned into every micro.
                 for vpn in self.space.page_table.sorted_vpns() {
-                    micros.push_back(Micro::MigratePage { vpn });
+                    micros.push_back(Micro::MigratePage {
+                        vpn,
+                        retries_left: MOVE_PAGE_RETRIES,
+                    });
                 }
                 micros.push_back(Micro::MigrationShootdown);
                 state.migrate_args = Some((from, to));
             }
             other => micros.push_back(Micro::Whole(other)),
+        }
+    }
+
+    /// Account a transiently failed per-page migration (`EBUSY` status or
+    /// aborted tier transaction). With retries left, count the retry and
+    /// return `true` — the caller re-queues the micro with one fewer
+    /// attempt. Otherwise count the give-up: the page stays where it is
+    /// and the syscall reports the failure in its per-page status.
+    fn note_transient_failure(&mut self, now: SimTime, page: u64, retries_left: u32) -> bool {
+        if retries_left > 0 {
+            self.kernel.counters.bump(Counter::MigrationRetries);
+            self.trace.record(
+                now,
+                TraceEventKind::MigrationRetry {
+                    page,
+                    attempts_left: retries_left,
+                },
+            );
+            true
+        } else {
+            self.kernel.counters.bump(Counter::MigrationsGaveUp);
+            self.trace.record(
+                now,
+                TraceEventKind::MigrationDegraded {
+                    page,
+                    reason: "retries_exhausted",
+                },
+            );
+            false
         }
     }
 
@@ -494,8 +536,9 @@ impl Machine {
                 addr,
                 dest,
                 unpatched_n,
+                retries_left,
             } => {
-                let (end, b, _status) = self.kernel.move_page_step(
+                let (end, b, status) = self.kernel.move_page_step(
                     &mut self.space,
                     &mut self.frames,
                     now,
@@ -504,6 +547,16 @@ impl Machine {
                     unpatched_n,
                 );
                 stats.breakdown.merge(&b);
+                if status == numa_kernel::PageStatus::Busy
+                    && self.note_transient_failure(end, addr.vpn(), retries_left)
+                {
+                    state.micro.push_front(Micro::MovePage {
+                        addr,
+                        dest,
+                        unpatched_n,
+                        retries_left: retries_left - 1,
+                    });
+                }
                 end
             }
             Micro::MigratePagesBegin => {
@@ -511,12 +564,12 @@ impl Machine {
                 stats.breakdown.merge(&b);
                 end
             }
-            Micro::MigratePage { vpn } => {
+            Micro::MigratePage { vpn, retries_left } => {
                 let (from, to) = state
                     .migrate_args
                     .as_ref()
                     .expect("migrate_args set when the walk was expanded");
-                let (end, b, _status) = self.kernel.migrate_page_step(
+                let (end, b, status) = self.kernel.migrate_page_step(
                     &mut self.space,
                     &mut self.frames,
                     now,
@@ -525,6 +578,14 @@ impl Machine {
                     to,
                 );
                 stats.breakdown.merge(&b);
+                if status == Some(numa_kernel::PageStatus::Busy)
+                    && self.note_transient_failure(end, vpn, retries_left)
+                {
+                    state.micro.push_front(Micro::MigratePage {
+                        vpn,
+                        retries_left: retries_left - 1,
+                    });
+                }
                 end
             }
             Micro::MigrationShootdown => {
@@ -572,7 +633,9 @@ impl Machine {
                     &mut b,
                 );
                 stats.breakdown.merge(&b);
-                if outcome == numa_kernel::TxnOutcome::Aborted && retries_left > 0 {
+                if outcome == numa_kernel::TxnOutcome::Aborted
+                    && self.note_transient_failure(end, vpn, retries_left)
+                {
                     state.micro.push_front(Micro::TierTxnCommit {
                         vpn,
                         dest,

@@ -72,6 +72,53 @@ proptest! {
         prop_assert_eq!(a.3, b.3);
     }
 
+    /// Fault injection off must mean *off*: running with no injector at
+    /// all, with an empty plan installed, and with a rate-0 chaos plan
+    /// installed must produce bit-identical results — makespan, thread
+    /// ends, breakdown and counters. This pins the disabled/vacuous fast
+    /// path: consults at a decision point may never perturb timing,
+    /// accounting or placement unless a fault actually fires.
+    #[test]
+    fn vacuous_fault_plans_are_byte_identical(
+        workload in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u64>()), 0..12),
+            1..5,
+        ),
+        seed in any::<u64>(),
+    ) {
+        use numa_sim::FaultPlan;
+        let run = |plan: Option<FaultPlan>| {
+            let mut m = Machine::opteron_4p();
+            if let Some(plan) = plan {
+                m.kernel.set_fault_plan(plan);
+            }
+            let (mut specs, buf) = build_workload(&mut m, &workload);
+            // Exercise the syscall decision points too: one thread batch-
+            // migrates half the buffer and then does a process-level
+            // migration, so MovePagesCopy and MigratePagesCopy consult.
+            let pages: Vec<_> = (0..32).map(|p| buf + p * PAGE_SIZE).collect();
+            let n = pages.len();
+            specs.push(ThreadSpec::scripted(
+                CoreId(6),
+                vec![
+                    Op::MovePages { pages, dest: vec![NodeId(2); n] },
+                    Op::MigratePages { from: vec![NodeId(0)], to: vec![NodeId(3)] },
+                ],
+            ));
+            let r = m.run(specs, &[]);
+            let placement: Vec<_> = (0..64)
+                .map(|p| m.page_node(buf + p * PAGE_SIZE))
+                .collect();
+            (r.makespan, r.thread_end.clone(), r.stats.breakdown.clone(),
+             m.kernel.counters.clone(), placement)
+        };
+        let disabled = run(None);
+        let empty = run(Some(FaultPlan::new(seed)));
+        let rate_zero = run(Some(FaultPlan::chaos(seed, 0)));
+        prop_assert_eq!(&disabled, &empty, "empty plan diverged from no injector");
+        prop_assert_eq!(&disabled, &rate_zero, "rate-0 plan diverged from no injector");
+    }
+
     /// With *disjoint* footprints, a rival thread can only contend for
     /// shared resources, never help — so thread 0's end time with a rival
     /// is at least its solo end time. (With a shared buffer this is

@@ -23,6 +23,7 @@ pub mod buffer;
 pub mod lazy;
 pub mod next_touch;
 pub mod omp;
+pub mod retry;
 pub mod setup;
 
 pub use autobalance::{AutoBalance, AutoBalanceState};
@@ -30,3 +31,4 @@ pub use buffer::Buffer;
 pub use lazy::MigrationStrategy;
 pub use next_touch::UserNextTouch;
 pub use omp::{Schedule, Team, WorkPlan};
+pub use retry::RetryPolicy;

@@ -28,9 +28,11 @@
 //! ```
 
 use crate::buffer::Buffer;
+use crate::retry::RetryPolicy;
+use numa_kernel::PageStatus;
 use numa_machine::{Machine, Op, RunStats, SegvHandler};
-use numa_sim::SimTime;
-use numa_stats::CostComponent;
+use numa_sim::{SimTime, TraceEventKind};
+use numa_stats::{CostComponent, Counter};
 use numa_topology::CoreId;
 use numa_vm::{PageRange, Protection, VirtAddr};
 use std::cell::RefCell;
@@ -55,12 +57,23 @@ type Registry = Rc<RefCell<Vec<Region>>>;
 #[derive(Debug, Clone, Default)]
 pub struct UserNextTouch {
     registry: Registry,
+    policy: RetryPolicy,
 }
 
 impl UserNextTouch {
-    /// A fresh runtime with an empty registry.
+    /// A fresh runtime with an empty registry and the default
+    /// [`RetryPolicy`].
     pub fn new() -> Self {
         UserNextTouch::default()
+    }
+
+    /// A runtime whose handler retries transiently failed pages per
+    /// `policy` before degrading (leaving them on their source node).
+    pub fn with_retry_policy(policy: RetryPolicy) -> Self {
+        UserNextTouch {
+            registry: Registry::default(),
+            policy,
+        }
     }
 
     /// The SIGSEGV handler to install via
@@ -68,6 +81,7 @@ impl UserNextTouch {
     pub fn handler(&self) -> Box<dyn SegvHandler> {
         Box::new(NtSegvHandler {
             registry: Rc::clone(&self.registry),
+            policy: self.policy,
         })
     }
 
@@ -109,6 +123,94 @@ impl UserNextTouch {
 
 struct NtSegvHandler {
     registry: Registry,
+    policy: RetryPolicy,
+}
+
+impl NtSegvHandler {
+    /// Migrate `pages` to `dest`, re-issuing transiently failed (`EBUSY`)
+    /// pages per the retry policy, then degrading gracefully: pages that
+    /// keep failing — or the whole call, if the syscall itself errors —
+    /// stay on their source node and the workload keeps running. Returns
+    /// the virtual time the last attempt finished.
+    fn move_with_retry(
+        &self,
+        machine: &mut Machine,
+        now: SimTime,
+        core: CoreId,
+        pages: Vec<VirtAddr>,
+        dest: numa_topology::NodeId,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        let mut t = now;
+        let mut pending = pages;
+        let mut attempts_left = self.policy.max_attempts;
+        loop {
+            let dest_nodes = vec![dest; pending.len()];
+            let r = match machine.kernel.move_pages(
+                &mut machine.space,
+                &mut machine.frames,
+                &mut machine.tlb,
+                t,
+                core,
+                &pending,
+                &dest_nodes,
+            ) {
+                Ok(r) => r,
+                Err(_) => {
+                    // The whole call failed: degrade rather than abort
+                    // the workload — the region simply stays put.
+                    for p in &pending {
+                        machine.kernel.counters.bump(Counter::MigrationsDegraded);
+                        machine.trace.record(
+                            t,
+                            TraceEventKind::MigrationDegraded {
+                                page: p.vpn(),
+                                reason: "syscall_error",
+                            },
+                        );
+                    }
+                    return t;
+                }
+            };
+            stats.breakdown.merge(&r.outcome.breakdown);
+            t = r.outcome.end;
+            let busy: Vec<VirtAddr> = pending
+                .iter()
+                .zip(&r.status)
+                .filter(|(_, s)| **s == PageStatus::Busy)
+                .map(|(p, _)| *p)
+                .collect();
+            if busy.is_empty() {
+                return t;
+            }
+            if attempts_left == 0 {
+                for p in &busy {
+                    machine.kernel.counters.bump(Counter::MigrationsGaveUp);
+                    machine.trace.record(
+                        t,
+                        TraceEventKind::MigrationDegraded {
+                            page: p.vpn(),
+                            reason: "retries_exhausted",
+                        },
+                    );
+                }
+                return t;
+            }
+            for p in &busy {
+                machine.kernel.counters.bump(Counter::MigrationRetries);
+                machine.trace.record(
+                    t,
+                    TraceEventKind::MigrationRetry {
+                        page: p.vpn(),
+                        attempts_left,
+                    },
+                );
+            }
+            attempts_left -= 1;
+            t += self.policy.backoff_ns;
+            pending = busy;
+        }
+    }
 }
 
 impl SegvHandler for NtSegvHandler {
@@ -144,30 +246,20 @@ impl SegvHandler for NtSegvHandler {
         let dest = machine.node_of_core(core);
         // Migrate the whole region to the toucher's node with the
         // (patched) move_pages — region granularity is the point (§3.4).
+        // Transient failures are retried per the policy; pages that keep
+        // failing stay put and the workload continues.
         let pages: Vec<VirtAddr> = region.range.iter().map(VirtAddr::from_vpn).collect();
-        let dest_nodes = vec![dest; pages.len()];
-        let r = machine
-            .kernel
-            .move_pages(
-                &mut machine.space,
-                &mut machine.frames,
-                &mut machine.tlb,
-                now,
-                core,
-                &pages,
-                &dest_nodes,
-            )
-            .expect("move_pages inside SIGSEGV handler");
-        stats.breakdown.merge(&r.outcome.breakdown);
+        let moved_end = self.move_with_retry(machine, now, core, pages, dest, stats);
 
         // Restore protection so the retried touch (and everyone else)
-        // proceeds.
+        // proceeds — even for degraded pages, which must again be
+        // accessible at their old home.
         let r2 = machine
             .kernel
             .mprotect(
                 &mut machine.space,
                 &mut machine.tlb,
-                r.outcome.end,
+                moved_end,
                 core,
                 region.range,
                 region.restore,

@@ -1,0 +1,61 @@
+//! Bounded retry and graceful degradation for user-space migration paths.
+//!
+//! A migration that fails transiently (`EBUSY`-like per-page status) is
+//! worth re-issuing a few times; one that keeps failing is not worth
+//! crashing over — the page simply stays on its source node and the
+//! workload keeps running at remote-access speed. [`RetryPolicy`] bounds
+//! the first and guarantees the second, for both the user-space
+//! next-touch SIGSEGV handler ([`crate::UserNextTouch`]) and the tiering
+//! daemon.
+
+/// How a user-space migration path responds to transient failures:
+/// up to [`RetryPolicy::max_attempts`] re-issues, each preceded by a
+/// virtual-time backoff, then graceful degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-issues allowed after the initial attempt. Zero degrades on the
+    /// first failure.
+    pub max_attempts: u32,
+    /// Virtual time waited before each re-issue, in ns. The wait extends
+    /// the caller's makespan but is not charged to any cost component —
+    /// it is idle time, not work.
+    pub backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three re-issues, 5 µs apart — comfortably longer than a page copy,
+    /// so a genuinely transient holder has time to drain.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ns: 5_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Degrade immediately on any failure; never re-issue.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            backoff_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_retries_a_few_times() {
+        let p = RetryPolicy::default();
+        assert!(p.max_attempts > 0);
+        assert!(p.backoff_ns > 0);
+    }
+
+    #[test]
+    fn none_never_retries() {
+        assert_eq!(RetryPolicy::none().max_attempts, 0);
+    }
+}

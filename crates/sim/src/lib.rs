@@ -18,6 +18,7 @@
 //! (DESIGN.md §7).
 
 pub mod barrier;
+pub mod faultinject;
 pub mod hash;
 pub mod queue;
 pub mod resource;
@@ -26,6 +27,7 @@ pub mod time;
 pub mod trace;
 
 pub use barrier::{BarrierOutcome, BarrierState};
+pub use faultinject::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite, FAULT_SITES};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use queue::ReadyQueue;
 pub use resource::{Acquisition, Resource};

@@ -93,6 +93,18 @@ pub enum TraceEventKind {
         component: CostComponent,
         dur_ns: u64,
     },
+    /// The fault-injection plan fired at a migration decision point
+    /// (site/kind names from `faultinject`).
+    FaultInjected {
+        site: &'static str,
+        kind: &'static str,
+    },
+    /// A migration attempt is being retried after a transient failure;
+    /// `attempts_left` counts the remaining budget after this retry.
+    MigrationRetry { page: u64, attempts_left: u32 },
+    /// A migration degraded gracefully: the page stays on its source node
+    /// and the workload keeps running.
+    MigrationDegraded { page: u64, reason: &'static str },
 }
 
 impl TraceEventKind {
@@ -121,6 +133,9 @@ impl TraceEventKind {
             TraceEventKind::OpStart { op } => format!("{op}_start"),
             TraceEventKind::OpEnd { op, .. } => format!("op:{op}"),
             TraceEventKind::Span { component, .. } => format!("span:{}", component.label()),
+            TraceEventKind::FaultInjected { site, kind } => format!("fault:{kind}@{site}"),
+            TraceEventKind::MigrationRetry { .. } => "migration_retry".to_string(),
+            TraceEventKind::MigrationDegraded { .. } => "migration_degraded".to_string(),
         }
     }
 
@@ -179,6 +194,18 @@ impl TraceEventKind {
             TraceEventKind::OpEnd { .. } => Json::obj(),
             TraceEventKind::Span { component, .. } => {
                 Json::obj().set("component", component.label())
+            }
+            TraceEventKind::FaultInjected { site, kind } => {
+                Json::obj().set("site", site).set("kind", kind)
+            }
+            TraceEventKind::MigrationRetry {
+                page,
+                attempts_left,
+            } => Json::obj()
+                .set("page", page)
+                .set("attempts_left", attempts_left),
+            TraceEventKind::MigrationDegraded { page, reason } => {
+                Json::obj().set("page", page).set("reason", reason)
             }
         }
     }

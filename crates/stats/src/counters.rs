@@ -69,6 +69,18 @@ pub enum Counter {
     /// Accesses stalled behind a stop-the-world tier migration that had
     /// the page unmapped.
     TierStwStalls,
+    /// Faults injected by the deterministic fault-injection plan
+    /// (`numa_sim::faultinject`).
+    FaultsInjected,
+    /// Migration attempts retried after a transient (`-EBUSY`-like)
+    /// failure — engine re-queues, handler re-issues, tier re-begins.
+    MigrationRetries,
+    /// Migrations degraded gracefully: the page was left on its source
+    /// node (frame exhaustion, racing unmap, or a next-touch fault-path
+    /// failure) and the workload kept running.
+    MigrationsDegraded,
+    /// Migrations abandoned after exhausting their retry budget.
+    MigrationsGaveUp,
 }
 
 /// A registry of [`Counter`] values.

@@ -11,10 +11,18 @@
 
 use crate::policy::{TierPolicy, TierView};
 use numa_machine::{Machine, Op};
-use numa_rt::WorkPlan;
+use numa_rt::{RetryPolicy, WorkPlan};
 use numa_topology::{MemTier, NodeId};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// A move dropped because its target tier was full, awaiting re-issue on
+/// a later wake-up.
+struct DeferredMove {
+    vpn: u64,
+    target: MemTier,
+    attempts_left: u32,
+}
 
 /// The tiering daemon.
 pub struct TierDaemon {
@@ -27,6 +35,21 @@ pub struct TierDaemon {
     pub planned_promotions: u64,
     /// Total demotions planned so far (for reports).
     pub planned_demotions: u64,
+    /// Deferred-retry policy for moves dropped because the target tier
+    /// had no free frame: each such move is re-issued on up to
+    /// `max_attempts` later wake-ups before the daemon gives up on it.
+    /// `backoff_ns` is ignored — the daemon's own wake cadence is the
+    /// backoff. Defaults to [`RetryPolicy::none`]: a dropped move is
+    /// simply dropped, as kpromoted does.
+    pub retry: RetryPolicy,
+    /// Moves dropped because the target tier was full — graceful
+    /// degradation: the page stays in its current tier.
+    pub dropped_moves: u64,
+    /// Deferred moves successfully re-issued on a later wake-up.
+    pub deferred_retries: u64,
+    /// Deferred moves abandoned after the retry budget ran out.
+    pub gave_up: u64,
+    deferred: Vec<DeferredMove>,
 }
 
 impl TierDaemon {
@@ -38,6 +61,11 @@ impl TierDaemon {
             batch: 128,
             planned_promotions: 0,
             planned_demotions: 0,
+            retry: RetryPolicy::none(),
+            dropped_moves: 0,
+            deferred_retries: 0,
+            gave_up: 0,
+            deferred: Vec::new(),
         }
     }
 
@@ -62,16 +90,54 @@ impl TierDaemon {
 
         let mut ops = Vec::new();
         let mut free = FreeTracker::capture(machine);
-        for (vpns, tier) in [
-            (&plan.demote, MemTier::Slow),
-            (&plan.promote, MemTier::Dram),
-        ] {
-            for batch in assign_destinations(machine, vpns, tier, &mut free) {
+        // Moves deferred from earlier wake-ups get first claim on the
+        // frames this wake-up sees free.
+        for d in std::mem::take(&mut self.deferred) {
+            let (batches, dropped) = assign_destinations(machine, &[d.vpn], d.target, &mut free);
+            for batch in batches {
+                self.deferred_retries += 1;
                 ops.push(Op::TierMigrate {
                     pages: batch.pages,
                     dest: batch.dest,
                     transactional: self.transactional,
                 });
+            }
+            for vpn in dropped {
+                if d.attempts_left > 1 {
+                    self.deferred.push(DeferredMove {
+                        vpn,
+                        target: d.target,
+                        attempts_left: d.attempts_left - 1,
+                    });
+                } else {
+                    self.gave_up += 1;
+                }
+            }
+        }
+        for (vpns, tier) in [
+            (&plan.demote, MemTier::Slow),
+            (&plan.promote, MemTier::Dram),
+        ] {
+            let (batches, dropped) = assign_destinations(machine, vpns, tier, &mut free);
+            for batch in batches {
+                ops.push(Op::TierMigrate {
+                    pages: batch.pages,
+                    dest: batch.dest,
+                    transactional: self.transactional,
+                });
+            }
+            // Graceful degradation: a full target tier drops the move —
+            // the page stays put and the daemon keeps running. With a
+            // retry budget, the drop is deferred to later wake-ups.
+            for vpn in dropped {
+                self.dropped_moves += 1;
+                if self.retry.max_attempts > 0 {
+                    self.deferred.push(DeferredMove {
+                        vpn,
+                        target: tier,
+                        attempts_left: self.retry.max_attempts,
+                    });
+                }
             }
         }
         ops
@@ -123,16 +189,20 @@ struct DestBatch {
 
 /// Assign each page the nearest node of the target tier that still has a
 /// free frame (ties: most free, then lowest id) and group pages by the
-/// chosen destination, preserving plan order within each group.
+/// chosen destination, preserving plan order within each group. Pages
+/// whose whole target tier is full come back in the dropped list (in
+/// plan order) so the caller can count or defer them; unmapped pages are
+/// silently skipped.
 fn assign_destinations(
     machine: &Machine,
     vpns: &[u64],
     target: MemTier,
     free: &mut FreeTracker,
-) -> Vec<DestBatch> {
+) -> (Vec<DestBatch>, Vec<u64>) {
     let topo = machine.topology();
     let candidates: Vec<NodeId> = topo.nodes_in_tier(target);
     let mut batches: Vec<DestBatch> = Vec::new();
+    let mut dropped: Vec<u64> = Vec::new();
     for &vpn in vpns {
         let Some(pte) = machine.space.page_table.get(vpn) else {
             continue;
@@ -150,7 +220,8 @@ fn assign_destinations(
                 )
             });
         let Some(dest) = dest else {
-            continue; // target tier is full: drop the move
+            dropped.push(vpn); // target tier is full
+            continue;
         };
         free.free[dest.index()] -= 1;
         match batches.iter_mut().find(|b| b.dest == dest) {
@@ -161,7 +232,7 @@ fn assign_destinations(
             }),
         }
     }
-    batches
+    (batches, dropped)
 }
 
 #[cfg(test)]
@@ -230,6 +301,115 @@ mod tests {
             format!("{:?}", daemon.wake(&machine))
         };
         assert_eq!(mk(), mk());
+    }
+
+    /// A policy that wants exactly one slow-tier page promoted, every
+    /// wake-up — so the drop/defer path is isolated from the threshold
+    /// policy's room-making demotions.
+    struct PromoteOne {
+        vpn: u64,
+    }
+
+    impl TierPolicy for PromoteOne {
+        fn plan(&mut self, _: &TierView) -> crate::policy::TierPlan {
+            crate::policy::TierPlan {
+                promote: vec![self.vpn],
+                demote: vec![],
+            }
+        }
+        fn name(&self) -> &'static str {
+            "promote-one"
+        }
+    }
+
+    /// A machine whose whole DRAM tier (4 nodes x 2 frames) is filled by
+    /// `a`, plus one populated slow-tier page `b` that a promotion will
+    /// find no room for.
+    fn full_dram_machine() -> (Machine, numa_vm::VirtAddr, numa_vm::VirtAddr) {
+        let topo = numa_topology::presets::tiered_4p2_with(
+            numa_topology::CostModel::default(),
+            2 * PAGE_SIZE,
+            64 * PAGE_SIZE,
+        );
+        let mut machine = Machine::new(
+            std::sync::Arc::new(topo),
+            numa_kernel::KernelConfig::tiered(),
+        );
+        let a = machine.alloc(8 * PAGE_SIZE, MemPolicy::FirstTouch);
+        let b = machine.alloc(PAGE_SIZE, MemPolicy::Bind(NodeId(4)));
+        // Touch the filler from a core on each node so every bank fills,
+        // then populate the slow page.
+        let threads = (0..4u16)
+            .map(|n| {
+                numa_machine::ThreadSpec::scripted(
+                    CoreId(n * 4),
+                    vec![Op::write(
+                        a + u64::from(n) * 2 * PAGE_SIZE,
+                        2 * PAGE_SIZE,
+                        MemAccessKind::Stream,
+                    )],
+                )
+            })
+            .chain(std::iter::once(numa_machine::ThreadSpec::scripted(
+                CoreId(0),
+                vec![Op::write(b, PAGE_SIZE, MemAccessKind::Stream)],
+            )))
+            .collect();
+        machine.run(threads, &[]);
+        (machine, a, b)
+    }
+
+    #[test]
+    fn deferred_retry_reissues_dropped_moves() {
+        let (mut machine, a, b) = full_dram_machine();
+        let mut daemon = TierDaemon::new(Box::new(PromoteOne { vpn: b.vpn() }), true);
+        daemon.retry = RetryPolicy {
+            max_attempts: 2,
+            backoff_ns: 0,
+        };
+        // Wake 1: DRAM full everywhere — the promotion is dropped and
+        // deferred, and the daemon keeps running.
+        let ops = daemon.wake(&machine);
+        assert!(ops.is_empty(), "no frame to promote into: {ops:?}");
+        assert_eq!(daemon.dropped_moves, 1);
+        assert_eq!(daemon.deferred_retries, 0);
+        assert_eq!(daemon.gave_up, 0);
+
+        // Free one DRAM page; the deferred move gets first claim on it.
+        for f in machine.space.munmap(a).unwrap() {
+            machine.frames.free(f);
+        }
+        let ops = daemon.wake(&machine);
+        assert!(
+            ops.iter()
+                .any(|o| matches!(o, Op::TierMigrate { pages, .. } if pages == &[b.vpn()])),
+            "deferred promotion must be re-issued: {ops:?}"
+        );
+        assert_eq!(daemon.deferred_retries, 1);
+        assert_eq!(daemon.gave_up, 0);
+    }
+
+    #[test]
+    fn deferred_retry_gives_up_after_budget() {
+        // Same full-DRAM setup, but the tier never drains: the first
+        // drop's deferral burns its 2-attempt budget on wakes 2 and 3 and
+        // the daemon abandons it. (The policy keeps re-nominating the
+        // page, so dropped_moves keeps counting fresh drops.)
+        let (machine, _a, b) = full_dram_machine();
+        let mut daemon = TierDaemon::new(Box::new(PromoteOne { vpn: b.vpn() }), true);
+        daemon.retry = RetryPolicy {
+            max_attempts: 2,
+            backoff_ns: 0,
+        };
+        for _ in 0..3 {
+            assert!(
+                daemon.wake(&machine).is_empty(),
+                "nothing can be promoted into a full tier"
+            );
+        }
+        assert!(daemon.gave_up >= 1, "budget exhausted must give up");
+        assert_eq!(daemon.deferred_retries, 0);
+        assert!(daemon.dropped_moves >= 2);
     }
 
     #[test]
