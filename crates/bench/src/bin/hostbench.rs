@@ -1,28 +1,36 @@
 //! Host-performance benchmark for the simulator itself (DESIGN.md §10).
 //!
-//! Times the two heaviest sweeps (fig7 quick, table1 quick) in-process at
-//! `--jobs 1` and at the requested `--jobs`, checksums every result set,
-//! and writes the measurements to a JSON file (default `BENCH_pr3.json`).
-//! The checksums make the equivalence contract auditable: every run of a
-//! workload must report the same checksum no matter the jobs count, and a
-//! checksum change across commits means virtual-time results moved — which
-//! the host-performance work must never do.
+//! Times the heaviest sweeps in-process at `--jobs 1` and at the requested
+//! `--jobs`, checksums every result set, and writes the measurements to a
+//! JSON file (default `BENCH_pr5.json`). The checksums make the
+//! equivalence contract auditable: every run of a workload must report the
+//! same checksum no matter the jobs count, and a checksum change across
+//! commits means virtual-time results moved — which the host-performance
+//! work must never do.
+//!
+//! The workload set covers every memory-metadata hot path the dense PTE
+//! slabs serve: fig7 (fault-path migration + `move_pages` under
+//! contention), table1 (LU with migration policies — the heavy sweep),
+//! fig4 (`move_pages` / `migrate_pages` / memcpy batch walks), and fig5
+//! (`madvise(NEXT_TOUCH)` range marking + fault-path and signal-path
+//! migration).
 //!
 //! `baseline_seconds` records the same workloads measured on this
-//! codebase before the fast path / allocation work landed (same quick
+//! codebase immediately before the current optimisation round (same quick
 //! sweeps, one host thread), so `speedup` tracks the optimisation
-//! trajectory in-repo.
+//! trajectory in-repo. Workloads without a pre-round measurement carry no
+//! baseline or speedup entry.
 
 use numa_bench::Options;
-use numa_migrate::experiments::{fig7, table1};
+use numa_migrate::experiments::{fig4, fig5, fig7, table1};
 use numa_migrate::sim::hash::FxHasher;
 use std::hash::Hasher;
 use std::time::Instant;
 
-/// Pre-optimisation wall-clock of the quick sweeps, single host thread
-/// (seconds). Measured on the commit preceding the host-performance work;
-/// useful as a trajectory marker, not as a cross-machine constant.
-const BASELINE_SECONDS: [(&str, f64); 2] = [("fig7", 0.248), ("table1", 4.777)];
+/// Wall-clock of the quick sweeps on the commit preceding the dense-slab
+/// page-table work, single host thread (seconds, from BENCH_pr3.json).
+/// A trajectory marker, not a cross-machine constant.
+const BASELINE_SECONDS: [(&str, f64); 2] = [("fig7", 0.0844), ("table1", 2.9906)];
 
 fn checksum(debug_rows: &str) -> String {
     let mut h = FxHasher::default();
@@ -30,37 +38,73 @@ fn checksum(debug_rows: &str) -> String {
     format!("{:016x}", h.finish())
 }
 
-/// Best-of-`reps` wall-clock for `f`, plus the checksum of its output.
-fn measure<F: Fn() -> String>(reps: usize, f: F) -> (f64, String) {
-    let mut best = f64::INFINITY;
+/// One workload measurement: median wall-clock across `reps` iterations,
+/// the min/max spread, and the checksum of the output rows.
+struct Sample {
+    median: f64,
+    min: f64,
+    max: f64,
+    checksum: String,
+}
+
+/// Median-of-`reps` wall-clock for `f`. The median resists one-off
+/// scheduler stalls in either direction, unlike best-of (which reports a
+/// lucky outlier) — and the recorded spread makes the remaining noise
+/// visible in the JSON instead of silently discarded.
+fn measure<F: Fn() -> String>(reps: usize, f: F) -> Sample {
+    let mut times = Vec::new();
     let mut sum = String::new();
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
         let rows = f();
-        best = best.min(t0.elapsed().as_secs_f64());
+        times.push(t0.elapsed().as_secs_f64());
         sum = checksum(&rows);
     }
-    (best, sum)
+    times.sort_by(f64::total_cmp);
+    let mid = times.len() / 2;
+    let median = if times.len() % 2 == 1 {
+        times[mid]
+    } else {
+        (times[mid - 1] + times[mid]) / 2.0
+    };
+    Sample {
+        median,
+        min: times[0],
+        max: times[times.len() - 1],
+        checksum: sum,
+    }
 }
 
 fn main() {
     let opts = Options::parse("hostbench", "host wall-clock of the heavy sweeps");
-    let out_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr3.json".into());
+    let out_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr5.json".into());
     let fig7_pages: Vec<u64> = vec![64, 512, 4096, 16384];
+    let fig4_pages: Vec<u64> = vec![16, 256, 2048];
+    let fig5_pages: Vec<u64> = vec![16, 256, 2048];
     let table1_cases = table1::quick_cases();
-    // (name, reps, runner) — reps are best-of to shrug off scheduler noise;
-    // table1 is slow enough that one rep is already stable.
+    // (name, reps, runner) — reps are median-of; table1 is slow enough
+    // that fewer iterations already give a stable median.
     type Runner<'a> = Box<dyn Fn(usize) -> String + 'a>;
     let workloads: Vec<(&str, usize, Runner)> = vec![
         (
             "fig7",
-            3,
+            5,
             Box::new(|jobs| format!("{:?}", fig7::run_jobs(&fig7_pages, 4, jobs))),
         ),
         (
             "table1",
-            1,
+            3,
             Box::new(|jobs| format!("{:?}", table1::run_jobs(&table1_cases, jobs))),
+        ),
+        (
+            "fig4",
+            5,
+            Box::new(|jobs| format!("{:?}", fig4::run_jobs(&fig4_pages, jobs))),
+        ),
+        (
+            "fig5",
+            5,
+            Box::new(|jobs| format!("{:?}", fig5::run_jobs(&fig5_pages, jobs))),
         ),
     ];
 
@@ -74,18 +118,23 @@ fn main() {
     for (name, reps, run) in &workloads {
         let mut sums = Vec::new();
         for &jobs in &jobs_values {
-            let (secs, sum) = measure(*reps, || run(jobs));
+            let s = measure(*reps, || run(jobs));
             if opts.verbose {
-                eprintln!("{name} jobs={jobs}: {secs:.3}s checksum={sum}");
+                eprintln!(
+                    "{name} jobs={jobs}: median {:.3}s (spread {:.3}-{:.3}s) checksum={}",
+                    s.median, s.min, s.max, s.checksum
+                );
             }
             if jobs == 1 {
-                seq_seconds.push((*name, secs));
+                seq_seconds.push((*name, s.median));
             }
             runs.push(format!(
-                "    {{\"binary\": \"{name}\", \"jobs\": {jobs}, \"seconds\": {secs:.4}, \
-                 \"checksum\": \"{sum}\"}}"
+                "    {{\"binary\": \"{name}\", \"jobs\": {jobs}, \"seconds\": {:.4}, \
+                 \"min_seconds\": {:.4}, \"max_seconds\": {:.4}, \"reps\": {reps}, \
+                 \"checksum\": \"{}\"}}",
+                s.median, s.min, s.max, s.checksum
             ));
-            sums.push(sum);
+            sums.push(s.checksum);
         }
         assert!(
             sums.windows(2).all(|w| w[0] == w[1]),

@@ -82,8 +82,15 @@ fn parallel_sweep_matches_sequential_byte_for_byte() {
 /// off. Returns everything a run reports: makespan, cost breakdown,
 /// counters, and how many micro-ops the fast path coalesced.
 fn lazy_episode(fast_path: bool, threads: usize) -> (u64, String, String, u64) {
+    lazy_episode_cfg(fast_path, threads, false)
+}
+
+fn lazy_episode_cfg(fast_path: bool, threads: usize, trace: bool) -> (u64, String, String, u64) {
     let mut m = NumaSystem::new().build();
     m.set_fast_path(fast_path);
+    if trace {
+        m.enable_trace(1 << 16);
+    }
     let buf = Buffer::alloc(&mut m, 512 * PAGE_SIZE);
     setup::populate_on_node(&mut m, &buf, NodeId(0));
     let cores = m.topology().cores_of_node(NodeId(1));
@@ -145,4 +152,20 @@ fn fast_path_toggle_is_invisible_in_results() {
     assert_eq!(ct_on, ct_off, "fast path changed the solo counters");
     assert!(fp_on > 0, "fast path never engaged on a solo episode");
     assert_eq!(fp_off, 0, "disabled fast path still batched micro-ops");
+}
+
+#[test]
+fn tracing_toggle_is_invisible_in_results() {
+    // Hot-loop trace recording must be observation only: a disabled
+    // `Trace` costs one branch per event site (no argument formatting, no
+    // breakdown snapshotting), and *enabling* it must not move a single
+    // virtual-time number — same makespan, same cost breakdown, same
+    // counters, traced or not, with and without the fast path.
+    for fast_path in [true, false] {
+        let (mk_off, bd_off, ct_off, _) = lazy_episode_cfg(fast_path, 4, false);
+        let (mk_on, bd_on, ct_on, _) = lazy_episode_cfg(fast_path, 4, true);
+        assert_eq!(mk_on, mk_off, "tracing changed the makespan");
+        assert_eq!(bd_on, bd_off, "tracing changed the cost breakdown");
+        assert_eq!(ct_on, ct_off, "tracing changed the event counters");
+    }
 }

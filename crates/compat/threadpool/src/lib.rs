@@ -64,6 +64,35 @@ where
         .collect()
 }
 
+/// [`par_map`] for sweeps whose items may be too cheap to amortise thread
+/// startup: the sweep stays sequential unless the summed per-item work
+/// estimate reaches `min_parallel_work`.
+///
+/// Small sweeps (e.g. a four-item quick sweep taking tens of
+/// milliseconds) run *slower* under a pool — spawn/join and slot
+/// synchronisation outweigh the work — so callers pass a cheap work
+/// estimator (`pages`, matrix cells, ...) and the threshold their sweep
+/// needs. Work units are caller-defined; only the comparison matters.
+/// Output is identical to [`par_map`] for any `jobs` either way: the gate
+/// picks *how* the items run, never *what* they return.
+pub fn par_map_weighted<T, R, F, W>(
+    jobs: usize,
+    items: &[T],
+    work: W,
+    min_parallel_work: u64,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    W: Fn(&T) -> u64,
+{
+    let total: u64 = items.iter().map(work).sum();
+    let jobs = if total < min_parallel_work { 1 } else { jobs };
+    par_map(jobs, items, f)
+}
+
 /// The worker count requested via an environment variable (e.g.
 /// `NUMA_BENCH_JOBS`), if set and parseable as a positive integer.
 pub fn jobs_from_env(var: &str) -> Option<usize> {
@@ -124,6 +153,36 @@ mod tests {
         assert_eq!(jobs_from_env("TP_TEST_JOBS_BAD"), None);
         assert_eq!(jobs_from_env("TP_TEST_JOBS_ZERO"), None);
         assert_eq!(jobs_from_env("TP_TEST_JOBS_UNSET"), None);
+    }
+
+    #[test]
+    fn weighted_small_sweep_stays_on_caller_thread() {
+        let items: Vec<u64> = (0..8).collect();
+        let me = std::thread::current().id();
+        let out = par_map_weighted(
+            4,
+            &items,
+            |&v| v,
+            1_000,
+            |_, &v| {
+                assert_eq!(
+                    std::thread::current().id(),
+                    me,
+                    "below-threshold sweep must not spawn workers"
+                );
+                v * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn weighted_large_sweep_matches_sequential() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |i: usize, v: &u64| i as u64 * 100 + v * 3;
+        let gated = par_map_weighted(4, &items, |&v| v, 10, f);
+        let seq = par_map(1, &items, f);
+        assert_eq!(gated, seq);
     }
 
     #[test]

@@ -92,8 +92,7 @@ pub fn check_invariants(machine: &Machine) -> Vec<String> {
     }
     let mut seen = std::collections::BTreeSet::new();
     let mut mapped = 0u64;
-    for vpn in machine.space.page_table.sorted_vpns() {
-        let pte = machine.space.page_table.get(vpn).expect("vpn from walk");
+    for (vpn, pte) in machine.space.page_table.iter() {
         for frame in std::iter::once(pte.frame).chain(pte.shadow) {
             mapped += 1;
             if machine.frames.get(frame).is_none() {

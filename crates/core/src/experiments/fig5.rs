@@ -50,11 +50,23 @@ pub fn run(page_counts: &[u64]) -> Vec<Fig5Row> {
     run_jobs(page_counts, 1)
 }
 
+/// Below this many summed sweep pages, thread spawn/join costs more than
+/// the simulations and the sweep runs sequentially. The full paper sweep
+/// (4..4096, 8188 pages) stays parallel.
+const MIN_PARALLEL_SWEEP_PAGES: u64 = 4_096;
+
 /// [`run`] with the sweep items distributed over `jobs` host threads.
 /// Items are independent (fresh machine each), so the rows are identical
-/// to the sequential run's, in the same order.
+/// to the sequential run's, in the same order — including when the
+/// work-threshold gate keeps a small sweep on the caller's thread.
 pub fn run_jobs(page_counts: &[u64], jobs: usize) -> Vec<Fig5Row> {
-    threadpool::par_map(jobs, page_counts, |_, &pages| run_case(pages))
+    threadpool::par_map_weighted(
+        jobs,
+        page_counts,
+        |&pages| pages,
+        MIN_PARALLEL_SWEEP_PAGES,
+        |_, &pages| run_case(pages),
+    )
 }
 
 /// Run the three variants for one buffer size.

@@ -40,11 +40,24 @@ pub fn run(page_counts: &[u64], max_threads: usize) -> Vec<Fig7Row> {
     run_jobs(page_counts, max_threads, 1)
 }
 
+/// Below this many summed sweep pages the pool's spawn/join overhead
+/// outweighs the simulation work and the sweep runs sequentially (the
+/// quick four-point sweep measured *slower* at `--jobs 4` than at 1).
+/// The full paper sweep (64..32768, 65472 pages) stays parallel.
+const MIN_PARALLEL_SWEEP_PAGES: u64 = 32_768;
+
 /// [`run`] with the sweep items distributed over `jobs` host threads.
 /// Items are independent (fresh machine each), so the rows are identical
-/// to the sequential run's, in the same order.
+/// to the sequential run's, in the same order — including when the
+/// work-threshold gate keeps a small sweep on the caller's thread.
 pub fn run_jobs(page_counts: &[u64], max_threads: usize, jobs: usize) -> Vec<Fig7Row> {
-    threadpool::par_map(jobs, page_counts, |_, &pages| run_case(pages, max_threads))
+    threadpool::par_map_weighted(
+        jobs,
+        page_counts,
+        |&pages| pages,
+        MIN_PARALLEL_SWEEP_PAGES,
+        |_, &pages| run_case(pages, max_threads),
+    )
 }
 
 /// Run one buffer size across both migration styles and all thread

@@ -578,14 +578,14 @@ impl Kernel {
         let cost = topo.cost();
         let mut b = Breakdown::new();
         let mut marked = 0u64;
-        for vpn in range.iter() {
-            if let Some(pte) = space.page_table.get_mut(vpn) {
-                if pte.flags.contains(PteFlags::HUGE) || !pte.is_next_touch() {
-                    pte.mark_next_touch();
-                    marked += 1;
-                }
+        // One linear slab walk marks the whole range — mapped pages come
+        // back in ascending vpn order, matching the old per-page loop.
+        space.page_table.update_range(range, |_vpn, pte| {
+            if pte.flags.contains(PteFlags::HUGE) || !pte.is_next_touch() {
+                pte.mark_next_touch();
+                marked += 1;
             }
-        }
+        });
         let ns = cost.madvise_base_ns + cost.madvise_per_page_ns * marked;
         b.add(CostComponent::Madvise, ns);
         let mut t = now + ns;
@@ -632,23 +632,22 @@ impl Kernel {
         self.trace
             .record(now, TraceEventKind::SyscallEnter { name: "mprotect" });
         // Keep PTE access bits consistent with the new VMA protection
-        // (preserving the next-touch and huge flags).
-        for vpn in range.iter() {
-            if let Some(pte) = space.page_table.get_mut(vpn) {
-                let keep = pte.flags & (PteFlags::NEXT_TOUCH | PteFlags::HUGE | PteFlags::REPLICA);
-                let mut flags = PteFlags::PRESENT | keep;
-                match prot {
-                    Protection::None => {}
-                    Protection::ReadOnly => flags |= PteFlags::READ,
-                    Protection::ReadWrite => flags |= PteFlags::READ | PteFlags::WRITE,
-                }
-                // A next-touch-marked page stays fault-on-touch.
-                if pte.flags.contains(PteFlags::NEXT_TOUCH) {
-                    flags = (flags & !(PteFlags::READ | PteFlags::WRITE)) | PteFlags::NEXT_TOUCH;
-                }
-                pte.flags = flags;
+        // (preserving the next-touch and huge flags) in one linear slab
+        // walk over the range.
+        space.page_table.update_range(range, |_vpn, pte| {
+            let keep = pte.flags & (PteFlags::NEXT_TOUCH | PteFlags::HUGE | PteFlags::REPLICA);
+            let mut flags = PteFlags::PRESENT | keep;
+            match prot {
+                Protection::None => {}
+                Protection::ReadOnly => flags |= PteFlags::READ,
+                Protection::ReadWrite => flags |= PteFlags::READ | PteFlags::WRITE,
             }
-        }
+            // A next-touch-marked page stays fault-on-touch.
+            if pte.flags.contains(PteFlags::NEXT_TOUCH) {
+                flags = (flags & !(PteFlags::READ | PteFlags::WRITE)) | PteFlags::NEXT_TOUCH;
+            }
+            pte.flags = flags;
+        });
         let topo = self.topology().clone();
         let cost = topo.cost();
         let mut b = Breakdown::new();
@@ -725,7 +724,11 @@ impl Kernel {
         let (mut t, mut b) = self.move_pages_begin(now);
         let mut moved = 0u64;
         let mut status = Vec::new();
-        for vpn in range.iter() {
+        // One linear walk snapshots the mapped vpns of the range; the
+        // per-page move steps below mutate the table, so they run off the
+        // snapshot (each step only touches its own vpn).
+        let mapped: Vec<u64> = space.page_table.walk_range(range).map(|(v, _)| v).collect();
+        for vpn in mapped {
             let Some(pte) = space.page_table.get(vpn) else {
                 continue;
             };
@@ -830,11 +833,14 @@ impl Kernel {
         let mut b = Breakdown::new();
         let mut t = now;
         let mut replicated = 0u64;
-        for vpn in range.iter() {
-            let Some(pte) = space.page_table.get(vpn) else {
-                continue;
-            };
-            let home_frame = pte.frame;
+        // Snapshot mapped (vpn, frame) pairs in one walk; the loop body
+        // allocates and flags, which needs the table mutable.
+        let mapped: Vec<(u64, numa_vm::FrameId)> = space
+            .page_table
+            .walk_range(range)
+            .map(|(v, p)| (v, p.frame))
+            .collect();
+        for (vpn, home_frame) in mapped {
             let home = frames.node_of(home_frame);
             let mut copies = Vec::new();
             for node in topo.node_ids() {
@@ -881,11 +887,12 @@ impl Kernel {
         frames: &mut FrameAllocator,
         range: PageRange,
     ) {
-        for vpn in range.iter() {
-            let Some(pte) = space.page_table.get(vpn) else {
-                continue;
-            };
-            let home_frame = pte.frame;
+        let mapped: Vec<(u64, numa_vm::FrameId)> = space
+            .page_table
+            .walk_range(range)
+            .map(|(v, p)| (v, p.frame))
+            .collect();
+        for (vpn, home_frame) in mapped {
             if let Some(copies) = self.replicas_mut().remove(&vpn) {
                 for (_, f) in copies {
                     if f != home_frame {

@@ -44,10 +44,9 @@ impl TierView {
     pub fn capture(machine: &Machine) -> TierView {
         let topo = machine.topology();
         let mut pages = Vec::new();
-        for vpn in machine.space.page_table.sorted_vpns() {
-            let Some(pte) = machine.space.page_table.get(vpn) else {
-                continue;
-            };
+        // The slab page table iterates in ascending vpn order, so one
+        // linear walk replaces the old sort-then-probe scan.
+        for (vpn, pte) in machine.space.page_table.iter() {
             if !pte.flags.contains(PteFlags::PRESENT)
                 || pte.flags.contains(PteFlags::HUGE)
                 || pte.has_shadow()

@@ -5,7 +5,6 @@
 //! the kernel copies the tag from the old frame to the new one exactly where
 //! the real kernel would call `copy_highpage`.
 
-use numa_sim::FxHashMap;
 use numa_topology::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -32,10 +31,14 @@ pub struct Frame {
 ///
 /// Frame ids are never reused within one simulation, which turns
 /// use-after-free bugs in the kernel layer into loud lookup failures
-/// instead of silent aliasing.
+/// instead of silent aliasing. Because ids are dense and monotone, the
+/// frame table is index-addressed storage (`Vec<Option<Frame>>` slot per
+/// id ever issued): every lookup on the migration hot path is one bounds
+/// check and one indexed load, and a freed slot stays `None` forever so
+/// use-after-free still fails loudly.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FrameAllocator {
-    frames: FxHashMap<u64, Frame>,
+    frames: Vec<Option<Frame>>,
     next_id: u64,
     next_content: u64,
     /// Frames currently live per node.
@@ -57,7 +60,7 @@ impl FrameAllocator {
     /// have small fast banks and large slow ones.
     pub fn with_capacities(capacity_per_node: Vec<u64>) -> Self {
         FrameAllocator {
-            frames: FxHashMap::default(),
+            frames: Vec::new(),
             next_id: 0,
             next_content: 0,
             live_per_node: vec![0; capacity_per_node.len()],
@@ -80,14 +83,12 @@ impl FrameAllocator {
         self.next_id += 1;
         let tag = self.next_content;
         self.next_content += 1;
-        self.frames.insert(
-            id.0,
-            Frame {
-                node,
-                content_tag: tag,
-                write_gen: 0,
-            },
-        );
+        debug_assert_eq!(self.frames.len() as u64, id.0, "ids are dense");
+        self.frames.push(Some(Frame {
+            node,
+            content_tag: tag,
+            write_gen: 0,
+        }));
         self.live_per_node[n] += 1;
         self.allocated_total += 1;
         Some(id)
@@ -98,21 +99,23 @@ impl FrameAllocator {
     pub fn free(&mut self, id: FrameId) {
         let f = self
             .frames
-            .remove(&id.0)
+            .get_mut(id.0 as usize)
+            .and_then(Option::take)
             .unwrap_or_else(|| panic!("free of unknown frame {id:?}"));
         self.live_per_node[f.node.index()] -= 1;
         self.freed_total += 1;
     }
 
     /// Look up a live frame.
+    #[inline]
     pub fn get(&self, id: FrameId) -> Option<&Frame> {
-        self.frames.get(&id.0)
+        self.frames.get(id.0 as usize).and_then(Option::as_ref)
     }
 
     /// The node a live frame resides on. Panics on unknown frames.
+    #[inline]
     pub fn node_of(&self, id: FrameId) -> NodeId {
-        self.frames
-            .get(&id.0)
+        self.get(id)
             .unwrap_or_else(|| panic!("lookup of unknown frame {id:?}"))
             .node
     }
@@ -120,29 +123,31 @@ impl FrameAllocator {
     /// Copy contents from `src` to `dst` (the `copy_highpage` analogue).
     pub fn copy_contents(&mut self, src: FrameId, dst: FrameId) {
         let tag = self
-            .frames
-            .get(&src.0)
+            .get(src)
             .unwrap_or_else(|| panic!("copy from unknown frame {src:?}"))
             .content_tag;
         self.frames
-            .get_mut(&dst.0)
+            .get_mut(dst.0 as usize)
+            .and_then(Option::as_mut)
             .unwrap_or_else(|| panic!("copy to unknown frame {dst:?}"))
             .content_tag = tag;
     }
 
     /// Record a write to a live frame, bumping its write generation.
     /// Panics on unknown frames.
+    #[inline]
     pub fn note_write(&mut self, id: FrameId) {
         self.frames
-            .get_mut(&id.0)
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
             .unwrap_or_else(|| panic!("write to unknown frame {id:?}"))
             .write_gen += 1;
     }
 
     /// Current write generation of a live frame. Panics on unknown frames.
+    #[inline]
     pub fn write_gen(&self, id: FrameId) -> u64 {
-        self.frames
-            .get(&id.0)
+        self.get(id)
             .unwrap_or_else(|| panic!("lookup of unknown frame {id:?}"))
             .write_gen
     }

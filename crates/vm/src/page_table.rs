@@ -1,23 +1,71 @@
 //! The software page table.
 //!
-//! A flat map from virtual page number to [`Pte`]. The real kernel uses a
-//! radix tree; a hash map gives the same semantics with O(1) expected
-//! lookups, and the *cost* of page-table walks is charged separately by the
-//! kernel layer's cost model, so the host data structure choice does not
-//! leak into results.
+//! Dense per-extent PTE slabs: the table is a sorted vector of
+//! non-overlapping extents, each owning a contiguous `Vec` of PTE slots
+//! indexed by `vpn - base`. `AddressSpace` reserves one slab per VMA at
+//! `mmap` time, so the access hot path (`get`/`get_mut`) is a hint-cached
+//! binary search over a handful of extents plus one indexed load, and batch
+//! walks (`walk_range`/`update_range`) scan contiguous slices instead of
+//! issuing one hash probe per page — the same representation fix the paper
+//! applies to the kernel's batch metadata, here applied to the host.
+//!
+//! The real kernel uses a radix tree; dense slabs give the same semantics,
+//! and the *cost* of page-table walks is charged separately by the kernel
+//! layer's cost model, so the host data structure choice does not leak into
+//! results. Iteration order is ascending vpn by construction (no
+//! sort-on-demand): ordered walks like `migrate_pages` get their sequence
+//! directly from the layout.
 
+use crate::addr::PageRange;
 use crate::pte::Pte;
 use crate::FrameId;
-use numa_sim::FxHashMap;
+use std::cell::Cell;
 
-/// Map from virtual page number to page-table entry.
+/// One contiguous extent of PTE slots.
+#[derive(Debug, Clone)]
+struct Slab {
+    /// First vpn covered.
+    base: u64,
+    /// One slot per page; `None` = reserved but unmapped.
+    slots: Vec<Option<Pte>>,
+    /// Mapped slots in this slab.
+    live: usize,
+}
+
+impl Slab {
+    fn new(base: u64, pages: usize) -> Self {
+        debug_assert!(pages > 0, "empty slab");
+        Slab {
+            base,
+            slots: vec![None; pages],
+            live: 0,
+        }
+    }
+
+    /// One past the last vpn covered.
+    fn end(&self) -> u64 {
+        self.base + self.slots.len() as u64
+    }
+}
+
+/// Map from virtual page number to page-table entry, stored as dense
+/// per-extent slabs.
 ///
-/// Keyed with the fixed-seed [`numa_sim::FxHasher`]: the table is hit on
-/// every simulated page touch, and its iteration order is never allowed to
-/// reach results (ordered walks go through [`PageTable::sorted_vpns`]).
+/// Extents are created by [`PageTable::reserve_range`] (called for every
+/// VMA insertion) or on demand by [`PageTable::map`] for standalone use;
+/// they are released by [`PageTable::release_range`] (`munmap`). Unmapping
+/// a single page keeps its reservation, matching a VMA whose page was
+/// merely migrated away or never touched.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: FxHashMap<u64, Pte>,
+    /// Extents sorted by `base`, non-overlapping.
+    slabs: Vec<Slab>,
+    /// Total mapped entries across all slabs.
+    live: usize,
+    /// Index of the last slab that satisfied a lookup — page touches are
+    /// overwhelmingly local to one VMA, so this hint usually short-circuits
+    /// the binary search. Purely a host-side cache; never observable.
+    hint: Cell<usize>,
 }
 
 impl PageTable {
@@ -26,59 +74,279 @@ impl PageTable {
         PageTable::default()
     }
 
+    /// Index of the slab covering `vpn`, if any.
+    #[inline]
+    fn slab_index(&self, vpn: u64) -> Option<usize> {
+        let hint = self.hint.get();
+        if let Some(s) = self.slabs.get(hint) {
+            if vpn >= s.base && vpn < s.end() {
+                return Some(hint);
+            }
+        }
+        let idx = self.slabs.partition_point(|s| s.base <= vpn);
+        if idx == 0 {
+            return None;
+        }
+        let s = &self.slabs[idx - 1];
+        if vpn < s.end() {
+            self.hint.set(idx - 1);
+            Some(idx - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Index of the first slab whose extent ends after `vpn` (i.e. the
+    /// first slab that could intersect a range starting at `vpn`).
+    fn first_slab_from(&self, vpn: u64) -> usize {
+        let idx = self.slabs.partition_point(|s| s.base <= vpn);
+        if idx > 0 && self.slabs[idx - 1].end() > vpn {
+            idx - 1
+        } else {
+            idx
+        }
+    }
+
     /// Look up the PTE for `vpn`.
+    #[inline]
     pub fn get(&self, vpn: u64) -> Option<&Pte> {
-        self.entries.get(&vpn)
+        let i = self.slab_index(vpn)?;
+        let s = &self.slabs[i];
+        s.slots[(vpn - s.base) as usize].as_ref()
     }
 
     /// Mutable PTE lookup.
+    #[inline]
     pub fn get_mut(&mut self, vpn: u64) -> Option<&mut Pte> {
-        self.entries.get_mut(&vpn)
+        let i = self.slab_index(vpn)?;
+        let s = &mut self.slabs[i];
+        s.slots[(vpn - s.base) as usize].as_mut()
     }
 
     /// Install a mapping. Returns the previous entry if one existed
     /// (callers that expect a fresh mapping assert on `None`).
+    ///
+    /// Mapping a vpn outside every reserved extent grows the table: the
+    /// preceding slab is extended when it ends exactly at `vpn`, otherwise
+    /// a fresh one-page slab is created. Standalone users (tests, reference
+    /// models) therefore never need to reserve explicitly.
     pub fn map(&mut self, vpn: u64, pte: Pte) -> Option<Pte> {
-        self.entries.insert(vpn, pte)
+        let i = match self.slab_index(vpn) {
+            Some(i) => i,
+            None => self.grow_for(vpn),
+        };
+        let s = &mut self.slabs[i];
+        let prev = s.slots[(vpn - s.base) as usize].replace(pte);
+        if prev.is_none() {
+            s.live += 1;
+            self.live += 1;
+        }
+        prev
     }
 
-    /// Remove a mapping, returning it.
+    /// Make room for an unreserved `vpn`; returns the slab index covering it.
+    fn grow_for(&mut self, vpn: u64) -> usize {
+        let idx = self.slabs.partition_point(|s| s.base <= vpn);
+        if idx > 0 && self.slabs[idx - 1].end() == vpn {
+            // Extend the adjacent slab by one page. The next slab cannot
+            // start at `vpn` (it would already cover it), so no overlap.
+            self.slabs[idx - 1].slots.push(None);
+            idx - 1
+        } else {
+            self.slabs.insert(idx, Slab::new(vpn, 1));
+            idx
+        }
+    }
+
+    /// Remove a mapping, returning it. The slot's reservation is kept —
+    /// only [`PageTable::release_range`] drops extent storage.
     pub fn unmap(&mut self, vpn: u64) -> Option<Pte> {
-        self.entries.remove(&vpn)
+        let i = self.slab_index(vpn)?;
+        let s = &mut self.slabs[i];
+        let prev = s.slots[(vpn - s.base) as usize].take();
+        if prev.is_some() {
+            s.live -= 1;
+            self.live -= 1;
+        }
+        prev
+    }
+
+    /// Pre-size slots for every page of `range` (called for each VMA
+    /// insertion). Gaps between existing extents are filled with fresh
+    /// slabs; already-covered pages are left untouched.
+    pub fn reserve_range(&mut self, range: PageRange) {
+        let mut cursor = range.start_vpn;
+        while cursor < range.end_vpn {
+            let idx = self.slabs.partition_point(|s| s.base <= cursor);
+            if idx > 0 && self.slabs[idx - 1].end() > cursor {
+                cursor = self.slabs[idx - 1].end();
+                continue;
+            }
+            let next_base = self.slabs.get(idx).map_or(u64::MAX, |s| s.base);
+            let end = range.end_vpn.min(next_base);
+            self.slabs
+                .insert(idx, Slab::new(cursor, (end - cursor) as usize));
+            cursor = end;
+        }
+        self.hint.set(0);
+    }
+
+    /// Drop every mapping in `range`, returning the removed entries in
+    /// ascending vpn order, and release the storage of extents that lie
+    /// entirely inside the range (`munmap`). Extents straddling a boundary
+    /// keep their out-of-range reservation.
+    pub fn release_range(&mut self, range: PageRange) -> Vec<Pte> {
+        let mut removed = Vec::new();
+        if range.is_empty() {
+            return removed;
+        }
+        let mut i = self.first_slab_from(range.start_vpn);
+        while i < self.slabs.len() {
+            let s = &mut self.slabs[i];
+            if s.base >= range.end_vpn {
+                break;
+            }
+            if s.base >= range.start_vpn && s.end() <= range.end_vpn {
+                // Fully covered: collect and drop the whole slab.
+                let s = self.slabs.remove(i);
+                self.live -= s.live;
+                removed.extend(s.slots.into_iter().flatten());
+                continue; // do not advance: next slab shifted into `i`
+            }
+            let lo = range.start_vpn.max(s.base) - s.base;
+            let hi = (range.end_vpn.min(s.end()) - s.base) as usize;
+            for slot in &mut s.slots[lo as usize..hi] {
+                if let Some(pte) = slot.take() {
+                    s.live -= 1;
+                    self.live -= 1;
+                    removed.push(pte);
+                }
+            }
+            i += 1;
+        }
+        self.hint.set(0);
+        removed
     }
 
     /// Is `vpn` mapped (present or not)?
     pub fn is_mapped(&self, vpn: u64) -> bool {
-        self.entries.contains_key(&vpn)
+        self.get(vpn).is_some()
     }
 
     /// Number of installed entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True when no entries are installed.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Iterate over `(vpn, pte)` pairs in an unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, &Pte)> {
-        self.entries.iter().map(|(k, v)| (*k, v))
+    /// Iterate over `(vpn, pte)` pairs in ascending vpn order (the slab
+    /// layout is sorted, so order costs nothing).
+    pub fn iter(&self) -> WalkRange<'_> {
+        WalkRange {
+            slabs: &self.slabs,
+            slab_idx: 0,
+            slot_idx: 0,
+            end_vpn: u64::MAX,
+        }
+    }
+
+    /// Iterate over the mapped `(vpn, pte)` pairs of `range` in ascending
+    /// vpn order, scanning slabs as contiguous slices — the batch-walk
+    /// primitive behind `migrate_pages`, `madvise`, `mprotect` and the
+    /// tier promotion scan.
+    pub fn walk_range(&self, range: PageRange) -> WalkRange<'_> {
+        if range.is_empty() {
+            return WalkRange {
+                slabs: &[],
+                slab_idx: 0,
+                slot_idx: 0,
+                end_vpn: 0,
+            };
+        }
+        let slab_idx = self.first_slab_from(range.start_vpn);
+        let slot_idx = self
+            .slabs
+            .get(slab_idx)
+            .map_or(0, |s| range.start_vpn.saturating_sub(s.base) as usize);
+        WalkRange {
+            slabs: &self.slabs,
+            slab_idx,
+            slot_idx,
+            end_vpn: range.end_vpn,
+        }
+    }
+
+    /// Apply `f` to every mapped entry of `range` in ascending vpn order.
+    /// The mutable counterpart of [`PageTable::walk_range`].
+    pub fn update_range<F: FnMut(u64, &mut Pte)>(&mut self, range: PageRange, mut f: F) {
+        if range.is_empty() {
+            return;
+        }
+        let start = self.first_slab_from(range.start_vpn);
+        for s in &mut self.slabs[start..] {
+            if s.base >= range.end_vpn {
+                break;
+            }
+            let lo = range.start_vpn.max(s.base) - s.base;
+            let hi = (range.end_vpn.min(s.end()) - s.base) as usize;
+            for (off, slot) in s.slots[lo as usize..hi].iter_mut().enumerate() {
+                if let Some(pte) = slot.as_mut() {
+                    f(s.base + lo + off as u64, pte);
+                }
+            }
+        }
     }
 
     /// All mapped vpns, sorted — used by `migrate_pages`, which walks the
     /// address space in order (that ordered walk is why the paper measures
-    /// better locality for it than for `move_pages`, §4.2).
+    /// better locality for it than for `move_pages`, §4.2). With dense
+    /// slabs this is a plain ordered collect, no sort.
     pub fn sorted_vpns(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.entries.keys().copied().collect();
-        v.sort_unstable();
+        let mut v = Vec::with_capacity(self.live);
+        v.extend(self.iter().map(|(vpn, _)| vpn));
         v
     }
 
     /// Every frame currently referenced by an entry (for leak checks).
     pub fn referenced_frames(&self) -> Vec<FrameId> {
-        self.entries.values().map(|p| p.frame).collect()
+        self.iter().map(|(_, p)| p.frame).collect()
+    }
+}
+
+/// Ordered iterator over the mapped entries of a vpn range.
+/// See [`PageTable::walk_range`].
+#[derive(Debug)]
+pub struct WalkRange<'a> {
+    slabs: &'a [Slab],
+    slab_idx: usize,
+    slot_idx: usize,
+    end_vpn: u64,
+}
+
+impl<'a> Iterator for WalkRange<'a> {
+    type Item = (u64, &'a Pte);
+
+    fn next(&mut self) -> Option<(u64, &'a Pte)> {
+        loop {
+            let s = self.slabs.get(self.slab_idx)?;
+            if s.base >= self.end_vpn {
+                return None;
+            }
+            let limit = ((self.end_vpn.min(s.end()) - s.base) as usize).min(s.slots.len());
+            while self.slot_idx < limit {
+                let i = self.slot_idx;
+                self.slot_idx += 1;
+                if let Some(pte) = s.slots[i].as_ref() {
+                    return Some((s.base + i as u64, pte));
+                }
+            }
+            self.slab_idx += 1;
+            self.slot_idx = 0;
+        }
     }
 }
 
@@ -134,5 +402,126 @@ mod tests {
         let mut frames = pt.referenced_frames();
         frames.sort();
         assert_eq!(frames, vec![FrameId(10), FrameId(20)]);
+    }
+
+    #[test]
+    fn reserve_then_map_uses_the_slab() {
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(100, 110));
+        assert!(pt.is_empty(), "reservation maps nothing");
+        assert_eq!(pt.map(105, Pte::present_rw(FrameId(1))), None);
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.get(105).unwrap().frame, FrameId(1));
+        assert!(pt.get(104).is_none());
+    }
+
+    #[test]
+    fn reserve_fills_only_gaps() {
+        let mut pt = PageTable::new();
+        pt.map(5, Pte::present_rw(FrameId(1)));
+        // Overlapping reservation must not disturb the existing entry.
+        pt.reserve_range(PageRange::new(0, 10));
+        assert_eq!(pt.get(5).unwrap().frame, FrameId(1));
+        assert_eq!(pt.len(), 1);
+        pt.map(0, Pte::present_rw(FrameId(2)));
+        pt.map(9, Pte::present_rw(FrameId(3)));
+        assert_eq!(pt.sorted_vpns(), vec![0, 5, 9]);
+    }
+
+    #[test]
+    fn release_returns_entries_in_order_and_drops_storage() {
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(10, 20));
+        for vpn in [12u64, 17, 15] {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        let removed = pt.release_range(PageRange::new(10, 20));
+        let frames: Vec<FrameId> = removed.iter().map(|p| p.frame).collect();
+        assert_eq!(frames, vec![FrameId(12), FrameId(15), FrameId(17)]);
+        assert!(pt.is_empty());
+        // The extent is gone: mapping again auto-creates fresh storage.
+        assert_eq!(pt.map(12, Pte::present_rw(FrameId(1))), None);
+    }
+
+    #[test]
+    fn release_keeps_out_of_range_reservation() {
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, 10));
+        pt.map(2, Pte::present_rw(FrameId(2)));
+        pt.map(7, Pte::present_rw(FrameId(7)));
+        let removed = pt.release_range(PageRange::new(0, 5));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].frame, FrameId(2));
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.get(7).unwrap().frame, FrameId(7));
+    }
+
+    #[test]
+    fn walk_range_yields_mapped_subrange_in_order() {
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, 32));
+        for vpn in [1u64, 4, 5, 9, 30] {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        let got: Vec<u64> = pt
+            .walk_range(PageRange::new(4, 30))
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(got, vec![4, 5, 9]);
+        let all: Vec<u64> = pt.iter().map(|(v, _)| v).collect();
+        assert_eq!(all, vec![1, 4, 5, 9, 30]);
+    }
+
+    #[test]
+    fn walk_range_spans_multiple_slabs() {
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, 4));
+        pt.reserve_range(PageRange::new(100, 104));
+        pt.map(2, Pte::present_rw(FrameId(2)));
+        pt.map(101, Pte::present_rw(FrameId(101)));
+        let got: Vec<u64> = pt
+            .walk_range(PageRange::new(0, 1000))
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(got, vec![2, 101]);
+    }
+
+    #[test]
+    fn update_range_mutates_only_mapped_pages() {
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, 16));
+        for vpn in [3u64, 8, 12] {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        let mut touched = Vec::new();
+        pt.update_range(PageRange::new(0, 10), |vpn, pte| {
+            pte.mark_next_touch();
+            touched.push(vpn);
+        });
+        assert_eq!(touched, vec![3, 8]);
+        assert!(pt.get(3).unwrap().is_next_touch());
+        assert!(pt.get(8).unwrap().is_next_touch());
+        assert!(!pt.get(12).unwrap().is_next_touch());
+    }
+
+    #[test]
+    fn adjacent_unreserved_maps_extend_one_slab() {
+        let mut pt = PageTable::new();
+        for vpn in 1..10u64 {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        assert_eq!(pt.len(), 9);
+        assert_eq!(pt.sorted_vpns(), (1..10).collect::<Vec<u64>>());
+        assert_eq!(pt.slabs.len(), 1, "sequential maps coalesce into one slab");
+    }
+
+    #[test]
+    fn unmap_keeps_reservation() {
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, 4));
+        pt.map(1, Pte::present_rw(FrameId(1)));
+        pt.unmap(1);
+        assert!(pt.is_empty());
+        assert_eq!(pt.slabs.len(), 1, "unmap must not drop the extent");
     }
 }

@@ -126,12 +126,15 @@ impl AddressSpace {
     pub fn munmap(&mut self, addr: VirtAddr) -> Result<Vec<crate::FrameId>, VmError> {
         let vpn = addr.vpn();
         let vma = self.vmas.remove(&vpn).ok_or(VmError::NoVma(addr))?;
-        let mut frames = Vec::new();
-        for p in vma.range.iter() {
-            if let Some(pte) = self.page_table.unmap(p) {
-                frames.push(pte.frame);
-            }
-        }
+        // Release the VMA's PTE slab in one pass; entries come back in
+        // ascending vpn order, exactly as the old per-page unmap loop
+        // produced them.
+        let frames = self
+            .page_table
+            .release_range(vma.range)
+            .into_iter()
+            .map(|pte| pte.frame)
+            .collect();
         self.generation += 1;
         Ok(frames)
     }
@@ -155,6 +158,9 @@ impl AddressSpace {
         if vma.huge {
             self.has_huge = true;
         }
+        // Pre-size the VMA's dense PTE slab so every later fault is an
+        // indexed store, never a structural insertion.
+        self.page_table.reserve_range(vma.range);
         self.vmas.insert(vma.range.start_vpn, vma);
         self.generation += 1;
         Ok(())

@@ -2,10 +2,11 @@
 
 use numa_topology::NodeId;
 use numa_vm::{
-    AddressSpace, FrameAllocator, MemPolicy, PageRange, Protection, Pte, VirtAddr, VmaKind,
-    PAGE_SIZE,
+    AddressSpace, FrameAllocator, FrameId, MemPolicy, PageRange, PageTable, Protection, Pte,
+    PteFlags, VirtAddr, VmaKind, PAGE_SIZE,
 };
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 proptest! {
     /// `PageRange::covering` covers exactly the bytes it is given: every
@@ -150,6 +151,94 @@ proptest! {
             counts[n.index()] += 1;
         }
         prop_assert!(counts.iter().all(|c| *c == rounds), "{counts:?}");
+    }
+
+    /// The dense-slab page table is PTE-for-PTE equivalent to a naive
+    /// `BTreeMap` reference model under random interleaved sequences of
+    /// map / unmap / protect / migrate / huge-remap / reserve / release
+    /// ops. This is the representation-only guarantee the slab rewrite
+    /// rests on: every observable read (`get`, `len`, ordered iteration,
+    /// `walk_range`) agrees with the model after every op.
+    #[test]
+    fn slab_table_matches_btreemap_reference(
+        ops in proptest::collection::vec(
+            (0u8..6, 0u64..192, 1u64..48, 0u64..1000), 1..60)
+    ) {
+        let mut pt = PageTable::new();
+        let mut model: BTreeMap<u64, Pte> = BTreeMap::new();
+        let mut next_frame = 0u64;
+        for (kind, start, len, salt) in ops {
+            let range = PageRange::new(start, start + len);
+            match kind {
+                // Map every page of the range to fresh frames.
+                0 => {
+                    for vpn in range.iter() {
+                        let pte = Pte::present_rw(FrameId(next_frame));
+                        next_frame += 1;
+                        prop_assert_eq!(pt.map(vpn, pte), model.insert(vpn, pte),
+                            "map({}) disagreed on the previous entry", vpn);
+                    }
+                }
+                // Unmap every page of the range.
+                1 => {
+                    for vpn in range.iter() {
+                        prop_assert_eq!(pt.unmap(vpn), model.remove(&vpn),
+                            "unmap({}) disagreed on the removed entry", vpn);
+                    }
+                }
+                // Protect: drop the WRITE bit over the range (the mprotect
+                // PTE sync shape), via the linear batch walk.
+                2 => {
+                    pt.update_range(range, |_, pte| {
+                        pte.flags = pte.flags & !PteFlags::WRITE;
+                    });
+                    for (_, pte) in model.range_mut(range.start_vpn..range.end_vpn) {
+                        pte.flags = pte.flags & !PteFlags::WRITE;
+                    }
+                }
+                // Migrate: repoint every mapped page of the range at a new
+                // frame (the move_pages PTE flip).
+                3 => {
+                    pt.update_range(range, |vpn, pte| {
+                        pte.frame = FrameId(vpn * 100_000 + salt);
+                    });
+                    for (vpn, pte) in model.range_mut(range.start_vpn..range.end_vpn) {
+                        pte.frame = FrameId(vpn * 100_000 + salt);
+                    }
+                }
+                // Huge-remap: drop the range's small mappings, then map the
+                // head page only, HUGE-flagged (the mmap_huge shape).
+                4 => {
+                    pt.release_range(range);
+                    model.retain(|vpn, _| !range.contains(*vpn));
+                    let mut head = Pte::present_rw(FrameId(next_frame));
+                    next_frame += 1;
+                    head.flags |= PteFlags::HUGE;
+                    pt.map(range.start_vpn, head);
+                    model.insert(range.start_vpn, head);
+                }
+                // Reserve: pure storage pre-sizing, must be unobservable.
+                _ => pt.reserve_range(range),
+            }
+            prop_assert_eq!(pt.len(), model.len(), "len diverged");
+        }
+        // Full ordered iteration agrees entry-for-entry.
+        let got: Vec<(u64, Pte)> = pt.iter().map(|(v, p)| (v, *p)).collect();
+        let want: Vec<(u64, Pte)> = model.iter().map(|(v, p)| (*v, *p)).collect();
+        prop_assert_eq!(got, want, "ordered iteration diverged");
+        // Point lookups agree across the whole domain (mapped and not).
+        for vpn in 0..256u64 {
+            prop_assert_eq!(pt.get(vpn).copied(), model.get(&vpn).copied(),
+                "get({}) diverged", vpn);
+        }
+        // Range walks agree on arbitrary windows.
+        for (lo, hi) in [(0u64, 64u64), (50, 150), (100, 256), (0, 256)] {
+            let got: Vec<(u64, Pte)> =
+                pt.walk_range(PageRange::new(lo, hi)).map(|(v, p)| (v, *p)).collect();
+            let want: Vec<(u64, Pte)> =
+                model.range(lo..hi).map(|(v, p)| (*v, *p)).collect();
+            prop_assert_eq!(got, want, "walk_range({}, {}) diverged", lo, hi);
+        }
     }
 
     /// Next-touch marking and clearing are inverses on the access bits.
