@@ -2,7 +2,7 @@
 //!
 //! Times the heaviest sweeps in-process at `--jobs 1` and at the requested
 //! `--jobs`, checksums every result set, and writes the measurements to a
-//! JSON file (default `BENCH_pr5.json`). The checksums make the
+//! JSON file (default `BENCH_pr6.json`). The checksums make the
 //! equivalence contract auditable: every run of a workload must report the
 //! same checksum no matter the jobs count, and a checksum change across
 //! commits means virtual-time results moved — which the host-performance
@@ -11,9 +11,11 @@
 //! The workload set covers every memory-metadata hot path the dense PTE
 //! slabs serve: fig7 (fault-path migration + `move_pages` under
 //! contention), table1 (LU with migration policies — the heavy sweep),
-//! fig4 (`move_pages` / `migrate_pages` / memcpy batch walks), and fig5
+//! fig4 (`move_pages` / `migrate_pages` / memcpy batch walks), fig5
 //! (`madvise(NEXT_TOUCH)` range marking + fault-path and signal-path
-//! migration).
+//! migration), and ptrepl (eager replica write-through of a fault burst,
+//! a migration frame-flip, and a munmap wave over a million-page address
+//! space with four per-node page-table replicas).
 //!
 //! `baseline_seconds` records the same workloads measured on this
 //! codebase immediately before the current optimisation round (same quick
@@ -75,9 +77,47 @@ fn measure<F: Fn() -> String>(reps: usize, f: F) -> Sample {
     }
 }
 
+/// Replica write-through stress at the vm layer: fault in a
+/// million-page address space under four eager per-node replicas, flip
+/// every frame (the `move_pages` PTE rewrite), then unmap half — ~12M
+/// replica PTE writes through the linear-diff sync. Single-threaded by
+/// construction (one address space), so the jobs value is irrelevant and
+/// the checksum trivially jobs-invariant.
+fn ptrepl_replica_stress() -> String {
+    use numa_migrate::vm::{AddressSpace, FrameId, PageRange, PtPlacement, PtSyncMode, Pte};
+    const PAGES: u64 = 1 << 20;
+    let full = PageRange::new(0, PAGES);
+    let mut space = AddressSpace::new();
+    space.pt_configure(PtPlacement::Replicated, PtSyncMode::Eager, 4);
+    for vpn in 0..PAGES {
+        space.page_table.map(vpn, Pte::present_rw(FrameId(vpn)));
+    }
+    let faulted = space.pt_note_update(full);
+    space.page_table.update_range(full, |vpn, pte| {
+        pte.frame = FrameId(PAGES + vpn);
+    });
+    let migrated = space.pt_note_update(full);
+    let half = PageRange::new(0, PAGES / 2);
+    for vpn in half.iter() {
+        space.page_table.unmap(vpn);
+    }
+    let unmapped = space.pt_note_update(half);
+    let replicas = space.pt_replicas().expect("replicated placement");
+    for node in 0..4u16 {
+        assert!(
+            replicas.agrees_with(numa_migrate::topology::NodeId(node), &space.page_table),
+            "replica stress left node {node} diverged"
+        );
+    }
+    format!(
+        "faulted={faulted} migrated={migrated} unmapped={unmapped} live={}",
+        space.page_table.len()
+    )
+}
+
 fn main() {
     let opts = Options::parse("hostbench", "host wall-clock of the heavy sweeps");
-    let out_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr5.json".into());
+    let out_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr6.json".into());
     let fig7_pages: Vec<u64> = vec![64, 512, 4096, 16384];
     let fig4_pages: Vec<u64> = vec![16, 256, 2048];
     let fig5_pages: Vec<u64> = vec![16, 256, 2048];
@@ -106,6 +146,7 @@ fn main() {
             5,
             Box::new(|jobs| format!("{:?}", fig5::run_jobs(&fig5_pages, jobs))),
         ),
+        ("ptrepl", 3, Box::new(|_jobs| ptrepl_replica_stress())),
     ];
 
     let jobs_values = if opts.jobs > 1 {

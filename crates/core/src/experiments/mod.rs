@@ -14,6 +14,7 @@
 //! | [`tiering`] | heterogeneous tiering: transactional vs stop-the-world promotion, DRAM-capacity crossover |
 //! | [`ablations`] | design-choice sweeps (lookup fix, lock fraction, granularity, extensions) |
 //! | [`chaos`]  | fault-injection sweep: retry/degradation robustness across every migration path |
+//! | [`ptrepl`] | page-table placement: local vs replicated vs remote PT homes (ptplace subsystem) |
 //!
 //! Each experiment returns plain row structs; the `numa-bench` binaries
 //! format them as the paper's tables, and the integration tests assert
@@ -27,6 +28,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod ptrepl;
 pub mod scaling;
 pub mod table1;
 pub mod tiering;

@@ -8,6 +8,7 @@
 use numa_kernel::KernelConfig;
 use numa_machine::Machine;
 use numa_topology::{presets, CostModel, Topology};
+use numa_vm::{PtPlacement, PtSyncMode};
 use std::sync::Arc;
 
 /// Which hardware preset to simulate.
@@ -32,6 +33,7 @@ pub struct NumaSystem {
     platform: Platform,
     kernel: KernelConfig,
     cost_override: Option<CostModel>,
+    pt_placement: Option<(PtPlacement, PtSyncMode)>,
 }
 
 impl Default for NumaSystem {
@@ -47,6 +49,7 @@ impl NumaSystem {
             platform: Platform::Opteron4P,
             kernel: KernelConfig::default(),
             cost_override: None,
+            pt_placement: None,
         }
     }
 
@@ -77,6 +80,15 @@ impl NumaSystem {
         self
     }
 
+    /// Place the process's page table (ptplace subsystem): a fixed home
+    /// node or per-node replicas, with eager or lazy replica sync. Left
+    /// unset, the page table is cost-free to walk and every existing
+    /// experiment's numbers are unchanged.
+    pub fn pt_placement(mut self, placement: PtPlacement, mode: PtSyncMode) -> Self {
+        self.pt_placement = Some((placement, mode));
+        self
+    }
+
     /// Assemble the machine.
     pub fn build(self) -> Machine {
         let mut kernel = self.kernel;
@@ -94,7 +106,12 @@ impl NumaSystem {
                 }
             }
         };
-        Machine::new(Arc::new(topo), kernel)
+        let mut machine = Machine::new(Arc::new(topo), kernel);
+        if let Some((placement, mode)) = self.pt_placement {
+            let nodes = machine.topology().node_count();
+            machine.space.pt_configure(placement, mode, nodes);
+        }
+        machine
     }
 }
 

@@ -19,8 +19,8 @@ use numa_sim::{SimTime, TraceEventKind};
 use numa_stats::{Breakdown, CostComponent, Counter};
 use numa_topology::{CoreId, NodeId};
 use numa_vm::{
-    AddressSpace, FrameAllocator, MemPolicy, Protection, Pte, PteFlags, Tlb, VirtAddr, VmError,
-    Vma, PAGES_PER_HUGE, PAGE_SIZE,
+    AddressSpace, FrameAllocator, MemPolicy, PageRange, Protection, Pte, PteFlags, Tlb, VirtAddr,
+    VmError, Vma, PAGES_PER_HUGE, PAGE_SIZE,
 };
 
 /// Why the MMU trapped.
@@ -152,6 +152,7 @@ impl Kernel {
                     CostComponent::FaultControl,
                     &mut b,
                 );
+                let end = self.pt_note_update(space, end, PageRange::new(vpn, vpn + 1));
                 self.counters.bump(Counter::FirstTouchFaults);
                 self.trace.record(
                     now,
@@ -250,6 +251,7 @@ impl Kernel {
                 if prot == Protection::ReadOnly {
                     entry.flags = entry.flags & !PteFlags::WRITE;
                 }
+                t = self.pt_note_update(space, t, PageRange::new(vpn, vpn + 1));
                 tlb.invalidate_local(core);
                 self.counters.bump(Counter::NextTouchFaults);
                 self.trace.record(
@@ -284,6 +286,11 @@ impl Kernel {
                     let node = frames.node_of(entry.frame);
                     let mut b = Breakdown::new();
                     b.add(CostComponent::FaultControl, cost.page_fault_ns);
+                    let end = self.pt_note_update(
+                        space,
+                        now + cost.page_fault_ns,
+                        PageRange::new(vpn, vpn + 1),
+                    );
                     tlb.invalidate_local(core);
                     self.trace.record(
                         now,
@@ -296,7 +303,7 @@ impl Kernel {
                         },
                     );
                     FaultResolution::Resolved {
-                        end: now + cost.page_fault_ns,
+                        end,
                         breakdown: b,
                         migrated: false,
                         node,

@@ -207,6 +207,41 @@ impl Kernel {
         xfer.end
     }
 
+    /// Record that the primary page table changed over `range` and, when
+    /// the address space runs Mitosis-style replicated page tables, charge
+    /// the propagation (ptplace subsystem).
+    ///
+    /// Under eager sync the PTE updates are written through to every
+    /// replica now and the caller's clock advances by the write-through
+    /// cost; under lazy sync the range is only marked stale (free — the
+    /// charge lands on the next walk from each node). With placement unset
+    /// or single-homed this is one branch and returns `now` unchanged, so
+    /// existing experiments are byte-identical.
+    pub fn pt_note_update(
+        &mut self,
+        space: &mut numa_vm::AddressSpace,
+        now: numa_sim::SimTime,
+        range: numa_vm::PageRange,
+    ) -> numa_sim::SimTime {
+        if space.pt_placement() != Some(numa_vm::PtPlacement::Replicated) {
+            return now;
+        }
+        let written = space.pt_note_update(range);
+        if written == 0 {
+            return now;
+        }
+        let dur = self.topo.cost().pt_replica_sync_ns(written);
+        self.counters.bump(numa_stats::Counter::PtReplicaSyncs);
+        self.trace.record(
+            now,
+            numa_sim::TraceEventKind::PtReplicaSync {
+                entries: written,
+                dur_ns: dur,
+            },
+        );
+        now + dur
+    }
+
     /// Replica table access for the access-cost model: the nearest replica
     /// of `vpn` as seen from `from`, if any.
     pub fn nearest_replica(&self, vpn: u64, from: NodeId) -> Option<(NodeId, FrameId)> {

@@ -320,6 +320,7 @@ impl Kernel {
         frames.free(old_frame);
         self.counters.bump(Counter::FramesFreed);
         self.counters.add(Counter::PagesMovedProcess, 1);
+        t = self.pt_note_update(space, t, PageRange::new(vpn, vpn + 1));
         (t, b, Some(PageStatus::Moved(dst)))
     }
 
@@ -445,6 +446,7 @@ impl Kernel {
         if huge {
             self.counters.bump(Counter::HugePagesMoved);
         }
+        *t = self.pt_note_update(space, *t, PageRange::new(vpn, vpn + 1));
         PageStatus::Moved(dst)
     }
 
@@ -589,6 +591,7 @@ impl Kernel {
         let ns = cost.madvise_base_ns + cost.madvise_per_page_ns * marked;
         b.add(CostComponent::Madvise, ns);
         let mut t = now + ns;
+        t = self.pt_note_update(space, t, range);
 
         // Removing access bits requires a shootdown so no stale TLB entry
         // lets a core skip the fault.
@@ -654,6 +657,7 @@ impl Kernel {
         let ns = cost.mprotect_base_ns + cost.mprotect_per_page_ns * range.pages();
         b.add(component, ns);
         let mut t = now + ns;
+        t = self.pt_note_update(space, t, range);
 
         // Every mprotect flushes the TLB on all processors (§3.3 names
         // this as a key overhead of the user-space model).
@@ -873,6 +877,7 @@ impl Kernel {
             }
         }
         self.counters.add(Counter::PagesReplicated, replicated);
+        t = self.pt_note_update(space, t, range);
         Ok(SyscallOutcome {
             end: t,
             breakdown: b,
@@ -904,6 +909,9 @@ impl Kernel {
                 pte.flags = pte.flags & !PteFlags::REPLICA;
             }
         }
+        // unreplicate has no virtual-time position of its own; propagate
+        // the flag change to PT replicas without charging anything.
+        let _ = space.pt_note_update(range);
     }
 }
 

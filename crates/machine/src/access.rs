@@ -5,7 +5,7 @@ use crate::engine::RunStats;
 use crate::op::MemAccessKind;
 use crate::Machine;
 use numa_kernel::FaultResolution;
-use numa_sim::SimTime;
+use numa_sim::{SimTime, TraceEventKind};
 use numa_stats::{CostComponent, Counter};
 use numa_topology::{CoreId, NodeId};
 use numa_vm::{PageRange, VirtAddr, PAGE_SIZE};
@@ -254,6 +254,7 @@ impl Machine {
         }
 
         let start = now;
+        now = self.charge_pt_walk(core_node, now, kind, stats);
         if self.caches[core_node.index()].touch(vpn) {
             // Served from the node's shared L3.
             stats.counters.bump(Counter::CacheHits);
@@ -304,6 +305,61 @@ impl Machine {
             .breakdown
             .add(CostComponent::MemoryAccess, now.since(start));
         now
+    }
+
+    /// Charge the expected page-walk cost of one page touch under the
+    /// ptplace model: TLB-miss probability (by access pattern) times the
+    /// walk latency from the touching core's node to the page table's
+    /// home. With placement unset this is a single branch and no cost —
+    /// existing runs stay byte-identical. Replicated tables walk locally;
+    /// a lazy replica reconciles (and is charged for it) on the first
+    /// walk from a node holding stale ranges.
+    fn charge_pt_walk(
+        &mut self,
+        core_node: NodeId,
+        now: SimTime,
+        kind: MemAccessKind,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        let Some(placement) = self.space.pt_placement() else {
+            return now;
+        };
+        let topo = self.topology().clone();
+        let cost = topo.cost();
+        let mut now = now;
+        let pt_home = match placement {
+            numa_vm::PtPlacement::SingleHome(node) => node,
+            numa_vm::PtPlacement::Replicated => {
+                if self.space.pt_node_is_stale(core_node) {
+                    stats.counters.bump(Counter::PtReplicaStaleHits);
+                    let written = self.space.pt_sync_node(core_node);
+                    if written > 0 {
+                        let dur = cost.pt_replica_sync_ns(written);
+                        stats.counters.bump(Counter::PtReplicaSyncs);
+                        self.trace.record(
+                            now,
+                            TraceEventKind::PtReplicaSync {
+                                entries: written,
+                                dur_ns: dur,
+                            },
+                        );
+                        now += dur;
+                    }
+                }
+                core_node
+            }
+        };
+        let hops = topo.hops(core_node, pt_home);
+        let miss = match kind {
+            MemAccessKind::Stream => cost.tlb_miss_rate_stream,
+            MemAccessKind::Blocked => cost.tlb_miss_rate_blocked,
+            MemAccessKind::Random => cost.tlb_miss_rate_random,
+        };
+        let walk = (miss * cost.pt_walk_ns(hops)).round() as u64;
+        if hops > 0 && walk > 0 {
+            stats.counters.bump(Counter::PtWalksRemote);
+        }
+        now + walk
     }
 
     /// Execute an `Op::Memcpy`: a user-space SSE-class copy between two

@@ -337,6 +337,15 @@ impl Machine {
                         }
                     }
                 }
+                Op::MigrateThread { to } => {
+                    // Handled in the loop (like barriers) because it
+                    // mutates the thread's core binding, which only the
+                    // engine owns.
+                    let end = self.migrate_thread(core, to, now, &mut stats);
+                    states[tid].core = to;
+                    states[tid].clock = end;
+                    queue.push(end, tid);
+                }
                 other => {
                     let op_name = other.name();
                     let state = &mut states[tid];
@@ -726,6 +735,9 @@ impl Machine {
             }
             Op::Nop => now,
             Op::Barrier(_) => unreachable!("barriers are handled by the engine loop"),
+            Op::MigrateThread { .. } => {
+                unreachable!("thread migration is handled by the engine loop")
+            }
             Op::Access { .. }
             | Op::AccessStrided { .. }
             | Op::Memcpy { .. }

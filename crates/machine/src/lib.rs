@@ -167,6 +167,56 @@ impl Machine {
         self.topo.node_of_core(core)
     }
 
+    /// Move a thread between cores at `now` (scheduler migration). Under
+    /// the ptplace model a single-home page table that was co-located
+    /// with the departing thread follows it to the destination node
+    /// (numaPTE-style PT migration): the PT copy is charged linearly in
+    /// the table's live entry count, and the stale translations cached
+    /// against the old home are flushed with one batched shootdown. All
+    /// other configurations — placement unset, a deliberately remote
+    /// home, or per-node replicas — move nothing and cost nothing.
+    pub fn migrate_thread(
+        &mut self,
+        from: CoreId,
+        to: CoreId,
+        now: SimTime,
+        stats: &mut RunStats,
+    ) -> SimTime {
+        let from_node = self.topo.node_of_core(from);
+        let to_node = self.topo.node_of_core(to);
+        if from_node == to_node {
+            return now;
+        }
+        let Some(numa_vm::PtPlacement::SingleHome(home)) = self.space.pt_placement() else {
+            return now;
+        };
+        if home != from_node {
+            return now;
+        }
+        let cost = self.topo.cost();
+        let entries = self.space.page_table.len() as u64;
+        let copy = cost.pt_migrate_ns(entries);
+        self.space.pt_set_home(to_node);
+        let hit = self.tlb.shootdown_all(to);
+        self.kernel
+            .counters
+            .bump(numa_stats::Counter::TlbShootdowns);
+        let flush = cost.tlb_flush_ns(hit);
+        let dur = copy + flush;
+        self.trace.record(
+            now,
+            numa_sim::TraceEventKind::PtMigrate {
+                entries,
+                dur_ns: dur,
+            },
+        );
+        stats.breakdown.add(numa_stats::CostComponent::Other, copy);
+        stats
+            .breakdown
+            .add(numa_stats::CostComponent::TlbFlush, flush);
+        now + dur
+    }
+
     /// Register the user-space SIGSEGV handler (replaces any previous one).
     pub fn set_segv_handler(&mut self, handler: Box<dyn SegvHandler>) {
         self.segv_handler = Some(handler);

@@ -138,6 +138,14 @@ pub enum Op {
         /// The new policy.
         policy: MemPolicy,
     },
+    /// Move the executing thread to another core (scheduler migration).
+    /// Under the ptplace model a single-home page table that was
+    /// co-located with the thread follows it (numaPTE-style PT
+    /// migration), paying the PT copy plus a batched TLB shootdown.
+    MigrateThread {
+        /// Destination core.
+        to: numa_topology::CoreId,
+    },
     /// Arrive at barrier `id` (sized by
     /// the barrier sizes passed to [`crate::Machine::run`]).
     Barrier(usize),
@@ -160,6 +168,7 @@ impl Op {
             Op::MadviseNextTouch { .. } => "madvise_next_touch",
             Op::Mprotect { .. } => "mprotect",
             Op::Mbind { .. } => "mbind",
+            Op::MigrateThread { .. } => "migrate_thread",
             Op::Barrier(_) => "barrier",
             Op::Nop => "nop",
         }

@@ -1,0 +1,105 @@
+//! Thread-to-core scheduling helpers.
+//!
+//! Workloads that model scheduler behaviour (a thread bouncing between
+//! sockets, a runtime re-packing its team) emit [`Op::MigrateThread`]
+//! between their compute/access ops. Under the ptplace model a
+//! single-home page table that was co-located with the thread follows
+//! it (numaPTE-style PT migration); otherwise the op only rebinds the
+//! thread's core.
+
+use numa_machine::{Machine, Op};
+use numa_topology::{CoreId, NodeId};
+
+/// The op that moves the executing thread onto `core`.
+pub fn migrate_to(core: CoreId) -> Op {
+    Op::MigrateThread { to: core }
+}
+
+/// The op that moves the executing thread onto the first core of `node`.
+///
+/// Panics if the node has no cores — an experiment-configuration bug.
+pub fn migrate_to_node(machine: &Machine, node: NodeId) -> Op {
+    let core = *machine
+        .topology()
+        .cores_of_node(node)
+        .first()
+        .unwrap_or_else(|| panic!("{node} has no cores to migrate onto"));
+    migrate_to(core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_machine::{MemAccessKind, ThreadSpec};
+    use numa_stats::Counter;
+    use numa_vm::{MemPolicy, PtPlacement, PtSyncMode, PAGE_SIZE};
+
+    #[test]
+    fn migrate_op_rebinds_thread_core() {
+        let mut m = Machine::opteron_4p();
+        let a = m.alloc(4 * PAGE_SIZE, MemPolicy::FirstTouch);
+        // Write from core 0 (node 0), migrate to node 2, write again:
+        // the second buffer lands on node 2 by first touch.
+        let b = m.alloc(4 * PAGE_SIZE, MemPolicy::FirstTouch);
+        let ops = vec![
+            Op::write(a, 4 * PAGE_SIZE, MemAccessKind::Stream),
+            migrate_to_node(&m, NodeId(2)),
+            Op::write(b, 4 * PAGE_SIZE, MemAccessKind::Stream),
+        ];
+        m.run(vec![ThreadSpec::scripted(CoreId(0), ops)], &[]);
+        assert_eq!(m.page_node(a), Some(NodeId(0)));
+        assert_eq!(m.page_node(b), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn colocated_single_home_pt_follows_the_thread() {
+        let mut m = Machine::opteron_4p();
+        let nodes = m.topology().node_count();
+        m.space
+            .pt_configure(PtPlacement::SingleHome(NodeId(0)), PtSyncMode::Eager, nodes);
+        let a = m.alloc(4 * PAGE_SIZE, MemPolicy::FirstTouch);
+        let shootdowns_before = m.kernel.counters.get(Counter::TlbShootdowns);
+        let ops = vec![
+            Op::write(a, 4 * PAGE_SIZE, MemAccessKind::Stream),
+            migrate_to_node(&m, NodeId(3)),
+            Op::read(a, 4 * PAGE_SIZE, MemAccessKind::Stream),
+        ];
+        let r = m.run(vec![ThreadSpec::scripted(CoreId(0), ops)], &[]);
+        assert_eq!(
+            m.space.pt_placement(),
+            Some(PtPlacement::SingleHome(NodeId(3))),
+            "co-located PT must re-home with the thread"
+        );
+        assert_eq!(
+            m.kernel.counters.get(Counter::TlbShootdowns),
+            shootdowns_before + 1,
+            "PT migration batches one shootdown"
+        );
+        assert!(r.makespan.ns() > 0);
+    }
+
+    #[test]
+    fn remote_home_and_unset_placement_stay_put() {
+        // Deliberately-remote home: stays where it was pinned.
+        let mut m = Machine::opteron_4p();
+        let nodes = m.topology().node_count();
+        m.space
+            .pt_configure(PtPlacement::SingleHome(NodeId(1)), PtSyncMode::Eager, nodes);
+        let a = m.alloc(PAGE_SIZE, MemPolicy::FirstTouch);
+        let ops = vec![
+            Op::write(a, PAGE_SIZE, MemAccessKind::Stream),
+            migrate_to_node(&m, NodeId(3)),
+        ];
+        m.run(vec![ThreadSpec::scripted(CoreId(0), ops)], &[]);
+        assert_eq!(
+            m.space.pt_placement(),
+            Some(PtPlacement::SingleHome(NodeId(1)))
+        );
+
+        // Placement unset: the op costs nothing at all.
+        let mut m = Machine::opteron_4p();
+        let mut stats = numa_machine::RunStats::default();
+        let end = m.migrate_thread(CoreId(0), CoreId(12), numa_sim::SimTime(77), &mut stats);
+        assert_eq!(end, numa_sim::SimTime(77));
+    }
+}

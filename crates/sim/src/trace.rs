@@ -105,6 +105,12 @@ pub enum TraceEventKind {
     /// A migration degraded gracefully: the page stays on its source node
     /// and the workload keeps running.
     MigrationDegraded { page: u64, reason: &'static str },
+    /// Page-table replica write-through or reconcile: `entries` PTEs were
+    /// published to replicas (ptplace subsystem).
+    PtReplicaSync { entries: u64, dur_ns: u64 },
+    /// A single-homed page table migrated to follow its thread (numaPTE);
+    /// `entries` PTEs were copied.
+    PtMigrate { entries: u64, dur_ns: u64 },
 }
 
 impl TraceEventKind {
@@ -136,6 +142,8 @@ impl TraceEventKind {
             TraceEventKind::FaultInjected { site, kind } => format!("fault:{kind}@{site}"),
             TraceEventKind::MigrationRetry { .. } => "migration_retry".to_string(),
             TraceEventKind::MigrationDegraded { .. } => "migration_degraded".to_string(),
+            TraceEventKind::PtReplicaSync { .. } => "pt_replica_sync".to_string(),
+            TraceEventKind::PtMigrate { .. } => "pt_migrate".to_string(),
         }
     }
 
@@ -149,7 +157,9 @@ impl TraceEventKind {
             | TraceEventKind::MigrationAbort { dur_ns, .. }
             | TraceEventKind::TlbShootdown { dur_ns }
             | TraceEventKind::OpEnd { dur_ns, .. }
-            | TraceEventKind::Span { dur_ns, .. } => Some(*dur_ns),
+            | TraceEventKind::Span { dur_ns, .. }
+            | TraceEventKind::PtReplicaSync { dur_ns, .. }
+            | TraceEventKind::PtMigrate { dur_ns, .. } => Some(*dur_ns),
             TraceEventKind::LockAcquire { hold_ns, .. } => Some(*hold_ns),
             _ => None,
         }
@@ -207,6 +217,8 @@ impl TraceEventKind {
             TraceEventKind::MigrationDegraded { page, reason } => {
                 Json::obj().set("page", page).set("reason", reason)
             }
+            TraceEventKind::PtReplicaSync { entries, .. }
+            | TraceEventKind::PtMigrate { entries, .. } => Json::obj().set("entries", entries),
         }
     }
 }

@@ -81,6 +81,15 @@ pub enum Counter {
     MigrationsDegraded,
     /// Migrations abandoned after exhausting their retry budget.
     MigrationsGaveUp,
+    /// Page walks that crossed the interconnect to reach a remotely homed
+    /// page table (ptplace subsystem).
+    PtWalksRemote,
+    /// Replica write-through/reconcile episodes that wrote at least one
+    /// PTE (eager propagation or lazy reconciliation).
+    PtReplicaSyncs,
+    /// Walks from a node whose replica was stale and had to reconcile
+    /// first (lazy replication only).
+    PtReplicaStaleHits,
 }
 
 /// A registry of [`Counter`] values.

@@ -105,6 +105,39 @@ pub struct CostModel {
     /// Additional shootdown cost per participating core.
     pub tlb_flush_per_core_ns: u64,
 
+    // ------------------------------------------- page-table walks (ptplace)
+    /// Expected TLB miss probability per page touched by a streaming
+    /// access. Sequential sweeps translate each 4 kB page once but the
+    /// 4-entry-per-line PTE locality and the hardware page-walk caches
+    /// absorb almost all of it.
+    pub tlb_miss_rate_stream: f64,
+    /// TLB miss probability per page touched by blocked (BLAS3-style)
+    /// accesses: tiles revisit pages but the working set exceeds TLB reach.
+    pub tlb_miss_rate_blocked: f64,
+    /// TLB miss probability per page touched by dependent random accesses:
+    /// nearly every touch leaves TLB reach (Mitosis' GUPS-class workloads
+    /// walk on almost every access).
+    pub tlb_miss_rate_random: f64,
+    /// Cost of one page-table walk when the walked table is node-local:
+    /// up to four dependent loads, mostly caught by the page-walk caches.
+    pub pt_walk_base_ns: f64,
+    /// Per-hop multiplier on the walk cost when the page table is remote:
+    /// `walk = pt_walk_base_ns * (1 + pt_walk_hop_mult * hops)`. At the
+    /// default 1.05/hop a two-hop walk costs ~3.1x the local walk — the
+    /// penalty Mitosis measures for fully remote page tables.
+    pub pt_walk_hop_mult: f64,
+    /// Fixed cost of one replica write-through episode (grab the remote
+    /// replica's PTE lock, publish the update).
+    pub pt_replica_sync_base_ns: u64,
+    /// Per-PTE cost of replica writes (one cache line to another node).
+    pub pt_replica_sync_per_pte_ns: u64,
+    /// Fixed cost of migrating a single-homed page table to another node
+    /// (numaPTE: triggered when the owning thread is rescheduled across
+    /// nodes).
+    pub pt_migrate_base_ns: u64,
+    /// Per-PTE copy cost of a page-table migration.
+    pub pt_migrate_per_pte_ns: u64,
+
     // --------------------------------------------------------------- locks
     /// Fraction of per-page kernel migration work (control **and** copy)
     /// serialized under the page-table/zone locks. The 2.6.27 migration
@@ -186,6 +219,16 @@ impl Default for CostModel {
             tlb_flush_base_ns: 2_000,
             tlb_flush_per_core_ns: 400,
 
+            tlb_miss_rate_stream: 0.01,
+            tlb_miss_rate_blocked: 0.06,
+            tlb_miss_rate_random: 0.60,
+            pt_walk_base_ns: 35.0,
+            pt_walk_hop_mult: 1.05,
+            pt_replica_sync_base_ns: 90,
+            pt_replica_sync_per_pte_ns: 18,
+            pt_migrate_base_ns: 5_000,
+            pt_migrate_per_pte_ns: 8,
+
             pt_lock_fraction: 0.55,
             mmap_lock_serializes_base: true,
 
@@ -237,6 +280,21 @@ impl CostModel {
     /// TLB shootdown cost with `cores` participating cores.
     pub fn tlb_flush_ns(&self, cores: u32) -> u64 {
         self.tlb_flush_base_ns + self.tlb_flush_per_core_ns * cores as u64
+    }
+
+    /// One page-table walk against a table homed `hops` links away.
+    pub fn pt_walk_ns(&self, hops: u32) -> f64 {
+        self.pt_walk_base_ns * (1.0 + self.pt_walk_hop_mult * hops as f64)
+    }
+
+    /// One replica write-through of `ptes` entries.
+    pub fn pt_replica_sync_ns(&self, ptes: u64) -> u64 {
+        self.pt_replica_sync_base_ns + self.pt_replica_sync_per_pte_ns * ptes
+    }
+
+    /// Migrating a `ptes`-entry page table to another node.
+    pub fn pt_migrate_ns(&self, ptes: u64) -> u64 {
+        self.pt_migrate_base_ns + self.pt_migrate_per_pte_ns * ptes
     }
 
     /// Latency multiplier for a bank in the given tier.
@@ -295,6 +353,18 @@ impl CostModel {
         }
         if !(self.slow_tier_bw_mult > 0.0 && self.slow_tier_bw_mult <= 1.0) {
             return Err("slow_tier_bw_mult must be in (0, 1]".into());
+        }
+        for rate in [
+            self.tlb_miss_rate_stream,
+            self.tlb_miss_rate_blocked,
+            self.tlb_miss_rate_random,
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err("tlb_miss_rate_* must be in [0, 1]".into());
+            }
+        }
+        if self.pt_walk_base_ns <= 0.0 || self.pt_walk_hop_mult < 0.0 {
+            return Err("pt_walk_base_ns must be positive, pt_walk_hop_mult >= 0".into());
         }
         Ok(())
     }
@@ -442,6 +512,54 @@ mod tests {
         );
         assert_eq!(q.parallel_ctl_ns, 2_500 - (f * 2_500f64).round() as u64);
         assert!((q.copy_bw - c.kernel_copy_bw / (1.0 - f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_remote_walk_hits_mitosis_band() {
+        let c = CostModel::default();
+        // Two hops (the opteron's diagonal) lands the ~3.1x remote-walk
+        // penalty Mitosis reports; one hop sits in between.
+        let ratio2 = c.pt_walk_ns(2) / c.pt_walk_ns(0);
+        assert!((2.9..3.3).contains(&ratio2), "2-hop walk ratio {ratio2}");
+        assert!(c.pt_walk_ns(1) > c.pt_walk_ns(0));
+        // Miss rates order by access irregularity.
+        assert!(c.tlb_miss_rate_stream < c.tlb_miss_rate_blocked);
+        assert!(c.tlb_miss_rate_blocked < c.tlb_miss_rate_random);
+    }
+
+    #[test]
+    fn pt_sync_and_migrate_costs_are_linear() {
+        let c = CostModel::default();
+        assert_eq!(
+            c.pt_replica_sync_ns(4),
+            c.pt_replica_sync_base_ns + 4 * c.pt_replica_sync_per_pte_ns
+        );
+        assert_eq!(
+            c.pt_migrate_ns(1000),
+            c.pt_migrate_base_ns + 1000 * c.pt_migrate_per_pte_ns
+        );
+        // A single-PTE replica write-through must be far cheaper than a
+        // page migration, or replication could never win.
+        assert!(c.pt_replica_sync_ns(4) < c.move_pages_control_ns / 2);
+    }
+
+    #[test]
+    fn bad_walk_params_rejected() {
+        let c = CostModel {
+            tlb_miss_rate_random: 1.5,
+            ..CostModel::default()
+        };
+        assert!(c.validate().is_err());
+        let c = CostModel {
+            pt_walk_base_ns: 0.0,
+            ..CostModel::default()
+        };
+        assert!(c.validate().is_err());
+        let c = CostModel {
+            pt_walk_hop_mult: -0.1,
+            ..CostModel::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

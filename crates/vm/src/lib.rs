@@ -17,6 +17,7 @@ pub mod frame;
 pub mod page_table;
 pub mod policy;
 pub mod pte;
+pub mod ptplace;
 pub mod space;
 pub mod tlb;
 pub mod vma;
@@ -26,6 +27,7 @@ pub use frame::{Frame, FrameAllocator, FrameId};
 pub use page_table::PageTable;
 pub use policy::MemPolicy;
 pub use pte::{Pte, PteFlags};
+pub use ptplace::{PtPlacement, PtReplicaSet, PtSyncMode};
 pub use space::{AddressSpace, VmError};
 pub use tlb::Tlb;
 pub use vma::{Protection, Vma, VmaKind};

@@ -1,0 +1,256 @@
+//! Page-table placement: per-node homes and Mitosis-style replicas.
+//!
+//! The baseline simulator treats address translation as free — a page walk
+//! costs the same whether the page table lives next to the walking core or
+//! three hops away. Mitosis (ASPLOS'20, see PAPERS.md) measured remote
+//! page-table walks at up to ~3.1x the local cost and fixed it with
+//! transparent per-node page-table replicas; numaPTE extends that with
+//! page-table migration when a thread moves across nodes.
+//!
+//! This module holds the *mechanism* half of that design:
+//!
+//! * [`PtPlacement`] — where an address space's page table lives:
+//!   a [`PtPlacement::SingleHome`] node (the Linux default: wherever the
+//!   radix tree happened to be allocated) or [`PtPlacement::Replicated`]
+//!   per-node copies;
+//! * [`PtReplicaSet`] — the per-node replica tables, kept in sync with the
+//!   primary by a linear two-pointer diff over the dense PTE slabs
+//!   ([`PtReplicaSet::sync_range`]), either eagerly on every update or
+//!   lazily (ranges are marked stale and reconciled on the next walk from
+//!   that node, [`PtSyncMode`]).
+//!
+//! All *timing* (walk latency, sync charges, shootdowns) lives in the
+//! kernel and machine layers; like the rest of `numa-vm` this file only
+//! maintains state and invariants.
+
+use crate::addr::PageRange;
+use crate::page_table::PageTable;
+use crate::pte::Pte;
+use numa_topology::NodeId;
+
+/// Where an address space's page table lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtPlacement {
+    /// The whole page table homed on one node. Walks from other nodes pay
+    /// the interconnect distance to this node on every TLB miss.
+    SingleHome(NodeId),
+    /// One replica per node (Mitosis): every walk is node-local, updates
+    /// must be propagated to all replicas.
+    Replicated,
+}
+
+/// How replicas track the primary table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PtSyncMode {
+    /// Every PTE update is written through to all replicas immediately
+    /// (Mitosis' design: updates are rare compared to walks).
+    #[default]
+    Eager,
+    /// Updates only mark the affected range stale in every replica; a
+    /// stale replica is reconciled on the next walk from its node.
+    Lazy,
+}
+
+/// Per-node page-table replicas plus staleness bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct PtReplicaSet {
+    /// One replica table per NUMA node, indexed by node id.
+    replicas: Vec<PageTable>,
+    /// Stale (not-yet-reconciled) ranges per node, in arrival order.
+    stale: Vec<Vec<PageRange>>,
+}
+
+impl PtReplicaSet {
+    /// Build replicas for `nodes` nodes, each starting as a copy of
+    /// `primary`.
+    pub fn new(nodes: usize, primary: &PageTable) -> Self {
+        PtReplicaSet {
+            replicas: vec![primary.clone(); nodes],
+            stale: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Number of replicas (= NUMA nodes).
+    pub fn node_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The replica table of `node` (tests and invariant checks).
+    pub fn replica(&self, node: NodeId) -> &PageTable {
+        &self.replicas[node.index()]
+    }
+
+    /// Does `node`'s replica have stale ranges awaiting reconciliation?
+    pub fn is_stale(&self, node: NodeId) -> bool {
+        !self.stale[node.index()].is_empty()
+    }
+
+    /// Reconcile one replica with the primary over `range`: a linear
+    /// two-pointer merge over both tables' sorted walks. Entries present
+    /// only in the replica are unmapped, entries present only in the
+    /// primary are installed, and entries that differ are overwritten.
+    /// Returns the number of PTEs written (the quantity the cost model
+    /// charges for).
+    pub fn sync_range(replica: &mut PageTable, primary: &PageTable, range: PageRange) -> u64 {
+        let want: Vec<(u64, Pte)> = primary.walk_range(range).map(|(v, p)| (v, *p)).collect();
+        let have: Vec<u64> = replica.walk_range(range).map(|(v, _)| v).collect();
+        let mut changed = 0;
+        // Drop replica-only entries (unmapped or munmapped in the primary).
+        let mut wi = 0;
+        for vpn in have {
+            while wi < want.len() && want[wi].0 < vpn {
+                wi += 1;
+            }
+            if wi >= want.len() || want[wi].0 != vpn {
+                replica.unmap(vpn);
+                changed += 1;
+            }
+        }
+        // Install fresh and overwrite differing entries.
+        for (vpn, pte) in want {
+            match replica.get(vpn) {
+                Some(p) if *p == pte => {}
+                _ => {
+                    replica.map(vpn, pte);
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Eagerly propagate an update of `range` to every replica. Returns
+    /// the total number of PTEs written across all replicas.
+    pub fn propagate(&mut self, primary: &PageTable, range: PageRange) -> u64 {
+        let mut changed = 0;
+        for r in &mut self.replicas {
+            changed += Self::sync_range(r, primary, range);
+        }
+        changed
+    }
+
+    /// Lazily mark `range` stale in every replica. Adjacent or overlapping
+    /// back-to-back updates are coalesced into the last recorded range so
+    /// page-at-a-time fault storms do not grow the list without bound.
+    pub fn mark_stale(&mut self, range: PageRange) {
+        if range.is_empty() {
+            return;
+        }
+        for list in &mut self.stale {
+            if let Some(last) = list.last_mut() {
+                if range.start_vpn <= last.end_vpn && last.start_vpn <= range.end_vpn {
+                    last.start_vpn = last.start_vpn.min(range.start_vpn);
+                    last.end_vpn = last.end_vpn.max(range.end_vpn);
+                    continue;
+                }
+            }
+            list.push(range);
+        }
+    }
+
+    /// Reconcile every stale range of `node`'s replica against the
+    /// primary. Returns the number of PTEs written (0 when it was clean).
+    pub fn reconcile(&mut self, node: NodeId, primary: &PageTable) -> u64 {
+        let ranges = std::mem::take(&mut self.stale[node.index()]);
+        let replica = &mut self.replicas[node.index()];
+        let mut changed = 0;
+        for range in ranges {
+            changed += Self::sync_range(replica, primary, range);
+        }
+        changed
+    }
+
+    /// Do the mapped entries of `node`'s replica equal the primary's,
+    /// PTE for PTE? (Lockstep-test support; storage layout may differ, so
+    /// equality is over the mapped-entry sequences.)
+    pub fn agrees_with(&self, node: NodeId, primary: &PageTable) -> bool {
+        let mut a = self.replicas[node.index()].iter();
+        let mut b = primary.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (Some((va, pa)), Some((vb, pb))) if va == vb && pa == pb => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrameId;
+
+    fn pt_with(vpns: &[u64]) -> PageTable {
+        let mut pt = PageTable::new();
+        for &v in vpns {
+            pt.map(v, Pte::present_rw(FrameId(v)));
+        }
+        pt
+    }
+
+    #[test]
+    fn sync_installs_removes_and_overwrites() {
+        let mut primary = pt_with(&[1, 2, 5]);
+        let mut replica = pt_with(&[2, 3]);
+        // Make an entry differ in place.
+        primary.get_mut(2).unwrap().frame = FrameId(99);
+        let changed = PtReplicaSet::sync_range(&mut replica, &primary, PageRange::new(0, 10));
+        // 3 removed, 1 and 5 installed, 2 overwritten.
+        assert_eq!(changed, 4);
+        assert_eq!(replica.sorted_vpns(), vec![1, 2, 5]);
+        assert_eq!(replica.get(2).unwrap().frame, FrameId(99));
+        let set = PtReplicaSet {
+            replicas: vec![replica],
+            stale: vec![Vec::new()],
+        };
+        assert!(set.agrees_with(NodeId(0), &primary));
+    }
+
+    #[test]
+    fn sync_is_idempotent() {
+        let primary = pt_with(&[4, 7]);
+        let mut replica = pt_with(&[4, 7]);
+        let changed = PtReplicaSet::sync_range(&mut replica, &primary, PageRange::new(0, 10));
+        assert_eq!(changed, 0, "identical tables need no writes");
+    }
+
+    #[test]
+    fn eager_propagate_hits_all_nodes() {
+        let mut primary = PageTable::new();
+        let mut set = PtReplicaSet::new(3, &primary);
+        primary.map(8, Pte::present_rw(FrameId(1)));
+        let changed = set.propagate(&primary, PageRange::new(8, 9));
+        assert_eq!(changed, 3, "one write per replica");
+        for n in 0..3 {
+            assert!(set.agrees_with(NodeId(n), &primary));
+        }
+    }
+
+    #[test]
+    fn lazy_marks_then_reconciles_per_node() {
+        let mut primary = PageTable::new();
+        let mut set = PtReplicaSet::new(2, &primary);
+        primary.map(3, Pte::present_rw(FrameId(1)));
+        set.mark_stale(PageRange::new(3, 4));
+        assert!(set.is_stale(NodeId(0)) && set.is_stale(NodeId(1)));
+        assert!(!set.agrees_with(NodeId(0), &primary), "stale until walked");
+        assert_eq!(set.reconcile(NodeId(0), &primary), 1);
+        assert!(set.agrees_with(NodeId(0), &primary));
+        assert!(!set.is_stale(NodeId(0)));
+        assert!(set.is_stale(NodeId(1)), "other node still stale");
+        assert_eq!(set.reconcile(NodeId(0), &primary), 0, "clean is free");
+    }
+
+    #[test]
+    fn adjacent_stale_ranges_coalesce() {
+        let mut set = PtReplicaSet::new(1, &PageTable::new());
+        set.mark_stale(PageRange::new(0, 1));
+        set.mark_stale(PageRange::new(1, 2));
+        set.mark_stale(PageRange::new(2, 3));
+        assert_eq!(set.stale[0].len(), 1);
+        assert_eq!(set.stale[0][0], PageRange::new(0, 3));
+        set.mark_stale(PageRange::new(10, 11));
+        assert_eq!(set.stale[0].len(), 2, "disjoint ranges stay separate");
+    }
+}

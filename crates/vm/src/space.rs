@@ -6,8 +6,10 @@
 
 use crate::addr::{PageRange, VirtAddr};
 use crate::page_table::PageTable;
+use crate::ptplace::{PtPlacement, PtReplicaSet, PtSyncMode};
 use crate::vma::{Protection, Vma, VmaKind};
 use crate::{MemPolicy, PAGE_SIZE};
+use numa_topology::NodeId;
 use std::collections::BTreeMap;
 
 /// Errors from address-space operations (the `errno` analogues).
@@ -58,6 +60,14 @@ pub struct AddressSpace {
     /// address resolution skip the VMA walk in the (overwhelmingly common)
     /// all-4kB case; a stale `true` only disables that shortcut.
     has_huge: bool,
+    /// Where this space's page table lives (`None` = placement untracked,
+    /// the pre-subsystem behaviour: translation is free).
+    pt_placement: Option<PtPlacement>,
+    /// Replica update discipline when replicated.
+    pt_sync_mode: PtSyncMode,
+    /// Per-node replicas, present iff placement is
+    /// [`PtPlacement::Replicated`].
+    pt_replicas: Option<PtReplicaSet>,
 }
 
 impl AddressSpace {
@@ -71,7 +81,78 @@ impl AddressSpace {
             default_policy: MemPolicy::FirstTouch,
             generation: 0,
             has_huge: false,
+            pt_placement: None,
+            pt_sync_mode: PtSyncMode::Eager,
+            pt_replicas: None,
         }
+    }
+
+    /// Configure page-table placement. With [`PtPlacement::Replicated`],
+    /// one replica per node is built from the current primary table and
+    /// kept in sync per `mode`; with [`PtPlacement::SingleHome`] the table
+    /// is pinned to that node and walks from elsewhere pay the distance.
+    pub fn pt_configure(&mut self, placement: PtPlacement, mode: PtSyncMode, nodes: usize) {
+        self.pt_sync_mode = mode;
+        self.pt_replicas = match placement {
+            PtPlacement::Replicated => Some(PtReplicaSet::new(nodes, &self.page_table)),
+            PtPlacement::SingleHome(_) => None,
+        };
+        self.pt_placement = Some(placement);
+    }
+
+    /// Current page-table placement (`None` = subsystem disabled).
+    pub fn pt_placement(&self) -> Option<PtPlacement> {
+        self.pt_placement
+    }
+
+    /// Replica update discipline.
+    pub fn pt_sync_mode(&self) -> PtSyncMode {
+        self.pt_sync_mode
+    }
+
+    /// Re-home a single-homed page table (numaPTE-style migration when the
+    /// owning thread moves). No-op under any other placement.
+    pub fn pt_set_home(&mut self, node: NodeId) {
+        if let Some(PtPlacement::SingleHome(_)) = self.pt_placement {
+            self.pt_placement = Some(PtPlacement::SingleHome(node));
+        }
+    }
+
+    /// Record that the primary table changed over `range`. Under eager
+    /// replication the change is written through to every replica and the
+    /// number of PTEs written is returned (the caller charges for them);
+    /// under lazy replication the range is marked stale everywhere and 0
+    /// is returned. Without replicas this is free and returns 0.
+    pub fn pt_note_update(&mut self, range: PageRange) -> u64 {
+        let Some(replicas) = self.pt_replicas.as_mut() else {
+            return 0;
+        };
+        match self.pt_sync_mode {
+            PtSyncMode::Eager => replicas.propagate(&self.page_table, range),
+            PtSyncMode::Lazy => {
+                replicas.mark_stale(range);
+                0
+            }
+        }
+    }
+
+    /// Does `node`'s replica need reconciling before a walk from there?
+    pub fn pt_node_is_stale(&self, node: NodeId) -> bool {
+        self.pt_replicas.as_ref().is_some_and(|r| r.is_stale(node))
+    }
+
+    /// Reconcile `node`'s replica with the primary (lazy mode, on the
+    /// first walk from a node after an update). Returns PTEs written.
+    pub fn pt_sync_node(&mut self, node: NodeId) -> u64 {
+        match self.pt_replicas.as_mut() {
+            Some(r) => r.reconcile(node, &self.page_table),
+            None => 0,
+        }
+    }
+
+    /// The replica set, when replicated (tests and invariant checks).
+    pub fn pt_replicas(&self) -> Option<&PtReplicaSet> {
+        self.pt_replicas.as_ref()
     }
 
     /// Mark the VMA covering `addr` as huge-mapped. The dedicated entry
@@ -135,6 +216,9 @@ impl AddressSpace {
             .into_iter()
             .map(|pte| pte.frame)
             .collect();
+        // Replicas must drop the same entries; munmap is not on any timed
+        // path, so the write-through count is not charged anywhere.
+        self.pt_note_update(vma.range);
         self.generation += 1;
         Ok(frames)
     }
