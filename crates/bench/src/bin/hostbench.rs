@@ -2,7 +2,7 @@
 //!
 //! Times the heaviest sweeps in-process at `--jobs 1` and at the requested
 //! `--jobs`, checksums every result set, and writes the measurements to a
-//! JSON file (default `BENCH_pr6.json`). The checksums make the
+//! JSON file (default `BENCH_pr7.json`). The checksums make the
 //! equivalence contract auditable: every run of a workload must report the
 //! same checksum no matter the jobs count, and a checksum change across
 //! commits means virtual-time results moved — which the host-performance
@@ -13,9 +13,12 @@
 //! contention), table1 (LU with migration policies — the heavy sweep),
 //! fig4 (`move_pages` / `migrate_pages` / memcpy batch walks), fig5
 //! (`madvise(NEXT_TOUCH)` range marking + fault-path and signal-path
-//! migration), and ptrepl (eager replica write-through of a fault burst,
+//! migration), ptrepl (eager replica write-through of a fault burst,
 //! a migration frame-flip, and a munmap wave over a million-page address
-//! space with four per-node page-table replicas).
+//! space with four per-node page-table replicas), and sparsewalk (range
+//! walks and updates over a multi-million-page table mapped one page per
+//! 64 — the worst case for a dense walker and the case the present-bitmap
+//! popcount skipping exists for).
 //!
 //! `baseline_seconds` records the same workloads measured on this
 //! codebase immediately before the current optimisation round (same quick
@@ -29,10 +32,11 @@ use numa_migrate::sim::hash::FxHasher;
 use std::hash::Hasher;
 use std::time::Instant;
 
-/// Wall-clock of the quick sweeps on the commit preceding the dense-slab
-/// page-table work, single host thread (seconds, from BENCH_pr3.json).
-/// A trajectory marker, not a cross-machine constant.
-const BASELINE_SECONDS: [(&str, f64); 2] = [("fig7", 0.0844), ("table1", 2.9906)];
+/// Wall-clock of the quick sweeps on the commit preceding the
+/// present-bitmap SoA slab round, single host thread (seconds, from
+/// BENCH_pr6.json). A trajectory marker, not a cross-machine constant.
+const BASELINE_SECONDS: [(&str, f64); 3] =
+    [("fig7", 0.0694), ("table1", 2.1201), ("ptrepl", 0.5760)];
 
 fn checksum(debug_rows: &str) -> String {
     let mut h = FxHasher::default();
@@ -115,9 +119,49 @@ fn ptrepl_replica_stress() -> String {
     )
 }
 
+/// Sparse-walk stress at the vm layer: reserve a 4M-page span (a
+/// handful of dense slabs), map one page per 64-page bitmap word, then
+/// drive the range-walk and range-update primitives across the whole
+/// span. Every present-bitmap word is 63/64 absent, so a per-record
+/// scan pays 64x the useful work while the popcount/trailing_zeros
+/// walk pays one word test per word — the shape tier-promotion scans
+/// and `migrate_pages` batches see over lazily-faulted heaps.
+/// Single-threaded by construction; trivially jobs-invariant.
+fn sparsewalk_stress() -> String {
+    use numa_migrate::vm::{FrameId, PageRange, PageTable, Pte, PteFlags};
+    const SPAN: u64 = 1 << 22;
+    const STRIDE: u64 = 64;
+    let full = PageRange::new(0, SPAN);
+    let mut pt = PageTable::new();
+    pt.reserve_range(full);
+    let mut vpn = 0;
+    while vpn < SPAN {
+        pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        vpn += STRIDE;
+    }
+    // Full-span walks over the 1-in-64 occupancy.
+    let (mut seen, mut mix) = (0u64, 0u64);
+    for _ in 0..8 {
+        for (v, pte) in pt.walk_range(full) {
+            seen += 1;
+            mix = mix.wrapping_add(pte.frame.0 ^ v).rotate_left(7);
+        }
+    }
+    // Range update (the mprotect/madvise shape), then the O(1) stats
+    // read and a full release.
+    pt.update_range(full, |_, pte| pte.flags |= PteFlags::NEXT_TOUCH);
+    let stats = pt.stats();
+    let released = pt.release_range(full).len();
+    assert!(pt.is_empty(), "sparsewalk release left entries behind");
+    format!(
+        "seen={seen} mix={mix:016x} nt={} slabs={} released={released}",
+        stats.next_touch, stats.slabs
+    )
+}
+
 fn main() {
     let opts = Options::parse("hostbench", "host wall-clock of the heavy sweeps");
-    let out_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr6.json".into());
+    let out_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr7.json".into());
     let fig7_pages: Vec<u64> = vec![64, 512, 4096, 16384];
     let fig4_pages: Vec<u64> = vec![16, 256, 2048];
     let fig5_pages: Vec<u64> = vec![16, 256, 2048];
@@ -147,6 +191,7 @@ fn main() {
             Box::new(|jobs| format!("{:?}", fig5::run_jobs(&fig5_pages, jobs))),
         ),
         ("ptrepl", 3, Box::new(|_jobs| ptrepl_replica_stress())),
+        ("sparsewalk", 3, Box::new(|_jobs| sparsewalk_stress())),
     ];
 
     let jobs_values = if opts.jobs > 1 {

@@ -5,6 +5,7 @@ use crate::system::NumaSystem;
 use numa_kernel::KernelConfig;
 use numa_machine::{MemAccessKind, Op, ThreadSpec};
 use numa_rt::{setup, Buffer, UserNextTouch};
+use numa_stats::Breakdown;
 use numa_topology::{CoreId, NodeId};
 use numa_vm::{MemPolicy, Protection, VirtAddr, VmaKind, PAGE_SIZE};
 
@@ -191,6 +192,7 @@ pub fn replication_benefit(pages: u64, passes: u32) -> (u64, u64) {
                 CoreId(0),
                 VirtAddr::from_vpn(vpn).max(addr),
                 false,
+                &mut Breakdown::new(),
             );
         }
         if replicate {

@@ -57,19 +57,21 @@ pub fn quick_cases() -> Vec<(u64, u64)> {
     vec![(2048, 64), (2048, 128), (4096, 512), (8192, 512)]
 }
 
+/// Time one (n, bs, strategy) cell on a fresh machine (phantom numerics).
+fn time_cell(n: u64, bs: u64, strategy: MigrationStrategy) -> f64 {
+    let mut m = NumaSystem::new().build();
+    run_lu(&mut m, &LuConfig::sweep(n, bs, strategy))
+        .time
+        .secs_f64()
+}
+
 /// Run one (n, bs) cell for both strategies (phantom numerics).
 pub fn run_case(n: u64, bs: u64) -> Table1Row {
-    let time = |strategy: MigrationStrategy| {
-        let mut m = NumaSystem::new().build();
-        run_lu(&mut m, &LuConfig::sweep(n, bs, strategy))
-            .time
-            .secs_f64()
-    };
     Table1Row {
         n,
         bs,
-        static_s: time(MigrationStrategy::Static),
-        next_touch_s: time(MigrationStrategy::KernelNextTouch),
+        static_s: time_cell(n, bs, MigrationStrategy::Static),
+        next_touch_s: time_cell(n, bs, MigrationStrategy::KernelNextTouch),
     }
 }
 
@@ -78,11 +80,36 @@ pub fn run(cases: &[(u64, u64)]) -> Vec<Table1Row> {
     run_jobs(cases, 1)
 }
 
-/// [`run`] with the cases distributed over `jobs` host threads. Cases are
-/// independent (fresh machine each), so the rows are identical to the
-/// sequential run's, in the same order.
+/// [`run`] with the work distributed over `jobs` host threads. The unit
+/// of distribution is one (case, strategy) *cell*, not a whole row: each
+/// cell runs on its own fresh machine, so splitting a row's two
+/// strategies across workers changes nothing about the results while
+/// halving the longest schedulable unit (the biggest case's next-touch
+/// run no longer rides behind its static run on one worker). Rows are
+/// reassembled in case order — identical to the sequential run's.
 pub fn run_jobs(cases: &[(u64, u64)], jobs: usize) -> Vec<Table1Row> {
-    threadpool::par_map(jobs, cases, |_, &(n, bs)| run_case(n, bs))
+    let cells: Vec<(u64, u64, MigrationStrategy)> = cases
+        .iter()
+        .flat_map(|&(n, bs)| {
+            [
+                (n, bs, MigrationStrategy::Static),
+                (n, bs, MigrationStrategy::KernelNextTouch),
+            ]
+        })
+        .collect();
+    let times = threadpool::par_map(jobs, &cells, |_, &(n, bs, strategy)| {
+        time_cell(n, bs, strategy)
+    });
+    cases
+        .iter()
+        .zip(times.chunks_exact(2))
+        .map(|(&(n, bs), pair)| Table1Row {
+            n,
+            bs,
+            static_s: pair[0],
+            next_touch_s: pair[1],
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use crate::test_util::Fixture;
 use crate::{FaultResolution, KernelConfig};
 use numa_sim::SimTime;
-use numa_stats::Counter;
+use numa_stats::{Breakdown, Counter};
 use numa_topology::{CoreId, NodeId};
 use numa_vm::{MemPolicy, PageRange, Protection, VirtAddr, VmaKind, PAGES_PER_HUGE, PAGE_SIZE};
 
@@ -31,6 +31,7 @@ fn replication_fixture() -> (Fixture, VirtAddr) {
             CoreId(0),
             addr + p * PAGE_SIZE,
             false,
+            &mut Breakdown::new(),
         );
     }
     (fx, addr)
@@ -116,6 +117,7 @@ fn unreplicate_frees_replica_frames() {
         CoreId(0),
         addr,
         false,
+        &mut Breakdown::new(),
     );
     assert!(matches!(r, FaultResolution::Resolved { .. }));
 }
@@ -139,6 +141,7 @@ fn huge_page_next_touch_migrates_whole_2mb() {
         CoreId(0),
         addr,
         true,
+        &mut Breakdown::new(),
     );
     assert_eq!(
         fx.frames.live_on(NodeId(0)),
@@ -156,6 +159,7 @@ fn huge_page_next_touch_migrates_whole_2mb() {
         )
         .unwrap();
     // Touch the middle from node 1.
+    let mut b = Breakdown::new();
     let r = fx.kernel.handle_fault(
         &mut fx.space,
         &mut fx.frames,
@@ -164,22 +168,18 @@ fn huge_page_next_touch_migrates_whole_2mb() {
         CoreId(4),
         addr + 300 * PAGE_SIZE,
         true,
+        &mut b,
     );
     match r {
-        FaultResolution::Resolved {
-            migrated,
-            node,
-            breakdown,
-            ..
-        } => {
+        FaultResolution::Resolved { migrated, node, .. } => {
             assert!(migrated);
             assert_eq!(node, NodeId(1));
             // The copy must be a 2 MB copy, not a 4 kB one: at 1 GB/s
             // and 55% lock serialization, well over 1 ms of copy cost.
             assert!(
-                breakdown.get(numa_stats::CostComponent::FaultCopy) > 800_000,
+                b.get(numa_stats::CostComponent::FaultCopy) > 800_000,
                 "2 MB copy expected, got {} ns",
-                breakdown.get(numa_stats::CostComponent::FaultCopy)
+                b.get(numa_stats::CostComponent::FaultCopy)
             );
         }
         other => panic!("{other:?}"),
@@ -209,6 +209,7 @@ fn huge_pages_skipped_by_migrate_pages_when_disabled() {
         CoreId(0),
         addr,
         true,
+        &mut Breakdown::new(),
     );
     fx.kernel.config.huge_page_migration = false;
     let r = fx

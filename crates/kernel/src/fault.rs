@@ -46,8 +46,6 @@ pub enum FaultResolution {
     Resolved {
         /// When the faulting thread resumes.
         end: SimTime,
-        /// Cost decomposition of the fault handling.
-        breakdown: Breakdown,
         /// Did this fault migrate the page (kernel next-touch)?
         migrated: bool,
         /// The node the page now resides on.
@@ -76,6 +74,11 @@ pub(crate) fn effective_policy<'a>(space: &'a AddressSpace, vma: &'a Vma) -> &'a
 
 impl Kernel {
     /// Handle a fault at `addr` by the thread on `core`.
+    ///
+    /// Fault-handling costs are added to `b` directly: faults fire per
+    /// touched page on the access hot path, and returning a fresh
+    /// [`Breakdown`] per fault (heap allocation plus a full-width merge
+    /// in every caller) was measurable host time.
     #[allow(clippy::too_many_arguments)]
     pub fn handle_fault(
         &mut self,
@@ -86,6 +89,7 @@ impl Kernel {
         core: CoreId,
         addr: VirtAddr,
         write: bool,
+        b: &mut Breakdown,
     ) -> FaultResolution {
         let topo = self.topology().clone();
         let cost = topo.cost();
@@ -110,7 +114,7 @@ impl Kernel {
         let pages_covered = if huge { PAGES_PER_HUGE } else { 1 };
         let bytes = pages_covered * PAGE_SIZE;
 
-        match space.page_table.get(vpn).copied() {
+        match space.page_table.get(vpn) {
             // ---------------------------------------------- first touch
             None => {
                 if !prot.permits(write) {
@@ -141,7 +145,6 @@ impl Kernel {
                 );
                 debug_assert!(prev.is_none(), "first touch of an already-mapped page");
 
-                let mut b = Breakdown::new();
                 b.add(CostComponent::FaultControl, cost.page_fault_ns);
                 // Allocation + zeroing, partially serialized (zone lock).
                 let work = cost.first_touch_ns * pages_covered;
@@ -150,7 +153,7 @@ impl Kernel {
                     work,
                     cost.pt_lock_fraction,
                     CostComponent::FaultControl,
-                    &mut b,
+                    b,
                 );
                 let end = self.pt_note_update(space, end, PageRange::new(vpn, vpn + 1));
                 self.counters.bump(Counter::FirstTouchFaults);
@@ -166,7 +169,6 @@ impl Kernel {
                 );
                 FaultResolution::Resolved {
                     end,
-                    breakdown: b,
                     migrated: false,
                     node,
                 }
@@ -174,7 +176,6 @@ impl Kernel {
 
             // ------------------------------------- kernel next-touch hit
             Some(pte) if pte.is_next_touch() => {
-                let mut b = Breakdown::new();
                 b.add(CostComponent::FaultControl, cost.page_fault_ns);
                 let mut t = now + cost.page_fault_ns;
                 let src = frames.node_of(pte.frame);
@@ -186,7 +187,7 @@ impl Kernel {
                         cost.nt_fault_control_ns * pages_covered,
                         cost.pt_lock_fraction,
                         CostComponent::FaultControl,
-                        &mut b,
+                        b,
                     );
                 } else {
                     // Allocate on the toucher's node; fall back to leaving
@@ -208,11 +209,11 @@ impl Kernel {
                             cost.nt_fault_control_ns * pages_covered,
                             CostComponent::FaultControl,
                             CostComponent::FaultCopy,
-                            &mut b,
+                            b,
                         );
                         frames.copy_contents(pte.frame, new_frame);
                         match space.page_table.get_mut(vpn) {
-                            Some(entry) => {
+                            Some(mut entry) => {
                                 entry.frame = new_frame;
                                 frames.free(pte.frame);
                                 self.counters.bump(Counter::FramesFreed);
@@ -244,13 +245,14 @@ impl Kernel {
                 // TLB needs invalidating (the madvise already shot down the
                 // stale entries) — the cheapness of this path is the whole
                 // point of the kernel implementation (§4.3).
-                let Some(entry) = space.page_table.get_mut(vpn) else {
+                let Some(mut entry) = space.page_table.get_mut(vpn) else {
                     return FaultResolution::Fatal(VmError::NoVma(addr));
                 };
                 entry.clear_next_touch();
                 if prot == Protection::ReadOnly {
                     entry.flags = entry.flags & !PteFlags::WRITE;
                 }
+                drop(entry); // write back before the replica sync reads it
                 t = self.pt_note_update(space, t, PageRange::new(vpn, vpn + 1));
                 tlb.invalidate_local(core);
                 self.counters.bump(Counter::NextTouchFaults);
@@ -266,7 +268,6 @@ impl Kernel {
                 );
                 FaultResolution::Resolved {
                     end: t,
-                    breakdown: b,
                     migrated,
                     node,
                 }
@@ -276,7 +277,7 @@ impl Kernel {
             Some(pte) if !pte.permits(write) => {
                 if prot.permits(write) {
                     // PTE lagging behind a VMA-level restore: repair it.
-                    let Some(entry) = space.page_table.get_mut(vpn) else {
+                    let Some(mut entry) = space.page_table.get_mut(vpn) else {
                         return FaultResolution::Fatal(VmError::NoVma(addr));
                     };
                     entry.flags |= PteFlags::PRESENT | PteFlags::READ;
@@ -284,7 +285,7 @@ impl Kernel {
                         entry.flags |= PteFlags::WRITE;
                     }
                     let node = frames.node_of(entry.frame);
-                    let mut b = Breakdown::new();
+                    drop(entry); // write back before the replica sync reads it
                     b.add(CostComponent::FaultControl, cost.page_fault_ns);
                     let end = self.pt_note_update(
                         space,
@@ -304,7 +305,6 @@ impl Kernel {
                     );
                     FaultResolution::Resolved {
                         end,
-                        breakdown: b,
                         migrated: false,
                         node,
                     }
@@ -324,7 +324,6 @@ impl Kernel {
                 let node = frames.node_of(pte.frame);
                 FaultResolution::Resolved {
                     end: now,
-                    breakdown: Breakdown::new(),
                     migrated: false,
                     node,
                 }
@@ -352,6 +351,7 @@ mod tests {
             CoreId(7),
             base,
             true,
+            &mut Breakdown::new(),
         );
         match r {
             FaultResolution::Resolved { node, migrated, .. } => {
@@ -385,6 +385,7 @@ mod tests {
                 CoreId(0),
                 addr + p * PAGE_SIZE,
                 true,
+                &mut Breakdown::new(),
             );
         }
         // Pages round-robin across nodes by vpn.
@@ -408,6 +409,7 @@ mod tests {
             CoreId(0),
             base,
             true,
+            &mut Breakdown::new(),
         );
         let tag = {
             let pte = fx.space.page_table.get(base.vpn()).unwrap();
@@ -431,6 +433,7 @@ mod tests {
             CoreId(8),
             base,
             false,
+            &mut Breakdown::new(),
         );
         match r {
             FaultResolution::Resolved { node, migrated, .. } => {
@@ -463,6 +466,7 @@ mod tests {
             CoreId(0),
             base,
             true,
+            &mut Breakdown::new(),
         );
         fx.kernel
             .madvise_next_touch(
@@ -474,6 +478,7 @@ mod tests {
             )
             .unwrap();
         // Touch from the same node (core 1 is node 0 too).
+        let mut b = Breakdown::new();
         let r = fx.kernel.handle_fault(
             &mut fx.space,
             &mut fx.frames,
@@ -482,17 +487,13 @@ mod tests {
             CoreId(1),
             base,
             true,
+            &mut b,
         );
         match r {
-            FaultResolution::Resolved {
-                migrated,
-                node,
-                breakdown,
-                ..
-            } => {
+            FaultResolution::Resolved { migrated, node, .. } => {
                 assert!(!migrated);
                 assert_eq!(node, NodeId(0));
-                assert_eq!(breakdown.get(CostComponent::FaultCopy), 0);
+                assert_eq!(b.get(CostComponent::FaultCopy), 0);
             }
             other => panic!("{other:?}"),
         }
@@ -511,6 +512,7 @@ mod tests {
             CoreId(0),
             base,
             true,
+            &mut Breakdown::new(),
         );
         fx.kernel
             .mprotect(
@@ -531,6 +533,7 @@ mod tests {
             CoreId(5),
             base,
             false,
+            &mut Breakdown::new(),
         );
         assert!(matches!(r, FaultResolution::Segv { .. }));
         assert_eq!(fx.kernel.counters.get(Counter::SegvSignals), 1);
@@ -557,6 +560,7 @@ mod tests {
             CoreId(0),
             addr,
             false,
+            &mut Breakdown::new(),
         );
         assert!(matches!(r, FaultResolution::Resolved { .. }));
         // Write is a violation.
@@ -568,6 +572,7 @@ mod tests {
             CoreId(0),
             addr,
             true,
+            &mut Breakdown::new(),
         );
         assert!(matches!(r, FaultResolution::Segv { .. }));
     }
@@ -583,6 +588,7 @@ mod tests {
             CoreId(0),
             VirtAddr(0x10),
             false,
+            &mut Breakdown::new(),
         );
         assert!(matches!(r, FaultResolution::Fatal(VmError::NoVma(_))));
     }
@@ -606,6 +612,7 @@ mod tests {
             CoreId(0),
             addr + 300 * PAGE_SIZE,
             true,
+            &mut Breakdown::new(),
         );
         assert!(matches!(r, FaultResolution::Resolved { .. }));
         let pte = fx.space.page_table.get(addr.vpn()).unwrap();
@@ -626,6 +633,7 @@ mod tests {
             CoreId(0),
             base,
             true,
+            &mut Breakdown::new(),
         );
         fx.kernel
             .madvise_next_touch(
@@ -645,6 +653,7 @@ mod tests {
             CoreId(8),
             base,
             true,
+            &mut Breakdown::new(),
         );
         assert_eq!(
             fx.tlb.episodes(),
@@ -677,6 +686,7 @@ mod policy_tests {
                 CoreId(0),
                 base + p * PAGE_SIZE,
                 true,
+                &mut Breakdown::new(),
             );
         }
         for p in 0..4u64 {
@@ -712,6 +722,7 @@ mod policy_tests {
             CoreId(0),
             addr,
             true,
+            &mut Breakdown::new(),
         );
         let pte = fx.space.page_table.get(addr.vpn()).unwrap();
         assert_eq!(frames_node(&fx, pte.frame), NodeId(1), "VMA policy wins");
@@ -746,6 +757,7 @@ mod policy_tests {
                 CoreId(8),
                 filler + p * PAGE_SIZE,
                 true,
+                &mut Breakdown::new(),
             );
         }
         assert_eq!(fx.frames.live_on(NodeId(2)), cap_pages);
@@ -768,6 +780,7 @@ mod policy_tests {
             CoreId(0),
             addr,
             true,
+            &mut Breakdown::new(),
         );
         match r {
             FaultResolution::Resolved { node, .. } => assert_eq!(node, NodeId(0)),

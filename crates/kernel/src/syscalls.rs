@@ -308,7 +308,7 @@ impl Kernel {
             },
         );
         frames.copy_contents(old_frame, new_frame);
-        let Some(entry) = space.page_table.get_mut(vpn) else {
+        let Some(mut entry) = space.page_table.get_mut(vpn) else {
             // Mapping vanished mid-copy: discard the copy, report the
             // page gone (typed status, not an abort).
             frames.free(new_frame);
@@ -317,6 +317,7 @@ impl Kernel {
             return (t, b, Some(PageStatus::NotPresent));
         };
         entry.frame = new_frame;
+        drop(entry); // write back before the replica sync reads it
         frames.free(old_frame);
         self.counters.bump(Counter::FramesFreed);
         self.counters.add(Counter::PagesMovedProcess, 1);
@@ -434,13 +435,14 @@ impl Kernel {
         // Typed propagation instead of an `expect`: if the mapping
         // vanished while the copy ran, discard the copy and report the
         // page gone rather than aborting the simulation.
-        let Some(entry) = space.page_table.get_mut(vpn) else {
+        let Some(mut entry) = space.page_table.get_mut(vpn) else {
             frames.free(new_frame);
             self.counters.bump(Counter::FramesFreed);
             self.degrade(*t, vpn, "racing_unmap");
             return PageStatus::NotPresent;
         };
         entry.frame = new_frame;
+        drop(entry); // write back before the replica sync reads it
         frames.free(old_frame);
         self.counters.bump(Counter::FramesFreed);
         if huge {
@@ -871,7 +873,7 @@ impl Kernel {
                 copies.push((home, home_frame));
                 self.replicas_mut().insert(vpn, copies);
                 replicated += 1;
-                if let Some(entry) = space.page_table.get_mut(vpn) {
+                if let Some(mut entry) = space.page_table.get_mut(vpn) {
                     entry.flags |= PteFlags::REPLICA;
                 }
             }
@@ -905,7 +907,7 @@ impl Kernel {
                     }
                 }
             }
-            if let Some(pte) = space.page_table.get_mut(vpn) {
+            if let Some(mut pte) = space.page_table.get_mut(vpn) {
                 pte.flags = pte.flags & !PteFlags::REPLICA;
             }
         }
@@ -952,6 +954,7 @@ mod tests {
                 core,
                 base + p * PAGE_SIZE,
                 true,
+                &mut Breakdown::new(),
             ) {
                 FaultResolution::Resolved { end, .. } => t = end,
                 other => panic!("unexpected fault outcome {other:?}"),
@@ -1242,6 +1245,7 @@ mod tests {
             CoreId(4),
             base + PAGE_SIZE,
             true,
+            &mut Breakdown::new(),
         );
         let r = fx
             .kernel

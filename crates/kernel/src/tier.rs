@@ -78,7 +78,7 @@ impl Kernel {
         debug_assert!(self.config.tiering, "tiering disabled in KernelConfig");
         let topo = self.topology().clone();
         let cost = topo.cost();
-        let pte = space.page_table.get(vpn).copied()?;
+        let pte = space.page_table.get(vpn)?;
         if !pte.flags.contains(PteFlags::PRESENT)
             || pte.flags.contains(PteFlags::HUGE)
             || pte.is_next_touch()
@@ -145,7 +145,7 @@ impl Kernel {
 
         frames.copy_contents(pte.frame, dst_frame);
         let gen_at_copy = frames.write_gen(pte.frame);
-        let Some(entry) = space.page_table.get_mut(vpn) else {
+        let Some(mut entry) = space.page_table.get_mut(vpn) else {
             // The mapping vanished during the copy: discard it and leave
             // whatever the racer installed; no transaction to commit.
             frames.free(dst_frame);
@@ -154,6 +154,7 @@ impl Kernel {
             return None;
         };
         entry.set_shadow(dst_frame);
+        drop(entry);
         self.pending_txns.insert(
             vpn,
             TierTxn {
@@ -194,15 +195,12 @@ impl Kernel {
         // Otherwise the page may have been remapped out from under the
         // transaction (e.g. a next-touch migration): treat as a dirty
         // copy.
-        let clean_pte = if txn.poisoned {
-            None
-        } else {
-            space.page_table.get_mut(vpn).filter(|pte| {
+        let clean = !txn.poisoned
+            && space.page_table.get(vpn).is_some_and(|pte| {
                 pte.frame == txn.src_frame && frames.write_gen(txn.src_frame) == txn.gen_at_copy
-            })
-        };
+            });
 
-        if let Some(pte) = clean_pte {
+        if clean {
             // Commit: flip the PTE inside a short critical section.
             let end = self.locks.pt_serialized(
                 now,
@@ -211,7 +209,12 @@ impl Kernel {
                 CostComponent::FaultControl,
                 b,
             );
+            let mut pte = space
+                .page_table
+                .get_mut(vpn)
+                .expect("clean transaction lost its mapping");
             let old = pte.commit_shadow();
+            drop(pte);
             debug_assert_eq!(old, txn.src_frame);
             let src_node = frames.node_of(old);
             frames.free(old);
@@ -229,7 +232,7 @@ impl Kernel {
         } else {
             // Abort: discard the copy; the mapping was never disturbed.
             b.add(CostComponent::FaultControl, cost.tier_abort_ns);
-            if let Some(pte) = space.page_table.get_mut(vpn) {
+            if let Some(mut pte) = space.page_table.get_mut(vpn) {
                 if pte.has_shadow() && pte.shadow == Some(txn.dst_frame) {
                     pte.abort_shadow();
                 }
@@ -263,7 +266,7 @@ impl Kernel {
         b: &mut Breakdown,
     ) -> Option<SimTime> {
         debug_assert!(self.config.tiering, "tiering disabled in KernelConfig");
-        let pte = space.page_table.get(vpn).copied()?;
+        let pte = space.page_table.get(vpn)?;
         if !pte.flags.contains(PteFlags::PRESENT)
             || pte.flags.contains(PteFlags::HUGE)
             || pte.is_next_touch()
@@ -309,7 +312,7 @@ impl Kernel {
             },
         );
         frames.copy_contents(pte.frame, dst_frame);
-        let Some(entry) = space.page_table.get_mut(vpn) else {
+        let Some(mut entry) = space.page_table.get_mut(vpn) else {
             // The mapping vanished while the page was unmapped for the
             // copy: discard the copy, leave whatever the racer installed.
             frames.free(dst_frame);
@@ -318,6 +321,7 @@ impl Kernel {
             return None;
         };
         entry.frame = dst_frame;
+        drop(entry);
         frames.free(pte.frame);
         self.counters.bump(Counter::FramesFreed);
         self.note_tier_move(frames, Some(src_node), dst_frame, vpn, end);
@@ -399,6 +403,7 @@ mod tests {
             CoreId(0),
             base,
             true,
+            &mut Breakdown::new(),
         );
         base.vpn()
     }
@@ -425,7 +430,7 @@ mod tests {
             )
             .expect("begin");
         // Mid-flight: the page is non-exclusive, mapping fully usable.
-        let pte = fx.space.page_table.get(vpn).copied().unwrap();
+        let pte = fx.space.page_table.get(vpn).unwrap();
         assert!(pte.has_shadow());
         assert!(pte.permits(true), "transactional copy must not unmap");
         assert_eq!(fx.frames.live_on(NodeId(0)), 1);
@@ -435,7 +440,7 @@ mod tests {
             fx.kernel
                 .tier_txn_commit(&mut fx.space, &mut fx.frames, copy_end, vpn, &mut b);
         assert_eq!(outcome, TxnOutcome::Committed);
-        let pte = fx.space.page_table.get(vpn).copied().unwrap();
+        let pte = fx.space.page_table.get(vpn).unwrap();
         assert!(!pte.has_shadow());
         assert_eq!(fx.frames.node_of(pte.frame), slow);
         assert_eq!(fx.frames.get(pte.frame).unwrap().content_tag, tag);
@@ -469,7 +474,7 @@ mod tests {
             fx.kernel
                 .tier_txn_commit(&mut fx.space, &mut fx.frames, copy_end, vpn, &mut b);
         assert_eq!(outcome, TxnOutcome::Aborted);
-        let pte = fx.space.page_table.get(vpn).copied().unwrap();
+        let pte = fx.space.page_table.get(vpn).unwrap();
         assert_eq!(pte.frame, src_frame, "abort leaves the source mapping");
         assert!(!pte.has_shadow());
         assert!(pte.permits(true));
@@ -586,6 +591,7 @@ mod tests {
             CoreId(0),
             addr,
             true,
+            &mut Breakdown::new(),
         );
         let vpn = addr.vpn();
         assert_eq!(

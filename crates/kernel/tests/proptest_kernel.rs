@@ -4,6 +4,7 @@
 
 use numa_kernel::{Kernel, KernelConfig, PageStatus};
 use numa_sim::SimTime;
+use numa_stats::Breakdown;
 use numa_topology::{presets, CoreId, NodeId};
 use numa_vm::{
     AddressSpace, FrameAllocator, MemPolicy, Protection, Tlb, VirtAddr, VmaKind, PAGE_SIZE,
@@ -55,6 +56,7 @@ fn map_and_populate(fx: &mut Fx, pages: u64) -> VirtAddr {
             CoreId(0),
             base + p * PAGE_SIZE,
             true,
+            &mut Breakdown::new(),
         );
     }
     base
@@ -157,7 +159,7 @@ proptest! {
             fx.kernel.handle_fault(
                 &mut fx.space, &mut fx.frames, &mut fx.tlb,
                 SimTime::ZERO, CoreId(toucher_core), base + p * PAGE_SIZE, false,
-            );
+            &mut Breakdown::new(),);
         }
         for p in 0..24u64 {
             let pte = fx.space.page_table.get(base.vpn() + p).unwrap();

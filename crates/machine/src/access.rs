@@ -45,7 +45,6 @@ impl Machine {
         write: bool,
         stats: &mut RunStats,
     ) -> (SimTime, NodeId) {
-        let sigsegv_deliver_ns = self.topology().cost().sigsegv_deliver_ns;
         // Attribute kernel-recorded trace events (faults, locks, TLB
         // shootdowns) to the faulting thread.
         self.trace.set_thread(tid);
@@ -64,14 +63,16 @@ impl Machine {
                 core,
                 addr,
                 write,
+                &mut stats.breakdown,
             ) {
-                FaultResolution::Resolved { end, breakdown, .. } => {
+                FaultResolution::Resolved { end, .. } => {
                     // The kernel fault path records the typed PageFault
-                    // trace event itself.
-                    stats.breakdown.merge(&breakdown);
+                    // trace event itself and charged its costs to
+                    // `stats.breakdown` directly.
                     now = end;
                 }
                 FaultResolution::Segv { end } => {
+                    let sigsegv_deliver_ns = self.topology().cost().sigsegv_deliver_ns;
                     now = end + sigsegv_deliver_ns;
                     stats
                         .breakdown
@@ -185,7 +186,7 @@ impl Machine {
     pub(crate) fn operand_fits_in_cache(&self, core: CoreId, pages: u64) -> bool {
         let topo = self.topology();
         let core_node = topo.node_of_core(core);
-        let cores_on_node = topo.cores_of_node(core_node).len().max(1) as u64;
+        let cores_on_node = topo.core_count_of_node(core_node).max(1) as u64;
         let l3_share = topo.node(core_node).l3_bytes / cores_on_node;
         pages * PAGE_SIZE <= l3_share
     }
@@ -206,9 +207,10 @@ impl Machine {
         fits_in_cache: bool,
         stats: &mut RunStats,
     ) -> SimTime {
-        let topo = self.topology().clone();
-        let cost = topo.cost();
-        let core_node = topo.node_of_core(core);
+        // Field borrows of `self.topo`, never an Arc clone: this runs
+        // once per touched page, and the refcount round-trip was
+        // measurable across the multi-million-touch sweeps.
+        let core_node = self.topo.node_of_core(core);
         let vpn = page_addr.vpn();
 
         let (mut now, mut home) = self.ensure_mapped(tid, core, now, page_addr, write, stats);
@@ -227,7 +229,7 @@ impl Machine {
                     .add(CostComponent::LockWait, stall_end.since(now));
                 now = stall_end;
             }
-            if let Some(pte) = self.space.page_table.get(tvpn).copied() {
+            if let Some(pte) = self.space.page_table.get(tvpn) {
                 if pte.has_shadow() {
                     stats.counters.bump(Counter::TierShadowHits);
                 }
@@ -258,7 +260,7 @@ impl Machine {
         if self.caches[core_node.index()].touch(vpn) {
             // Served from the node's shared L3.
             stats.counters.bump(Counter::CacheHits);
-            now += (portion as f64 / cost.l3_bw).round() as u64;
+            now += (portion as f64 / self.topo.cost().l3_bw).round() as u64;
         } else {
             stats.counters.bump(Counter::CacheMisses);
             // Split the charged traffic into the DRAM part (the fill,
@@ -270,7 +272,8 @@ impl Machine {
                 portion
             };
             let l3_bytes = portion - dram_bytes;
-            let factor = topo.numa_factor(core_node, home);
+            let cost = self.topo.cost();
+            let factor = self.topo.numa_factor(core_node, home);
             let lines = dram_bytes.div_ceil(cost.cache_line).max(1);
             let exposure = match kind {
                 MemAccessKind::Stream => cost.stream_latency_exposure,
@@ -279,14 +282,15 @@ impl Machine {
             };
             // Slow-tier banks serve lines at a latency multiple and a
             // bandwidth fraction of DRAM (CXL-class fabric).
-            let tier = topo.tier_of(home);
+            let tier = self.topo.tier_of(home);
             let tier_lat = cost.tier_latency_mult(tier);
             let tier_bw = cost.tier_bw_mult(tier);
             let latency_ns =
                 (lines as f64 * cost.dram_latency_ns * exposure * factor * tier_lat).round() as u64;
             let bw_ns = (dram_bytes as f64 / (cost.core_mem_bw * tier_bw) * factor).round() as u64;
+            let l3_bw = cost.l3_bw;
             let xfer = self.kernel.interconnect.access(
-                &topo,
+                &self.topo,
                 now,
                 core_node,
                 home,
@@ -294,7 +298,7 @@ impl Machine {
                 latency_ns + bw_ns,
             );
             now = xfer.end;
-            now += (l3_bytes as f64 / cost.l3_bw).round() as u64;
+            now += (l3_bytes as f64 / l3_bw).round() as u64;
             if home == core_node {
                 stats.counters.bump(Counter::LocalAccesses);
             } else {

@@ -3,6 +3,7 @@
 
 use numa_kernel::KernelConfig;
 use numa_machine::{Machine, MemAccessKind, Op, ThreadSpec};
+use numa_stats::Breakdown;
 use numa_topology::{presets, CoreId, NodeId};
 use numa_vm::{MemPolicy, PAGES_PER_HUGE, PAGE_SIZE};
 use std::sync::Arc;
@@ -162,6 +163,7 @@ fn numa_rt_populate(m: &mut Machine, addr: numa_vm::VirtAddr, pages: u64) {
             CoreId(0),
             addr + p * PAGE_SIZE,
             true,
+            &mut Breakdown::new(),
         );
     }
 }

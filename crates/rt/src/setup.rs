@@ -10,6 +10,7 @@ use crate::buffer::Buffer;
 use numa_kernel::FaultResolution;
 use numa_machine::Machine;
 use numa_sim::SimTime;
+use numa_stats::Breakdown;
 use numa_topology::{CoreId, NodeId};
 use numa_vm::VirtAddr;
 #[cfg(test)]
@@ -51,6 +52,7 @@ pub fn populate_from_core(machine: &mut Machine, buffer: &Buffer, core: CoreId) 
             core,
             addr,
             true,
+            &mut Breakdown::new(),
         ) {
             FaultResolution::Resolved { .. } => {}
             other => panic!("setup fault at {addr} not resolved: {other:?}"),

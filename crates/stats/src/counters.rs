@@ -7,7 +7,6 @@
 //! are needed.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// The discrete events tracked across the simulator.
@@ -92,10 +91,67 @@ pub enum Counter {
     PtReplicaStaleHits,
 }
 
+impl Counter {
+    /// Every counter, in declaration (= `Ord`) order. The registry's
+    /// iteration and display orders derive from this list.
+    pub const ALL: [Counter; 33] = [
+        Counter::FirstTouchFaults,
+        Counter::NextTouchFaults,
+        Counter::SegvSignals,
+        Counter::PagesMovedSyscall,
+        Counter::PagesMovedFault,
+        Counter::PagesMovedProcess,
+        Counter::PagesAlreadyPlaced,
+        Counter::TlbShootdowns,
+        Counter::FramesAllocated,
+        Counter::FramesFreed,
+        Counter::PagesMarkedNextTouch,
+        Counter::MprotectCalls,
+        Counter::RemoteAccesses,
+        Counter::LocalAccesses,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::PagesReplicated,
+        Counter::HugePagesMoved,
+        Counter::OmpIterations,
+        Counter::BarriersCompleted,
+        Counter::TierPromotions,
+        Counter::TierDemotions,
+        Counter::TierTxnCommits,
+        Counter::TierTxnAborts,
+        Counter::TierShadowHits,
+        Counter::TierStwStalls,
+        Counter::FaultsInjected,
+        Counter::MigrationRetries,
+        Counter::MigrationsDegraded,
+        Counter::MigrationsGaveUp,
+        Counter::PtWalksRemote,
+        Counter::PtReplicaSyncs,
+        Counter::PtReplicaStaleHits,
+    ];
+
+    /// Number of counters.
+    pub const COUNT: usize = Counter::ALL.len();
+}
+
 /// A registry of [`Counter`] values.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Stored as a flat array indexed by discriminant: `bump` sits on the
+/// per-page-touch hot path of the access model (cache hit/miss,
+/// local/remote tallies), where a map lookup per event is measurable
+/// host time. Iteration and display skip zero counters, in declaration
+/// order — observably identical to the former `BTreeMap` registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counters {
-    values: BTreeMap<Counter, u64>,
+    values: [u64; Counter::COUNT],
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            values: [0; Counter::COUNT],
+        }
+    }
 }
 
 impl Counters {
@@ -105,35 +161,41 @@ impl Counters {
     }
 
     /// Increment `counter` by 1.
+    #[inline]
     pub fn bump(&mut self, counter: Counter) {
-        self.add(counter, 1);
+        self.values[counter as usize] += 1;
     }
 
     /// Increment `counter` by `n`.
+    #[inline]
     pub fn add(&mut self, counter: Counter, n: u64) {
-        *self.values.entry(counter).or_insert(0) += n;
+        self.values[counter as usize] += n;
     }
 
     /// Current value of `counter`.
+    #[inline]
     pub fn get(&self, counter: Counter) -> u64 {
-        self.values.get(&counter).copied().unwrap_or(0)
+        self.values[counter as usize]
     }
 
     /// Merge another registry into this one.
     pub fn merge(&mut self, other: &Counters) {
-        for (k, v) in &other.values {
-            *self.values.entry(*k).or_insert(0) += v;
+        for (dst, src) in self.values.iter_mut().zip(other.values.iter()) {
+            *dst += src;
         }
     }
 
     /// Reset every counter to zero.
     pub fn clear(&mut self) {
-        self.values.clear();
+        self.values = [0; Counter::COUNT];
     }
 
     /// Iterate over non-zero counters in a stable order.
     pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
-        self.values.iter().map(|(k, v)| (*k, *v))
+        Counter::ALL
+            .iter()
+            .map(|&k| (k, self.values[k as usize]))
+            .filter(|(_, v)| *v > 0)
     }
 }
 
@@ -178,6 +240,13 @@ mod tests {
         c.clear();
         assert_eq!(c.get(Counter::TlbShootdowns), 0);
         assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn all_list_matches_discriminants() {
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c as usize, i, "{c:?} out of place in Counter::ALL");
+        }
     }
 
     #[test]

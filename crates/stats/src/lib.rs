@@ -12,12 +12,14 @@ pub mod breakdown;
 pub mod counters;
 pub mod histogram;
 pub mod json;
+pub mod memstats;
 pub mod table;
 
 pub use breakdown::{Breakdown, CostComponent};
 pub use counters::{Counter, Counters};
 pub use histogram::Histogram;
 pub use json::Json;
+pub use memstats::PtStats;
 pub use table::Table;
 
 /// Throughput in MB/s given a byte count and a duration in nanoseconds.

@@ -1,0 +1,72 @@
+//! O(1) memory-metadata statistics.
+//!
+//! [`PtStats`] is the aggregate a page table reports about itself: how many
+//! entries are installed and how many carry each interesting flag class.
+//! The table maintains these tallies incrementally at map/unmap/protect
+//! time, so reading them never walks the slabs — the same shift the paper
+//! makes for migration metadata (batch once, then answer queries from the
+//! aggregate instead of re-scanning).
+//!
+//! The struct lives here rather than in `numa-vm` so higher layers
+//! (benches, experiment reports) can consume it without depending on the
+//! VM crate's internals. It is deliberately *not* serialized into any
+//! experiment JSON: it is host-side observability, and the golden-checksum
+//! gate pins those outputs byte-for-byte.
+
+use std::fmt;
+
+/// Incrementally-maintained page-table aggregate. All counts are exact and
+/// cost O(1) to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PtStats {
+    /// Installed (present) entries.
+    pub mapped: u64,
+    /// Entries carrying the migrate-on-next-touch flag.
+    pub next_touch: u64,
+    /// Huge-page head entries.
+    pub huge: u64,
+    /// Entries pointing at a node-local replica page.
+    pub replica: u64,
+    /// Entries with an in-flight transactional (shadow) tier migration.
+    pub shadow: u64,
+    /// Storage extents (slabs) backing the table.
+    pub slabs: u64,
+}
+
+impl fmt::Display for PtStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mapped={} next_touch={} huge={} replica={} shadow={} slabs={}",
+            self.mapped, self.next_touch, self.huge, self.replica, self.shadow, self.slabs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_every_field() {
+        let s = PtStats {
+            mapped: 5,
+            next_touch: 1,
+            huge: 2,
+            replica: 3,
+            shadow: 4,
+            slabs: 6,
+        };
+        let text = s.to_string();
+        for part in [
+            "mapped=5",
+            "next_touch=1",
+            "huge=2",
+            "replica=3",
+            "shadow=4",
+            "slabs=6",
+        ] {
+            assert!(text.contains(part), "missing {part} in {text}");
+        }
+    }
+}

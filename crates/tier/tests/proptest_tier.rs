@@ -101,7 +101,7 @@ proptest! {
         let (mut m, a) = populated_machine(pages);
         let victim = victim_raw % pages;
         let vpn = (a + victim * PAGE_SIZE).vpn();
-        let pte_before = *m.space.page_table.get(vpn).unwrap();
+        let pte_before = m.space.page_table.get(vpn).unwrap();
         let live_before = m.frames.live_total();
         let mut b = Breakdown::new();
         let copy_end = m
@@ -113,7 +113,7 @@ proptest! {
             .kernel
             .tier_txn_commit(&mut m.space, &mut m.frames, copy_end, vpn, &mut b);
         prop_assert_eq!(outcome, numa_kernel::TxnOutcome::Aborted);
-        let pte_after = *m.space.page_table.get(vpn).unwrap();
+        let pte_after = m.space.page_table.get(vpn).unwrap();
         prop_assert_eq!(pte_after.frame, pte_before.frame);
         prop_assert_eq!(pte_after.flags, pte_before.flags);
         prop_assert!(!pte_after.has_shadow());

@@ -59,6 +59,9 @@ pub struct Topology {
     routes: Vec<Vec<Vec<LinkId>>>,
     /// `hops[src][dst]` = number of links on that path.
     hops: Vec<Vec<u32>>,
+    /// Cores attached to each node (indexed by node id) — precomputed so
+    /// per-access cache-share math never rescans the core list.
+    cores_per_node: Vec<u32>,
 }
 
 impl Topology {
@@ -90,6 +93,10 @@ impl Topology {
             }
         }
         let (routes, hops) = compute_routes(nodes.len(), &links)?;
+        let mut cores_per_node = vec![0u32; nodes.len()];
+        for c in &cores {
+            cores_per_node[c.node.index()] += 1;
+        }
         Ok(Topology {
             nodes,
             cores,
@@ -97,6 +104,7 @@ impl Topology {
             cost,
             routes,
             hops,
+            cores_per_node,
         })
     }
 
@@ -143,6 +151,11 @@ impl Topology {
     /// The NUMA node a core belongs to.
     pub fn node_of_core(&self, id: CoreId) -> NodeId {
         self.cores[id.index()].node
+    }
+
+    /// Number of cores attached to one node (O(1), precomputed).
+    pub fn core_count_of_node(&self, node: NodeId) -> usize {
+        self.cores_per_node[node.index()] as usize
     }
 
     /// Cores attached to one node, in id order.

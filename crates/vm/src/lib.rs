@@ -24,7 +24,8 @@ pub mod vma;
 
 pub use addr::{PageRange, VirtAddr};
 pub use frame::{Frame, FrameAllocator, FrameId};
-pub use page_table::PageTable;
+pub use numa_stats::PtStats;
+pub use page_table::{PageTable, PteRefMut};
 pub use policy::MemPolicy;
 pub use pte::{Pte, PteFlags};
 pub use ptplace::{PtPlacement, PtReplicaSet, PtSyncMode};

@@ -1,55 +1,277 @@
 //! The software page table.
 //!
-//! Dense per-extent PTE slabs: the table is a sorted vector of
-//! non-overlapping extents, each owning a contiguous `Vec` of PTE slots
-//! indexed by `vpn - base`. `AddressSpace` reserves one slab per VMA at
-//! `mmap` time, so the access hot path (`get`/`get_mut`) is a hint-cached
-//! binary search over a handful of extents plus one indexed load, and batch
-//! walks (`walk_range`/`update_range`) scan contiguous slices instead of
-//! issuing one hash probe per page — the same representation fix the paper
-//! applies to the kernel's batch metadata, here applied to the host.
+//! Struct-of-arrays PTE slabs with present bitmaps: the table is a sorted
+//! vector of non-overlapping extents, each owning a `u64` present-bitmap
+//! (one bit per record) plus parallel dense arrays for frames and flags.
+//! `AddressSpace` reserves one slab per VMA at `mmap` time, so the access
+//! hot path (`get`/`get_mut`) is a hint-cached binary search over a handful
+//! of extents plus two indexed loads, and batch walks
+//! (`walk_range`/`update_range`/`release_range`) skip absent runs with
+//! `trailing_zeros` instead of testing an `Option` per slot — the same
+//! representation fix the paper applies to the kernel's batch metadata,
+//! here applied to the host.
 //!
-//! The real kernel uses a radix tree; dense slabs give the same semantics,
-//! and the *cost* of page-table walks is charged separately by the kernel
-//! layer's cost model, so the host data structure choice does not leak into
-//! results. Iteration order is ascending vpn by construction (no
-//! sort-on-demand): ordered walks like `migrate_pages` get their sequence
-//! directly from the layout.
+//! Three further properties fall out of the layout:
+//!
+//! * **Huge pages are single records.** A slab carries a `stride` (1 for
+//!   base pages, [`crate::PAGES_PER_HUGE`] after
+//!   [`PageTable::convert_range_to_huge`]); a huge mapping is one record
+//!   per head instead of 512 base slots, so a 2 MB page costs 9 bytes of
+//!   metadata, not 4.5 kB.
+//! * **Stats are O(1).** Flag-class tallies ([`PageTable::stats`]) are
+//!   maintained incrementally at map/unmap/protect time instead of by
+//!   end-of-run scans.
+//! * **Replica diffs are word-parallel.** [`PageTable::sync_from`]
+//!   reconciles a replica against the primary with a bitmap-XOR pre-filter
+//!   and whole-slice payload compares, falling back to per-record work
+//!   only where a 64-record block actually differs.
+//!
+//! Shadow frames (in-flight tier migrations) are rare and short-lived, so
+//! they live out of line in a side map; the dense arrays never widen for
+//! them, and while the map is empty — the overwhelmingly common state —
+//! every probe short-circuits on one length test. Absent records are
+//! canonicalized to `FrameId(0)` / `PteFlags::EMPTY`, which is what makes
+//! whole-slice compares between tables meaningful.
+//!
+//! The real kernel uses a radix tree; slabs give the same semantics, and
+//! the *cost* of page-table walks is charged separately by the kernel
+//! layer's cost model, so the host data structure choice does not leak
+//! into results. Iteration order is ascending vpn by construction.
 
 use crate::addr::PageRange;
-use crate::pte::Pte;
+use crate::pte::{Pte, PteFlags};
 use crate::FrameId;
+use numa_stats::PtStats;
 use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
 
-/// One contiguous extent of PTE slots.
+/// Bits per present-bitmap word.
+const WORD: usize = 64;
+
+/// Sentinel for an invalidated lookup hint.
+const NO_HINT: usize = usize::MAX;
+
+/// One contiguous extent of PTE records, stored struct-of-arrays.
+///
+/// Invariants:
+/// * bitmap bits at or above `records()` are always zero (so word-level
+///   scans never need a tail mask beyond the requested window);
+/// * absent records hold `FrameId(0)` / `PteFlags::EMPTY` (so slice
+///   compares between tables see identical bytes wherever presence
+///   agrees).
 #[derive(Debug, Clone)]
 struct Slab {
     /// First vpn covered.
     base: u64,
-    /// One slot per page; `None` = reserved but unmapped.
-    slots: Vec<Option<Pte>>,
-    /// Mapped slots in this slab.
+    /// Pages per record: 1 for base-page slabs, [`crate::PAGES_PER_HUGE`]
+    /// for huge-converted extents (one record per huge head).
+    stride: u64,
+    /// Present bitmap, one bit per record.
+    present: Vec<u64>,
+    /// Backing frame per record.
+    frames: Vec<FrameId>,
+    /// Flag bits per record.
+    flags: Vec<PteFlags>,
+    /// Present records in this slab.
     live: usize,
 }
 
 impl Slab {
-    fn new(base: u64, pages: usize) -> Self {
-        debug_assert!(pages > 0, "empty slab");
+    fn new(base: u64, records: usize, stride: u64) -> Self {
+        debug_assert!(records > 0, "empty slab");
         Slab {
             base,
-            slots: vec![None; pages],
+            stride,
+            present: vec![0; records.div_ceil(WORD)],
+            frames: vec![FrameId(0); records],
+            flags: vec![PteFlags::EMPTY; records],
             live: 0,
         }
     }
 
+    /// Number of records (presence slots).
+    fn records(&self) -> usize {
+        self.frames.len()
+    }
+
     /// One past the last vpn covered.
     fn end(&self) -> u64 {
-        self.base + self.slots.len() as u64
+        self.base + self.records() as u64 * self.stride
+    }
+
+    /// Record index for `vpn`; `None` when the vpn falls between the heads
+    /// of a huge-stride slab (such pages have no entry of their own).
+    #[inline]
+    fn rec(&self, vpn: u64) -> Option<usize> {
+        let off = vpn - self.base;
+        if self.stride == 1 {
+            Some(off as usize)
+        } else if off.is_multiple_of(self.stride) {
+            Some((off / self.stride) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The vpn of record `rec`.
+    #[inline]
+    fn vpn_of(&self, rec: usize) -> u64 {
+        self.base + rec as u64 * self.stride
+    }
+
+    #[inline]
+    fn is_present(&self, rec: usize) -> bool {
+        self.present[rec / WORD] & (1u64 << (rec % WORD)) != 0
+    }
+
+    #[inline]
+    fn set_present(&mut self, rec: usize) {
+        self.present[rec / WORD] |= 1u64 << (rec % WORD);
+    }
+
+    /// Clear presence and canonicalize the payload so absent records
+    /// compare equal across tables.
+    #[inline]
+    fn clear_present(&mut self, rec: usize) {
+        self.present[rec / WORD] &= !(1u64 << (rec % WORD));
+        self.frames[rec] = FrameId(0);
+        self.flags[rec] = PteFlags::EMPTY;
+    }
+
+    /// The record window `[lo, hi)` intersecting `range` (may be empty).
+    fn window(&self, range: PageRange) -> (usize, usize) {
+        let lo = if range.start_vpn > self.base {
+            ((range.start_vpn - self.base).div_ceil(self.stride) as usize).min(self.records())
+        } else {
+            0
+        };
+        let hi = if range.end_vpn >= self.end() {
+            self.records()
+        } else if range.end_vpn <= self.base {
+            0
+        } else {
+            (range.end_vpn - self.base).div_ceil(self.stride) as usize
+        };
+        (lo, hi)
+    }
+
+    /// The bitmap word `w` restricted to records `[r_lo, r_hi)`.
+    #[inline]
+    fn masked_word(&self, w: usize, r_lo: usize, r_hi: usize) -> u64 {
+        let lo_bit = w * WORD;
+        let mut bits = self.present[w];
+        if r_lo > lo_bit {
+            bits &= !0u64 << (r_lo - lo_bit);
+        }
+        if r_hi < lo_bit + WORD {
+            bits &= (1u64 << (r_hi - lo_bit)) - 1;
+        }
+        bits
+    }
+
+    /// Append one absent record at the top.
+    fn push_absent(&mut self) {
+        if self.records().is_multiple_of(WORD) {
+            self.present.push(0);
+        }
+        self.frames.push(FrameId(0));
+        self.flags.push(PteFlags::EMPTY);
+    }
+
+    /// Prepend one absent record, extending the slab downward by a page
+    /// (base-stride slabs only): shift the whole bitmap up one bit.
+    fn prepend_absent(&mut self) {
+        debug_assert_eq!(self.stride, 1);
+        if self.records().is_multiple_of(WORD) {
+            self.present.push(0);
+        }
+        let mut carry = 0u64;
+        for w in &mut self.present {
+            let out = *w >> (WORD - 1);
+            *w = (*w << 1) | carry;
+            carry = out;
+        }
+        debug_assert_eq!(carry, 0, "presence bit shifted past allocated words");
+        self.frames.insert(0, FrameId(0));
+        self.flags.insert(0, PteFlags::EMPTY);
+        self.base -= 1;
+    }
+
+    /// Append the immediately-following slab `other` onto `self`,
+    /// stitching its bitmap in at a (generally unaligned) bit offset.
+    fn append(&mut self, other: Slab) {
+        debug_assert_eq!(self.stride, 1);
+        debug_assert_eq!(other.stride, 1);
+        debug_assert_eq!(self.end(), other.base, "slabs must be adjacent");
+        let off = self.records();
+        self.frames.extend_from_slice(&other.frames);
+        self.flags.extend_from_slice(&other.flags);
+        self.present.resize(self.records().div_ceil(WORD), 0);
+        let (shift, base_w) = (off % WORD, off / WORD);
+        for (wi, &w) in other.present.iter().enumerate() {
+            self.present[base_w + wi] |= w << shift;
+            if shift != 0 {
+                let spill = w >> (WORD - shift);
+                if let Some(slot) = self.present.get_mut(base_w + wi + 1) {
+                    *slot |= spill;
+                } else {
+                    debug_assert_eq!(spill, 0, "spill past the stitched bitmap");
+                }
+            }
+        }
+        self.live += other.live;
+    }
+}
+
+/// Read a vpn's shadow frame, short-circuiting while no migration is in
+/// flight anywhere in the table (the overwhelmingly common state).
+#[inline]
+fn probe_shadow(shadows: &BTreeMap<u64, FrameId>, vpn: u64) -> Option<FrameId> {
+    if shadows.is_empty() {
+        None
+    } else {
+        shadows.get(&vpn).copied()
+    }
+}
+
+/// Remove and return a vpn's shadow frame, with the same short-circuit.
+#[inline]
+fn take_shadow(shadows: &mut BTreeMap<u64, FrameId>, vpn: u64) -> Option<FrameId> {
+    if shadows.is_empty() {
+        None
+    } else {
+        shadows.remove(&vpn)
+    }
+}
+
+/// Flag-class tallies maintained at map/unmap/protect time so
+/// [`PageTable::stats`] never scans.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlagAgg {
+    next_touch: u64,
+    huge: u64,
+    replica: u64,
+}
+
+impl FlagAgg {
+    #[inline]
+    fn add(&mut self, f: PteFlags) {
+        self.next_touch += f.contains(PteFlags::NEXT_TOUCH) as u64;
+        self.huge += f.contains(PteFlags::HUGE) as u64;
+        self.replica += f.contains(PteFlags::REPLICA) as u64;
+    }
+
+    #[inline]
+    fn sub(&mut self, f: PteFlags) {
+        self.next_touch -= f.contains(PteFlags::NEXT_TOUCH) as u64;
+        self.huge -= f.contains(PteFlags::HUGE) as u64;
+        self.replica -= f.contains(PteFlags::REPLICA) as u64;
     }
 }
 
 /// Map from virtual page number to page-table entry, stored as dense
-/// per-extent slabs.
+/// per-extent struct-of-arrays slabs.
 ///
 /// Extents are created by [`PageTable::reserve_range`] (called for every
 /// VMA insertion) or on demand by [`PageTable::map`] for standalone use;
@@ -60,12 +282,19 @@ impl Slab {
 pub struct PageTable {
     /// Extents sorted by `base`, non-overlapping.
     slabs: Vec<Slab>,
-    /// Total mapped entries across all slabs.
+    /// Total present entries across all slabs.
     live: usize,
     /// Index of the last slab that satisfied a lookup — page touches are
     /// overwhelmingly local to one VMA, so this hint usually short-circuits
-    /// the binary search. Purely a host-side cache; never observable.
+    /// the binary search. `NO_HINT` when invalidated by a structural edit.
+    /// Purely a host-side cache; never observable.
     hint: Cell<usize>,
+    /// In-flight tier-migration shadow frames, keyed by vpn. Shadows are
+    /// rare and short-lived, so they live out of line, keeping the dense
+    /// arrays narrow; probes short-circuit while the map is empty.
+    shadows: BTreeMap<u64, FrameId>,
+    /// Incremental flag tallies.
+    agg: FlagAgg,
 }
 
 impl PageTable {
@@ -107,54 +336,183 @@ impl PageTable {
         }
     }
 
-    /// Look up the PTE for `vpn`.
-    #[inline]
-    pub fn get(&self, vpn: u64) -> Option<&Pte> {
-        let i = self.slab_index(vpn)?;
-        let s = &self.slabs[i];
-        s.slots[(vpn - s.base) as usize].as_ref()
+    /// A slab was inserted at `idx`: every following index shifted up by
+    /// one, so a hint at or past it moves with its slab.
+    fn hint_inserted(&self, idx: usize) {
+        let h = self.hint.get();
+        if h != NO_HINT && h >= idx {
+            self.hint.set(h + 1);
+        }
     }
 
-    /// Mutable PTE lookup.
+    /// The slab run `[lo, hi)` was removed: shift a hint past it down,
+    /// invalidate a hint inside it, leave earlier hints untouched.
+    fn hint_removed(&self, lo: usize, hi: usize) {
+        let h = self.hint.get();
+        if h == NO_HINT {
+            return;
+        }
+        if h >= hi {
+            self.hint.set(h - (hi - lo));
+        } else if h >= lo {
+            self.hint.set(NO_HINT);
+        }
+    }
+
+    /// Assemble the full PTE for a present record.
     #[inline]
-    pub fn get_mut(&mut self, vpn: u64) -> Option<&mut Pte> {
+    fn load(&self, s: &Slab, rec: usize, vpn: u64) -> Pte {
+        Pte {
+            frame: s.frames[rec],
+            shadow: probe_shadow(&self.shadows, vpn),
+            flags: s.flags[rec],
+        }
+    }
+
+    /// Look up the PTE for `vpn`.
+    #[inline]
+    pub fn get(&self, vpn: u64) -> Option<Pte> {
         let i = self.slab_index(vpn)?;
-        let s = &mut self.slabs[i];
-        s.slots[(vpn - s.base) as usize].as_mut()
+        let s = &self.slabs[i];
+        let rec = s.rec(vpn)?;
+        if !s.is_present(rec) {
+            return None;
+        }
+        Some(self.load(s, rec, vpn))
+    }
+
+    /// Mutable PTE lookup. The guard holds a copy of the entry; edits are
+    /// written back (and the incremental stats adjusted) when it drops.
+    #[inline]
+    pub fn get_mut(&mut self, vpn: u64) -> Option<PteRefMut<'_>> {
+        let i = self.slab_index(vpn)?;
+        let (rec, cur) = {
+            let s = &self.slabs[i];
+            let rec = s.rec(vpn)?;
+            if !s.is_present(rec) {
+                return None;
+            }
+            (rec, self.load(s, rec, vpn))
+        };
+        Some(PteRefMut {
+            pt: self,
+            slab: i,
+            rec,
+            vpn,
+            orig: cur,
+            cur,
+        })
     }
 
     /// Install a mapping. Returns the previous entry if one existed
     /// (callers that expect a fresh mapping assert on `None`).
     ///
-    /// Mapping a vpn outside every reserved extent grows the table: the
-    /// preceding slab is extended when it ends exactly at `vpn`, otherwise
-    /// a fresh one-page slab is created. Standalone users (tests, reference
-    /// models) therefore never need to reserve explicitly.
+    /// Mapping a vpn outside every reserved extent grows the table,
+    /// coalescing with an adjacent slab on either side where possible.
+    /// Standalone users (tests, reference models) therefore never need to
+    /// reserve explicitly. Mapping a non-head page of a huge-converted
+    /// extent demotes that extent back to base-page records first.
     pub fn map(&mut self, vpn: u64, pte: Pte) -> Option<Pte> {
         let i = match self.slab_index(vpn) {
             Some(i) => i,
             None => self.grow_for(vpn),
         };
-        let s = &mut self.slabs[i];
-        let prev = s.slots[(vpn - s.base) as usize].replace(pte);
-        if prev.is_none() {
+        if self.slabs[i].stride != 1
+            && !(vpn - self.slabs[i].base).is_multiple_of(self.slabs[i].stride)
+        {
+            self.demote_slab(i);
+        }
+        let PageTable {
+            slabs,
+            live,
+            shadows,
+            agg,
+            ..
+        } = self;
+        let s = &mut slabs[i];
+        let rec = s.rec(vpn).expect("record exists after demotion");
+        let prev = if s.is_present(rec) {
+            let flags = s.flags[rec];
+            agg.sub(flags);
+            Some(Pte {
+                frame: s.frames[rec],
+                shadow: take_shadow(shadows, vpn),
+                flags,
+            })
+        } else {
+            s.set_present(rec);
             s.live += 1;
-            self.live += 1;
+            *live += 1;
+            None
+        };
+        s.frames[rec] = pte.frame;
+        s.flags[rec] = pte.flags;
+        agg.add(pte.flags);
+        if let Some(f) = pte.shadow {
+            shadows.insert(vpn, f);
         }
         prev
     }
 
-    /// Make room for an unreserved `vpn`; returns the slab index covering it.
+    /// Expand a huge-stride slab back into base-page records, relocating
+    /// each head entry to its base-page offset. Rare: only a base-grain
+    /// map landing inside a converted extent needs it.
+    fn demote_slab(&mut self, i: usize) {
+        let old = &self.slabs[i];
+        debug_assert!(old.stride > 1);
+        let mut fresh = Slab::new(old.base, (old.end() - old.base) as usize, 1);
+        for (w, &word) in old.present.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let rec = w * WORD + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let new_rec = rec * old.stride as usize;
+                fresh.set_present(new_rec);
+                fresh.frames[new_rec] = old.frames[rec];
+                fresh.flags[new_rec] = old.flags[rec];
+            }
+        }
+        fresh.live = old.live;
+        self.slabs[i] = fresh;
+    }
+
+    /// Make room for an unreserved `vpn`; returns the slab index covering
+    /// it. Coalesces with a base-stride neighbour on either side —
+    /// preceding (`prev.end() == vpn`), following (`next.base == vpn + 1`),
+    /// or both (the new page bridges them into one slab) — so ascending
+    /// *and* descending standalone map sequences build one extent instead
+    /// of fragmenting into one single-page slab per page.
     fn grow_for(&mut self, vpn: u64) -> usize {
         let idx = self.slabs.partition_point(|s| s.base <= vpn);
-        if idx > 0 && self.slabs[idx - 1].end() == vpn {
-            // Extend the adjacent slab by one page. The next slab cannot
-            // start at `vpn` (it would already cover it), so no overlap.
-            self.slabs[idx - 1].slots.push(None);
-            idx - 1
-        } else {
-            self.slabs.insert(idx, Slab::new(vpn, 1));
-            idx
+        let prev_adj =
+            idx > 0 && self.slabs[idx - 1].stride == 1 && self.slabs[idx - 1].end() == vpn;
+        let next_adj = self
+            .slabs
+            .get(idx)
+            .is_some_and(|s| s.stride == 1 && s.base == vpn + 1);
+        match (prev_adj, next_adj) {
+            (true, true) => {
+                // Bridge: extend the left slab by one page, then stitch the
+                // right slab's records onto it.
+                let next = self.slabs.remove(idx);
+                self.slabs[idx - 1].push_absent();
+                self.slabs[idx - 1].append(next);
+                self.hint_removed(idx, idx + 1);
+                idx - 1
+            }
+            (true, false) => {
+                self.slabs[idx - 1].push_absent();
+                idx - 1
+            }
+            (false, true) => {
+                self.slabs[idx].prepend_absent();
+                idx
+            }
+            (false, false) => {
+                self.slabs.insert(idx, Slab::new(vpn, 1, 1));
+                self.hint_inserted(idx);
+                idx
+            }
         }
     }
 
@@ -162,16 +520,32 @@ impl PageTable {
     /// only [`PageTable::release_range`] drops extent storage.
     pub fn unmap(&mut self, vpn: u64) -> Option<Pte> {
         let i = self.slab_index(vpn)?;
-        let s = &mut self.slabs[i];
-        let prev = s.slots[(vpn - s.base) as usize].take();
-        if prev.is_some() {
-            s.live -= 1;
-            self.live -= 1;
+        let PageTable {
+            slabs,
+            live,
+            shadows,
+            agg,
+            ..
+        } = self;
+        let s = &mut slabs[i];
+        let rec = s.rec(vpn)?;
+        if !s.is_present(rec) {
+            return None;
         }
-        prev
+        let flags = s.flags[rec];
+        let prev = Pte {
+            frame: s.frames[rec],
+            shadow: take_shadow(shadows, vpn),
+            flags,
+        };
+        s.clear_present(rec);
+        s.live -= 1;
+        *live -= 1;
+        agg.sub(flags);
+        Some(prev)
     }
 
-    /// Pre-size slots for every page of `range` (called for each VMA
+    /// Pre-size records for every page of `range` (called for each VMA
     /// insertion). Gaps between existing extents are filled with fresh
     /// slabs; already-covered pages are left untouched.
     pub fn reserve_range(&mut self, range: PageRange) {
@@ -185,46 +559,135 @@ impl PageTable {
             let next_base = self.slabs.get(idx).map_or(u64::MAX, |s| s.base);
             let end = range.end_vpn.min(next_base);
             self.slabs
-                .insert(idx, Slab::new(cursor, (end - cursor) as usize));
+                .insert(idx, Slab::new(cursor, (end - cursor) as usize, 1));
+            self.hint_inserted(idx);
             cursor = end;
         }
-        self.hint.set(0);
+    }
+
+    /// Convert the (still unpopulated) reservation exactly covering
+    /// `range` into a huge-stride extent: one record per
+    /// [`crate::PAGES_PER_HUGE`] pages. Only heads carry entries
+    /// afterwards; non-head lookups return `None` and non-head maps panic.
+    /// Returns `false` (leaving base-page storage in place) when the range
+    /// is not huge-alignable or its slab is already populated or shared.
+    pub fn convert_range_to_huge(&mut self, range: PageRange) -> bool {
+        if range.is_empty() || !range.pages().is_multiple_of(crate::PAGES_PER_HUGE) {
+            return false;
+        }
+        let idx = self.first_slab_from(range.start_vpn);
+        let Some(s) = self.slabs.get_mut(idx) else {
+            return false;
+        };
+        if s.base != range.start_vpn || s.end() != range.end_vpn || s.live != 0 || s.stride != 1 {
+            return false;
+        }
+        *s = Slab::new(
+            range.start_vpn,
+            (range.pages() / crate::PAGES_PER_HUGE) as usize,
+            crate::PAGES_PER_HUGE,
+        );
+        true
+    }
+
+    /// Clear records `[r_lo, r_hi)` of slab `i` within `range`, pushing the
+    /// removed PTEs onto `out` in ascending order.
+    fn take_window(&mut self, i: usize, range: PageRange, out: &mut Vec<Pte>) {
+        let PageTable {
+            slabs,
+            live,
+            shadows,
+            agg,
+            ..
+        } = self;
+        let s = &mut slabs[i];
+        let (r_lo, r_hi) = s.window(range);
+        let mut w = r_lo / WORD;
+        while w * WORD < r_hi {
+            let mut bits = s.masked_word(w, r_lo, r_hi);
+            while bits != 0 {
+                let rec = w * WORD + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let flags = s.flags[rec];
+                let vpn = s.vpn_of(rec);
+                out.push(Pte {
+                    frame: s.frames[rec],
+                    shadow: take_shadow(shadows, vpn),
+                    flags,
+                });
+                s.clear_present(rec);
+                s.live -= 1;
+                *live -= 1;
+                agg.sub(flags);
+            }
+            w += 1;
+        }
     }
 
     /// Drop every mapping in `range`, returning the removed entries in
     /// ascending vpn order, and release the storage of extents that lie
     /// entirely inside the range (`munmap`). Extents straddling a boundary
     /// keep their out-of-range reservation.
+    ///
+    /// The run of fully-covered slabs is spliced out with a single
+    /// `drain`, so a munmap over a many-slab space is linear (the old
+    /// per-slab `Vec::remove` made it quadratic).
     pub fn release_range(&mut self, range: PageRange) -> Vec<Pte> {
         let mut removed = Vec::new();
         if range.is_empty() {
             return removed;
         }
         let mut i = self.first_slab_from(range.start_vpn);
+        // Leading partially-covered slabs: clear records in place.
         while i < self.slabs.len() {
-            let s = &mut self.slabs[i];
+            let s = &self.slabs[i];
             if s.base >= range.end_vpn {
-                break;
+                return removed;
             }
             if s.base >= range.start_vpn && s.end() <= range.end_vpn {
-                // Fully covered: collect and drop the whole slab.
-                let s = self.slabs.remove(i);
-                self.live -= s.live;
-                removed.extend(s.slots.into_iter().flatten());
-                continue; // do not advance: next slab shifted into `i`
+                break;
             }
-            let lo = range.start_vpn.max(s.base) - s.base;
-            let hi = (range.end_vpn.min(s.end()) - s.base) as usize;
-            for slot in &mut s.slots[lo as usize..hi] {
-                if let Some(pte) = slot.take() {
-                    s.live -= 1;
-                    self.live -= 1;
-                    removed.push(pte);
-                }
-            }
+            self.take_window(i, range, &mut removed);
             i += 1;
         }
-        self.hint.set(0);
+        // The contiguous run of fully-covered slabs.
+        let lo = i;
+        while i < self.slabs.len() && self.slabs[i].end() <= range.end_vpn {
+            debug_assert!(self.slabs[i].base >= range.start_vpn);
+            i += 1;
+        }
+        if i > lo {
+            let PageTable {
+                slabs,
+                live,
+                shadows,
+                agg,
+                ..
+            } = self;
+            for s in slabs.drain(lo..i) {
+                *live -= s.live;
+                for (w, &word) in s.present.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let rec = w * WORD + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let flags = s.flags[rec];
+                        agg.sub(flags);
+                        removed.push(Pte {
+                            frame: s.frames[rec],
+                            shadow: take_shadow(shadows, s.vpn_of(rec)),
+                            flags,
+                        });
+                    }
+                }
+            }
+            self.hint_removed(lo, i);
+            i = lo;
+        }
+        // At most one trailing partially-covered slab remains.
+        if i < self.slabs.len() && self.slabs[i].base < range.end_vpn {
+            self.take_window(i, range, &mut removed);
+        }
         removed
     }
 
@@ -243,67 +706,111 @@ impl PageTable {
         self.live == 0
     }
 
-    /// Iterate over `(vpn, pte)` pairs in ascending vpn order (the slab
-    /// layout is sorted, so order costs nothing).
-    pub fn iter(&self) -> WalkRange<'_> {
-        WalkRange {
-            slabs: &self.slabs,
-            slab_idx: 0,
-            slot_idx: 0,
-            end_vpn: u64::MAX,
+    /// O(1) aggregate statistics, maintained incrementally by every
+    /// mutating operation — reading them never walks the slabs.
+    pub fn stats(&self) -> PtStats {
+        PtStats {
+            mapped: self.live as u64,
+            next_touch: self.agg.next_touch,
+            huge: self.agg.huge,
+            replica: self.agg.replica,
+            shadow: self.shadows.len() as u64,
+            slabs: self.slabs.len() as u64,
         }
     }
 
+    /// Iterate over `(vpn, pte)` pairs in ascending vpn order (the slab
+    /// layout is sorted, so order costs nothing).
+    pub fn iter(&self) -> WalkRange<'_> {
+        self.walk_range(PageRange::new(0, u64::MAX))
+    }
+
     /// Iterate over the mapped `(vpn, pte)` pairs of `range` in ascending
-    /// vpn order, scanning slabs as contiguous slices — the batch-walk
-    /// primitive behind `migrate_pages`, `madvise`, `mprotect` and the
-    /// tier promotion scan.
+    /// vpn order, popping present bits with `trailing_zeros` so absent
+    /// runs cost one word test per 64 records — the batch-walk primitive
+    /// behind `migrate_pages`, `madvise`, `mprotect` and the tier
+    /// promotion scan.
     pub fn walk_range(&self, range: PageRange) -> WalkRange<'_> {
-        if range.is_empty() {
-            return WalkRange {
-                slabs: &[],
-                slab_idx: 0,
-                slot_idx: 0,
-                end_vpn: 0,
-            };
-        }
-        let slab_idx = self.first_slab_from(range.start_vpn);
-        let slot_idx = self
-            .slabs
-            .get(slab_idx)
-            .map_or(0, |s| range.start_vpn.saturating_sub(s.base) as usize);
+        let slab_idx = if range.is_empty() {
+            self.slabs.len()
+        } else {
+            self.first_slab_from(range.start_vpn)
+        };
         WalkRange {
             slabs: &self.slabs,
+            shadows: &self.shadows,
+            range,
             slab_idx,
-            slot_idx,
-            end_vpn: range.end_vpn,
+            word_idx: 0,
+            r_hi: 0,
+            cur_word: 0,
+            entered: false,
         }
     }
 
     /// Apply `f` to every mapped entry of `range` in ascending vpn order.
-    /// The mutable counterpart of [`PageTable::walk_range`].
+    /// The mutable counterpart of [`PageTable::walk_range`]: each present
+    /// record is loaded, passed to `f`, and stored back only if it
+    /// changed, with the incremental stats adjusted on the way.
     pub fn update_range<F: FnMut(u64, &mut Pte)>(&mut self, range: PageRange, mut f: F) {
         if range.is_empty() {
             return;
         }
         let start = self.first_slab_from(range.start_vpn);
-        for s in &mut self.slabs[start..] {
+        let PageTable {
+            slabs,
+            shadows,
+            agg,
+            ..
+        } = self;
+        for s in &mut slabs[start..] {
             if s.base >= range.end_vpn {
                 break;
             }
-            let lo = range.start_vpn.max(s.base) - s.base;
-            let hi = (range.end_vpn.min(s.end()) - s.base) as usize;
-            for (off, slot) in s.slots[lo as usize..hi].iter_mut().enumerate() {
-                if let Some(pte) = slot.as_mut() {
-                    f(s.base + lo + off as u64, pte);
+            let (r_lo, r_hi) = s.window(range);
+            let mut w = r_lo / WORD;
+            while w * WORD < r_hi {
+                let mut bits = s.masked_word(w, r_lo, r_hi);
+                while bits != 0 {
+                    let rec = w * WORD + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let vpn = s.vpn_of(rec);
+                    let flags = s.flags[rec];
+                    let before = Pte {
+                        frame: s.frames[rec],
+                        shadow: probe_shadow(shadows, vpn),
+                        flags,
+                    };
+                    let mut pte = before;
+                    f(vpn, &mut pte);
+                    if pte == before {
+                        continue;
+                    }
+                    s.frames[rec] = pte.frame;
+                    s.flags[rec] = pte.flags;
+                    if pte.flags != flags {
+                        agg.sub(flags);
+                        agg.add(pte.flags);
+                    }
+                    if pte.shadow != before.shadow {
+                        match pte.shadow {
+                            Some(fr) => {
+                                shadows.insert(vpn, fr);
+                            }
+                            None => {
+                                shadows.remove(&vpn);
+                            }
+                        }
+                    }
                 }
+                w += 1;
             }
         }
     }
 
     /// All mapped vpns, sorted — used by `migrate_pages`, which walks the
     /// address space in order (that ordered walk is why the paper measures
-    /// better locality for it than for `move_pages`, §4.2). With dense
+    /// better locality for it than for `move_pages`, §4.2). With sorted
     /// slabs this is a plain ordered collect, no sort.
     pub fn sorted_vpns(&self) -> Vec<u64> {
         let mut v = Vec::with_capacity(self.live);
@@ -315,6 +822,259 @@ impl PageTable {
     pub fn referenced_frames(&self) -> Vec<FrameId> {
         self.iter().map(|(_, p)| p.frame).collect()
     }
+
+    /// Index of our slab with exactly the same extent geometry as `s`
+    /// (base, stride and record count), if any.
+    fn aligned_with(&self, s: &Slab) -> Option<usize> {
+        let idx = self.slabs.partition_point(|t| t.base < s.base);
+        let t = self.slabs.get(idx)?;
+        (t.base == s.base && t.stride == s.stride && t.records() == s.records()).then_some(idx)
+    }
+
+    /// Does any slab intersect `[lo, hi)`?
+    fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        let idx = self.first_slab_from(lo);
+        self.slabs.get(idx).is_some_and(|s| s.base < hi)
+    }
+
+    /// Clone a whole primary slab into a gap of this table. Safe to copy
+    /// the arrays verbatim because absent records are canonicalized.
+    fn adopt_slab(&mut self, ps: &Slab) -> u64 {
+        debug_assert!(!self.overlaps(ps.base, ps.end()));
+        for (w, &word) in ps.present.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let rec = w * WORD + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.agg.add(ps.flags[rec]);
+            }
+        }
+        self.live += ps.live;
+        let idx = self.slabs.partition_point(|t| t.base <= ps.base);
+        self.slabs.insert(idx, ps.clone());
+        self.hint_inserted(idx);
+        ps.live as u64
+    }
+
+    /// Word-parallel diff of one geometry-aligned slab pair: presence XOR
+    /// picks out installs and removals, slice equality skips untouched
+    /// 64-record blocks, and only genuinely-differing records are touched.
+    /// Returns the number of records written. Fast path only — neither
+    /// table may carry shadows here.
+    fn sync_aligned(&mut self, ps: &Slab, si: usize, range: PageRange) -> u64 {
+        let PageTable {
+            slabs, live, agg, ..
+        } = self;
+        let s = &mut slabs[si];
+        debug_assert_eq!(
+            (s.base, s.stride, s.records()),
+            (ps.base, ps.stride, ps.records())
+        );
+        let (r_lo, r_hi) = s.window(range);
+        let mut changed = 0u64;
+        let mut w = r_lo / WORD;
+        while w * WORD < r_hi {
+            let lo_bit = w * WORD;
+            let sw = s.masked_word(w, r_lo, r_hi);
+            let pw = ps.masked_word(w, r_lo, r_hi);
+            let hi_rec = (lo_bit + WORD).min(s.records());
+            if sw == pw
+                && s.frames[lo_bit..hi_rec] == ps.frames[lo_bit..hi_rec]
+                && s.flags[lo_bit..hi_rec] == ps.flags[lo_bit..hi_rec]
+            {
+                w += 1;
+                continue;
+            }
+            let mut bits = sw & !pw; // replica-only: unmap
+            while bits != 0 {
+                let rec = lo_bit + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                agg.sub(s.flags[rec]);
+                s.clear_present(rec);
+                s.live -= 1;
+                *live -= 1;
+                changed += 1;
+            }
+            let mut bits = pw & !sw; // primary-only: install
+            while bits != 0 {
+                let rec = lo_bit + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                s.set_present(rec);
+                s.frames[rec] = ps.frames[rec];
+                s.flags[rec] = ps.flags[rec];
+                agg.add(ps.flags[rec]);
+                s.live += 1;
+                *live += 1;
+                changed += 1;
+            }
+            let mut bits = sw & pw; // both present: overwrite if differing
+            while bits != 0 {
+                let rec = lo_bit + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if s.frames[rec] != ps.frames[rec] || s.flags[rec] != ps.flags[rec] {
+                    agg.sub(s.flags[rec]);
+                    agg.add(ps.flags[rec]);
+                    s.frames[rec] = ps.frames[rec];
+                    s.flags[rec] = ps.flags[rec];
+                    changed += 1;
+                }
+            }
+            w += 1;
+        }
+        changed
+    }
+
+    /// Reconcile `self` (a replica) with `primary` over `range`: entries
+    /// present only here are unmapped, entries present only in the primary
+    /// are installed, and entries that differ are overwritten. Returns the
+    /// number of PTEs written (the quantity the cost model charges for).
+    ///
+    /// Geometry-aligned slab pairs — the overwhelmingly common case, since
+    /// replicas start as clones and see the same reserve/release ranges —
+    /// diff word-parallel via [`PageTable::sync_aligned`]; whole primary
+    /// slabs falling into a replica gap are adopted by cloning the arrays.
+    /// Everything else (and any table carrying in-flight shadow entries)
+    /// takes the generic per-record path with identical semantics.
+    pub fn sync_from(&mut self, primary: &PageTable, range: PageRange) -> u64 {
+        if range.is_empty() {
+            return 0;
+        }
+        let fast = self.shadows.is_empty() && primary.shadows.is_empty();
+        let mut changed = 0u64;
+
+        // Pass 1: drop replica-only entries. Aligned pairs handle their
+        // removals word-parallel in pass 2; everything else probes the
+        // primary per present record.
+        let mut i = self.first_slab_from(range.start_vpn);
+        while i < self.slabs.len() && self.slabs[i].base < range.end_vpn {
+            if fast && self.aligned_twin_in(primary, i) {
+                i += 1;
+                continue;
+            }
+            let mut stale = Vec::new();
+            {
+                let s = &self.slabs[i];
+                let (r_lo, r_hi) = s.window(range);
+                let mut w = r_lo / WORD;
+                while w * WORD < r_hi {
+                    let mut bits = s.masked_word(w, r_lo, r_hi);
+                    while bits != 0 {
+                        let rec = w * WORD + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let vpn = s.vpn_of(rec);
+                        if primary.get(vpn).is_none() {
+                            stale.push(vpn);
+                        }
+                    }
+                    w += 1;
+                }
+            }
+            for vpn in stale {
+                self.unmap(vpn);
+                changed += 1;
+            }
+            i += 1;
+        }
+
+        // Pass 2: install fresh and overwrite differing entries.
+        let mut pi = primary.first_slab_from(range.start_vpn);
+        while pi < primary.slabs.len() && primary.slabs[pi].base < range.end_vpn {
+            let ps = &primary.slabs[pi];
+            if fast {
+                if let Some(si) = self.aligned_with(ps) {
+                    changed += self.sync_aligned(ps, si, range);
+                    pi += 1;
+                    continue;
+                }
+                if range.start_vpn <= ps.base
+                    && ps.end() <= range.end_vpn
+                    && !self.overlaps(ps.base, ps.end())
+                {
+                    changed += self.adopt_slab(ps);
+                    pi += 1;
+                    continue;
+                }
+            }
+            let (r_lo, r_hi) = ps.window(range);
+            let mut w = r_lo / WORD;
+            while w * WORD < r_hi {
+                let mut bits = ps.masked_word(w, r_lo, r_hi);
+                while bits != 0 {
+                    let rec = w * WORD + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let vpn = ps.vpn_of(rec);
+                    let pte = primary.load(ps, rec, vpn);
+                    if self.get(vpn) != Some(pte) {
+                        self.map(vpn, pte);
+                        changed += 1;
+                    }
+                }
+                w += 1;
+            }
+            pi += 1;
+        }
+        changed
+    }
+
+    /// Does our slab `i` have a geometry-aligned twin in `other`?
+    fn aligned_twin_in(&self, other: &PageTable, i: usize) -> bool {
+        other.aligned_with(&self.slabs[i]).is_some()
+    }
+}
+
+/// Write-back guard returned by [`PageTable::get_mut`].
+///
+/// Derefs to a local copy of the entry; on drop, any change is stored back
+/// into the struct-of-arrays slab and the incremental stats (and the
+/// shadow side map) are adjusted to match.
+#[derive(Debug)]
+pub struct PteRefMut<'a> {
+    pt: &'a mut PageTable,
+    slab: usize,
+    rec: usize,
+    vpn: u64,
+    orig: Pte,
+    cur: Pte,
+}
+
+impl Deref for PteRefMut<'_> {
+    type Target = Pte;
+    fn deref(&self) -> &Pte {
+        &self.cur
+    }
+}
+
+impl DerefMut for PteRefMut<'_> {
+    fn deref_mut(&mut self) -> &mut Pte {
+        &mut self.cur
+    }
+}
+
+impl Drop for PteRefMut<'_> {
+    fn drop(&mut self) {
+        if self.cur == self.orig {
+            return;
+        }
+        {
+            let s = &mut self.pt.slabs[self.slab];
+            s.frames[self.rec] = self.cur.frame;
+            s.flags[self.rec] = self.cur.flags;
+        }
+        if self.cur.flags != self.orig.flags {
+            self.pt.agg.sub(self.orig.flags);
+            self.pt.agg.add(self.cur.flags);
+        }
+        if self.cur.shadow != self.orig.shadow {
+            match self.cur.shadow {
+                Some(f) => {
+                    self.pt.shadows.insert(self.vpn, f);
+                }
+                None => {
+                    self.pt.shadows.remove(&self.vpn);
+                }
+            }
+        }
+    }
 }
 
 /// Ordered iterator over the mapped entries of a vpn range.
@@ -322,31 +1082,82 @@ impl PageTable {
 #[derive(Debug)]
 pub struct WalkRange<'a> {
     slabs: &'a [Slab],
+    shadows: &'a BTreeMap<u64, FrameId>,
+    range: PageRange,
+    /// Next slab to enter (or the one being walked once `entered`).
     slab_idx: usize,
-    slot_idx: usize,
-    end_vpn: u64,
+    /// Word cursor within the current slab.
+    word_idx: usize,
+    /// Record window upper bound within the current slab.
+    r_hi: usize,
+    /// Remaining present bits of the current word (window-masked).
+    cur_word: u64,
+    /// Is `slab_idx` the slab currently being walked?
+    entered: bool,
 }
 
-impl<'a> Iterator for WalkRange<'a> {
-    type Item = (u64, &'a Pte);
-
-    fn next(&mut self) -> Option<(u64, &'a Pte)> {
+impl WalkRange<'_> {
+    /// Advance to the next non-empty window-masked word, entering new
+    /// slabs as needed. Returns `false` when the range is exhausted.
+    fn refill(&mut self) -> bool {
         loop {
-            let s = self.slabs.get(self.slab_idx)?;
-            if s.base >= self.end_vpn {
-                return None;
-            }
-            let limit = ((self.end_vpn.min(s.end()) - s.base) as usize).min(s.slots.len());
-            while self.slot_idx < limit {
-                let i = self.slot_idx;
-                self.slot_idx += 1;
-                if let Some(pte) = s.slots[i].as_ref() {
-                    return Some((s.base + i as u64, pte));
+            if !self.entered {
+                let Some(s) = self.slabs.get(self.slab_idx) else {
+                    return false;
+                };
+                if s.base >= self.range.end_vpn {
+                    return false;
+                }
+                let (r_lo, r_hi) = s.window(self.range);
+                self.word_idx = r_lo / WORD;
+                self.r_hi = r_hi;
+                self.entered = true;
+                if self.word_idx * WORD < r_hi {
+                    self.cur_word = s.masked_word(self.word_idx, r_lo, r_hi);
+                    if self.cur_word != 0 {
+                        return true;
+                    }
                 }
             }
-            self.slab_idx += 1;
-            self.slot_idx = 0;
+            let s = &self.slabs[self.slab_idx];
+            loop {
+                self.word_idx += 1;
+                if self.word_idx * WORD >= self.r_hi {
+                    self.slab_idx += 1;
+                    self.entered = false;
+                    break;
+                }
+                // Only the first and last words of a window need masking;
+                // interior words are taken whole. `masked_word` with a
+                // zero-offset lower bound reduces to exactly that.
+                self.cur_word = s.masked_word(self.word_idx, 0, self.r_hi);
+                if self.cur_word != 0 {
+                    return true;
+                }
+            }
         }
+    }
+}
+
+impl Iterator for WalkRange<'_> {
+    type Item = (u64, Pte);
+
+    fn next(&mut self) -> Option<(u64, Pte)> {
+        if self.cur_word == 0 && !self.refill() {
+            return None;
+        }
+        let s = &self.slabs[self.slab_idx];
+        let rec = self.word_idx * WORD + self.cur_word.trailing_zeros() as usize;
+        self.cur_word &= self.cur_word - 1;
+        let vpn = s.vpn_of(rec);
+        Some((
+            vpn,
+            Pte {
+                frame: s.frames[rec],
+                shadow: probe_shadow(self.shadows, vpn),
+                flags: s.flags[rec],
+            },
+        ))
     }
 }
 
@@ -354,6 +1165,27 @@ impl<'a> Iterator for WalkRange<'a> {
 mod tests {
     use super::*;
     use crate::pte::PteFlags;
+
+    /// Recompute the aggregate the slow way; every mutating test path
+    /// cross-checks the incremental tallies against it.
+    fn recount(pt: &PageTable) -> PtStats {
+        let mut s = PtStats {
+            slabs: pt.slabs.len() as u64,
+            ..PtStats::default()
+        };
+        for (_, pte) in pt.iter() {
+            s.mapped += 1;
+            s.next_touch += pte.flags.contains(PteFlags::NEXT_TOUCH) as u64;
+            s.huge += pte.flags.contains(PteFlags::HUGE) as u64;
+            s.replica += pte.flags.contains(PteFlags::REPLICA) as u64;
+            s.shadow += pte.shadow.is_some() as u64;
+        }
+        s
+    }
+
+    fn assert_stats_consistent(pt: &PageTable) {
+        assert_eq!(pt.stats(), recount(pt), "incremental stats drifted");
+    }
 
     #[test]
     fn map_get_unmap() {
@@ -365,6 +1197,7 @@ mod tests {
         let old = pt.unmap(5).unwrap();
         assert_eq!(old.frame, FrameId(1));
         assert!(!pt.is_mapped(5));
+        assert_stats_consistent(&pt);
     }
 
     #[test]
@@ -383,6 +1216,23 @@ mod tests {
         pt.map(9, Pte::present_rw(FrameId(3)));
         pt.get_mut(9).unwrap().mark_next_touch();
         assert!(pt.get(9).unwrap().flags.contains(PteFlags::NEXT_TOUCH));
+        assert_eq!(pt.stats().next_touch, 1);
+        assert_stats_consistent(&pt);
+    }
+
+    #[test]
+    fn get_mut_shadow_roundtrip() {
+        let mut pt = PageTable::new();
+        pt.map(4, Pte::present_rw(FrameId(1)));
+        pt.get_mut(4).unwrap().set_shadow(FrameId(9));
+        assert_eq!(pt.get(4).unwrap().shadow, Some(FrameId(9)));
+        assert_eq!(pt.stats().shadow, 1);
+        let src = pt.get_mut(4).unwrap().commit_shadow();
+        assert_eq!(src, FrameId(1));
+        assert_eq!(pt.get(4).unwrap().frame, FrameId(9));
+        assert_eq!(pt.get(4).unwrap().shadow, None);
+        assert_eq!(pt.stats().shadow, 0);
+        assert_stats_consistent(&pt);
     }
 
     #[test]
@@ -441,6 +1291,7 @@ mod tests {
         assert!(pt.is_empty());
         // The extent is gone: mapping again auto-creates fresh storage.
         assert_eq!(pt.map(12, Pte::present_rw(FrameId(1))), None);
+        assert_stats_consistent(&pt);
     }
 
     #[test]
@@ -454,6 +1305,29 @@ mod tests {
         assert_eq!(removed[0].frame, FrameId(2));
         assert_eq!(pt.len(), 1);
         assert_eq!(pt.get(7).unwrap().frame, FrameId(7));
+    }
+
+    #[test]
+    fn release_splices_covered_run_in_order() {
+        // Regression: many fully-covered slabs used to be removed one
+        // `Vec::remove` at a time (quadratic); the drain-based splice must
+        // preserve exact ascending order across partial and full slabs.
+        let mut pt = PageTable::new();
+        for base in [0u64, 10, 20, 30, 40] {
+            pt.reserve_range(PageRange::new(base, base + 4));
+        }
+        for vpn in [1u64, 3, 10, 12, 21, 23, 31, 41, 42] {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        assert_eq!(pt.slabs.len(), 5);
+        let removed = pt.release_range(PageRange::new(2, 42));
+        let vpns: Vec<u64> = removed.iter().map(|p| p.frame.0).collect();
+        assert_eq!(vpns, vec![3, 10, 12, 21, 23, 31, 41]);
+        // Slabs 10.. and 20.. and 30.. were fully covered and spliced out;
+        // the straddling first and last slabs keep their reservations.
+        assert_eq!(pt.slabs.len(), 2);
+        assert_eq!(pt.sorted_vpns(), vec![1, 42]);
+        assert_stats_consistent(&pt);
     }
 
     #[test]
@@ -487,6 +1361,24 @@ mod tests {
     }
 
     #[test]
+    fn walk_range_crosses_word_boundaries() {
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, 200));
+        // One page per bitmap word plus neighbours of the boundaries.
+        let vpns = [0u64, 63, 64, 65, 127, 128, 190];
+        for &vpn in &vpns {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        let got: Vec<u64> = pt.iter().map(|(v, _)| v).collect();
+        assert_eq!(got, vpns);
+        let mid: Vec<u64> = pt
+            .walk_range(PageRange::new(63, 128))
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(mid, vec![63, 64, 65, 127]);
+    }
+
+    #[test]
     fn update_range_mutates_only_mapped_pages() {
         let mut pt = PageTable::new();
         pt.reserve_range(PageRange::new(0, 16));
@@ -502,6 +1394,8 @@ mod tests {
         assert!(pt.get(3).unwrap().is_next_touch());
         assert!(pt.get(8).unwrap().is_next_touch());
         assert!(!pt.get(12).unwrap().is_next_touch());
+        assert_eq!(pt.stats().next_touch, 2);
+        assert_stats_consistent(&pt);
     }
 
     #[test]
@@ -516,6 +1410,42 @@ mod tests {
     }
 
     #[test]
+    fn descending_maps_coalesce_into_one_slab() {
+        // Regression: grow_for only merged with the preceding slab, so a
+        // descending map sequence fragmented into one slab per page.
+        let mut pt = PageTable::new();
+        for vpn in (1..10u64).rev() {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        assert_eq!(pt.len(), 9);
+        assert_eq!(pt.sorted_vpns(), (1..10).collect::<Vec<u64>>());
+        assert_eq!(pt.slabs.len(), 1, "descending maps coalesce into one slab");
+        assert_stats_consistent(&pt);
+    }
+
+    #[test]
+    fn bridging_map_merges_both_neighbours() {
+        let mut pt = PageTable::new();
+        // Build two separated runs crossing a word boundary, then bridge.
+        for vpn in 0..70u64 {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        for vpn in 71..140u64 {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        assert_eq!(pt.slabs.len(), 2);
+        pt.map(70, Pte::present_rw(FrameId(70)));
+        assert_eq!(pt.slabs.len(), 1, "bridge page stitches the two slabs");
+        assert_eq!(pt.len(), 140);
+        let got: Vec<u64> = pt.iter().map(|(v, _)| v).collect();
+        assert_eq!(got, (0..140).collect::<Vec<u64>>());
+        for vpn in 0..140u64 {
+            assert_eq!(pt.get(vpn).unwrap().frame, FrameId(vpn), "vpn {vpn}");
+        }
+        assert_stats_consistent(&pt);
+    }
+
+    #[test]
     fn unmap_keeps_reservation() {
         let mut pt = PageTable::new();
         pt.reserve_range(PageRange::new(0, 4));
@@ -523,5 +1453,110 @@ mod tests {
         pt.unmap(1);
         assert!(pt.is_empty());
         assert_eq!(pt.slabs.len(), 1, "unmap must not drop the extent");
+    }
+
+    #[test]
+    fn hint_survives_unrelated_reserve_and_release() {
+        // Regression: reserve_range/release_range used to clobber the hint
+        // to slab 0, evicting the hot VMA's cache on every unrelated
+        // mmap/munmap. The hint must track its slab through shifts and only
+        // invalidate when that slab itself is removed.
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(100, 110));
+        pt.map(105, Pte::present_rw(FrameId(1)));
+        assert!(pt.get(105).is_some());
+        let hot = pt.hint.get();
+        assert_eq!(pt.slabs[hot].base, 100);
+
+        // An unrelated reservation *before* the hot slab shifts it up.
+        pt.reserve_range(PageRange::new(0, 10));
+        assert_eq!(pt.slabs[pt.hint.get()].base, 100, "hint follows its slab");
+
+        // An unrelated reservation *after* it leaves the hint alone.
+        pt.reserve_range(PageRange::new(200, 210));
+        assert_eq!(pt.slabs[pt.hint.get()].base, 100);
+
+        // Releasing the earlier slab shifts the hint back down.
+        pt.release_range(PageRange::new(0, 10));
+        assert_eq!(pt.slabs[pt.hint.get()].base, 100);
+
+        // Releasing the hinted slab itself invalidates the hint; lookups
+        // still work through the binary-search fallback.
+        pt.release_range(PageRange::new(100, 110));
+        assert_eq!(pt.hint.get(), NO_HINT);
+        assert!(pt.get(105).is_none());
+        pt.map(205, Pte::present_rw(FrameId(2)));
+        assert_eq!(pt.get(205).unwrap().frame, FrameId(2));
+    }
+
+    #[test]
+    fn huge_conversion_stores_heads_only() {
+        let pages = crate::PAGES_PER_HUGE;
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, 2 * pages));
+        assert!(pt.convert_range_to_huge(PageRange::new(0, 2 * pages)));
+        let mut head = Pte::present_rw(FrameId(7));
+        head.flags |= PteFlags::HUGE;
+        assert_eq!(pt.map(0, head), None);
+        assert_eq!(pt.map(pages, head), None);
+        assert_eq!(pt.len(), 2, "one record per huge page");
+        assert_eq!(pt.stats().huge, 2);
+        assert!(pt.get(1).is_none(), "non-head pages carry no entry");
+        assert!(pt.get(pages - 1).is_none());
+        assert_eq!(pt.sorted_vpns(), vec![0, pages]);
+        let removed = pt.release_range(PageRange::new(0, 2 * pages));
+        assert_eq!(removed.len(), 2);
+        assert!(pt.is_empty());
+        assert_stats_consistent(&pt);
+    }
+
+    #[test]
+    fn huge_conversion_refuses_populated_or_misaligned() {
+        let pages = crate::PAGES_PER_HUGE;
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, pages));
+        pt.map(3, Pte::present_rw(FrameId(1)));
+        assert!(!pt.convert_range_to_huge(PageRange::new(0, pages)));
+        assert_eq!(pt.get(3).unwrap().frame, FrameId(1));
+
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, 10));
+        assert!(!pt.convert_range_to_huge(PageRange::new(0, 10)));
+    }
+
+    #[test]
+    fn sync_from_matches_generic_semantics() {
+        let mut primary = PageTable::new();
+        let mut replica = PageTable::new();
+        primary.reserve_range(PageRange::new(0, 192));
+        replica.reserve_range(PageRange::new(0, 192));
+        for vpn in [1u64, 64, 65, 100, 130] {
+            primary.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        for vpn in [1u64, 64, 70, 130] {
+            replica.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        primary.get_mut(130).unwrap().frame = FrameId(999);
+        // 70 unmapped, 65 and 100 installed, 130 overwritten.
+        let changed = replica.sync_from(&primary, PageRange::new(0, 192));
+        assert_eq!(changed, 4);
+        assert_eq!(replica.sorted_vpns(), vec![1, 64, 65, 100, 130]);
+        assert_eq!(replica.get(130).unwrap().frame, FrameId(999));
+        assert_eq!(replica.sync_from(&primary, PageRange::new(0, 192)), 0);
+        assert_stats_consistent(&replica);
+    }
+
+    #[test]
+    fn sync_from_adopts_whole_slabs_into_gaps() {
+        let mut primary = PageTable::new();
+        for vpn in 0..100u64 {
+            primary.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        let mut replica = PageTable::new();
+        let changed = replica.sync_from(&primary, PageRange::new(0, 1000));
+        assert_eq!(changed, 100);
+        assert_eq!(replica.len(), 100);
+        assert_eq!(replica.sorted_vpns(), primary.sorted_vpns());
+        assert_stats_consistent(&replica);
     }
 }

@@ -161,7 +161,13 @@ impl AddressSpace {
     pub fn set_vma_huge(&mut self, addr: VirtAddr) -> Result<(), VmError> {
         let vma = self.find_vma_mut(addr).ok_or(VmError::NoVma(addr))?;
         vma.huge = true;
+        let range = vma.range;
         self.has_huge = true;
+        // Shrink the VMA's still-empty reservation to one record per huge
+        // page: only heads ever carry entries in a huge VMA, so the other
+        // 511 slots per 2 MB would be dead weight. Best-effort — a
+        // non-huge-aligned or already-populated extent stays base-grain.
+        self.page_table.convert_range_to_huge(range);
         self.generation += 1;
         Ok(())
     }

@@ -153,16 +153,17 @@ proptest! {
         prop_assert!(counts.iter().all(|c| *c == rounds), "{counts:?}");
     }
 
-    /// The dense-slab page table is PTE-for-PTE equivalent to a naive
+    /// The bitmap-slab page table is PTE-for-PTE equivalent to a naive
     /// `BTreeMap` reference model under random interleaved sequences of
-    /// map / unmap / protect / migrate / huge-remap / reserve / release
-    /// ops. This is the representation-only guarantee the slab rewrite
-    /// rests on: every observable read (`get`, `len`, ordered iteration,
-    /// `walk_range`) agrees with the model after every op.
+    /// map (ascending, descending and 1-in-64 sparse orders) / unmap /
+    /// protect / migrate / huge-remap / reserve / release ops. This is
+    /// the representation-only guarantee the SoA rewrite rests on: every
+    /// observable read (`get`, `len`, ordered iteration, `walk_range`,
+    /// `stats`) agrees with the model after every op.
     #[test]
     fn slab_table_matches_btreemap_reference(
         ops in proptest::collection::vec(
-            (0u8..6, 0u64..192, 1u64..48, 0u64..1000), 1..60)
+            (0u8..8, 0u64..192, 1u64..48, 0u64..1000), 1..60)
     ) {
         let mut pt = PageTable::new();
         let mut model: BTreeMap<u64, Pte> = BTreeMap::new();
@@ -217,28 +218,136 @@ proptest! {
                     pt.map(range.start_vpn, head);
                     model.insert(range.start_vpn, head);
                 }
+                // Descending map: the order that used to fragment into one
+                // single-page slab per page before grow_for merged forward.
+                5 => {
+                    for vpn in (range.start_vpn..range.end_vpn).rev() {
+                        let pte = Pte::present_rw(FrameId(next_frame));
+                        next_frame += 1;
+                        prop_assert_eq!(pt.map(vpn, pte), model.insert(vpn, pte),
+                            "descending map({}) disagreed on the previous entry", vpn);
+                    }
+                }
+                // Sparse map: 1-in-64 occupancy, exercising single-bit
+                // words in the present bitmap.
+                6 => {
+                    for vpn in range.iter().filter(|v| v % 64 == salt % 64) {
+                        let pte = Pte::present_rw(FrameId(next_frame));
+                        next_frame += 1;
+                        prop_assert_eq!(pt.map(vpn, pte), model.insert(vpn, pte),
+                            "sparse map({}) disagreed on the previous entry", vpn);
+                    }
+                }
                 // Reserve: pure storage pre-sizing, must be unobservable.
                 _ => pt.reserve_range(range),
             }
             prop_assert_eq!(pt.len(), model.len(), "len diverged");
         }
         // Full ordered iteration agrees entry-for-entry.
-        let got: Vec<(u64, Pte)> = pt.iter().map(|(v, p)| (v, *p)).collect();
+        let got: Vec<(u64, Pte)> = pt.iter().collect();
         let want: Vec<(u64, Pte)> = model.iter().map(|(v, p)| (*v, *p)).collect();
         prop_assert_eq!(got, want, "ordered iteration diverged");
         // Point lookups agree across the whole domain (mapped and not).
         for vpn in 0..256u64 {
-            prop_assert_eq!(pt.get(vpn).copied(), model.get(&vpn).copied(),
+            prop_assert_eq!(pt.get(vpn), model.get(&vpn).copied(),
                 "get({}) diverged", vpn);
         }
         // Range walks agree on arbitrary windows.
         for (lo, hi) in [(0u64, 64u64), (50, 150), (100, 256), (0, 256)] {
             let got: Vec<(u64, Pte)> =
-                pt.walk_range(PageRange::new(lo, hi)).map(|(v, p)| (v, *p)).collect();
+                pt.walk_range(PageRange::new(lo, hi)).collect();
             let want: Vec<(u64, Pte)> =
                 model.range(lo..hi).map(|(v, p)| (*v, *p)).collect();
             prop_assert_eq!(got, want, "walk_range({}, {}) diverged", lo, hi);
         }
+        // The incremental aggregates match a from-scratch recount.
+        let stats = pt.stats();
+        prop_assert_eq!(stats.mapped as usize, model.len());
+        let huge = model.values().filter(|p| p.flags.contains(PteFlags::HUGE)).count();
+        prop_assert_eq!(stats.huge as usize, huge, "huge tally diverged");
+        let nt = model.values().filter(|p| p.flags.contains(PteFlags::NEXT_TOUCH)).count();
+        prop_assert_eq!(stats.next_touch as usize, nt, "next-touch tally diverged");
+    }
+
+    /// Mapping a contiguous run in *any* order — ascending, descending,
+    /// or an arbitrary shuffle — coalesces into exactly one slab: the
+    /// slab count depends on the final shape, not the arrival order.
+    #[test]
+    fn contiguous_maps_coalesce_regardless_of_order(
+        n in 2u64..160, seed in 0u64..1_000_000
+    ) {
+        let mut order: Vec<u64> = (0..n).collect();
+        // Deterministic splitmix-driven Fisher–Yates shuffle.
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9) ^ (state >> 31);
+            order.swap(i, (state as usize) % (i + 1));
+        }
+        let mut pt = PageTable::new();
+        for &vpn in &order {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        prop_assert_eq!(pt.len() as u64, n);
+        prop_assert_eq!(pt.stats().slabs, 1, "order {order:?} fragmented");
+        let got: Vec<u64> = pt.iter().map(|(v, _)| v).collect();
+        prop_assert_eq!(got, (0..n).collect::<Vec<u64>>());
+    }
+
+    /// 1-in-64 sparse occupancy over a large reservation: walks skip the
+    /// 63-absent-bit words cheaply but must still yield exactly the
+    /// mapped pages, in order, over arbitrary windows.
+    #[test]
+    fn sparse_occupancy_walks_agree(
+        offset in 0u64..64, words in 1u64..40,
+        win_lo in 0u64..2000, win_len in 0u64..2600,
+    ) {
+        let span = words * 64;
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, span));
+        let mapped: Vec<u64> = (0..words).map(|w| w * 64 + offset).collect();
+        for &vpn in &mapped {
+            pt.map(vpn, Pte::present_rw(FrameId(vpn)));
+        }
+        prop_assert_eq!(pt.stats().slabs, 1);
+        prop_assert_eq!(pt.len() as u64, words);
+        let (lo, hi) = (win_lo.min(span), (win_lo + win_len).min(span));
+        let got: Vec<u64> = pt.walk_range(PageRange::new(lo, hi)).map(|(v, _)| v).collect();
+        let want: Vec<u64> = mapped.iter().copied().filter(|v| (lo..hi).contains(v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Huge-converted extents store one record per huge page: lookups on
+    /// non-head pages miss, walks yield exactly the mapped heads, and
+    /// releasing the extent returns one PTE per mapped head.
+    #[test]
+    fn huge_records_cover_heads_only(
+        huge_pages in 1u64..4, mask in 0u64..8, probe in 0u64..1_000,
+    ) {
+        use numa_vm::PAGES_PER_HUGE;
+        let span = huge_pages * PAGES_PER_HUGE;
+        let mut pt = PageTable::new();
+        pt.reserve_range(PageRange::new(0, span));
+        prop_assert!(pt.convert_range_to_huge(PageRange::new(0, span)));
+        let heads: Vec<u64> = (0..huge_pages)
+            .filter(|k| mask & (1 << k) != 0)
+            .map(|k| k * PAGES_PER_HUGE)
+            .collect();
+        for &head in &heads {
+            let mut pte = Pte::present_rw(FrameId(head));
+            pte.flags |= PteFlags::HUGE;
+            pt.map(head, pte);
+        }
+        prop_assert_eq!(pt.len(), heads.len());
+        prop_assert_eq!(pt.stats().huge as usize, heads.len());
+        prop_assert_eq!(pt.stats().slabs, 1, "one slab records the whole extent");
+        let got: Vec<u64> = pt.iter().map(|(v, _)| v).collect();
+        prop_assert_eq!(got, heads.clone());
+        let vpn = probe % span;
+        let expect = heads.contains(&vpn);
+        prop_assert_eq!(pt.get(vpn).is_some(), expect, "get({}) diverged", vpn);
+        let removed = pt.release_range(PageRange::new(0, span));
+        prop_assert_eq!(removed.len(), heads.len());
+        prop_assert!(pt.is_empty());
     }
 
     /// Next-touch marking and clearing are inverses on the access bits.

@@ -167,8 +167,8 @@ proptest! {
             lazy.pt_sync_node(node);
             let er = eager.pt_replicas().unwrap().replica(node);
             let lr = lazy.pt_replicas().unwrap().replica(node);
-            let e: Vec<(u64, Pte)> = er.iter().map(|(v, p)| (v, *p)).collect();
-            let l: Vec<(u64, Pte)> = lr.iter().map(|(v, p)| (v, *p)).collect();
+            let e: Vec<(u64, Pte)> = er.iter().collect();
+            let l: Vec<(u64, Pte)> = lr.iter().collect();
             prop_assert_eq!(e, l, "eager and lazy replicas diverged on {}", node);
         }
     }

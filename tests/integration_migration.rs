@@ -187,6 +187,7 @@ fn bound_allocation_fails_loudly_when_bank_full() {
         CoreId(0),
         extra.addr,
         true,
+        &mut numa_migrate::stats::Breakdown::new(),
     );
     assert!(matches!(r, numa_migrate::kernel::FaultResolution::Fatal(_)));
 }
