@@ -2,11 +2,17 @@
 //!
 //! Times the heaviest sweeps in-process at `--jobs 1` and at the requested
 //! `--jobs`, checksums every result set, and writes the measurements to a
-//! JSON file (default `BENCH_pr7.json`). The checksums make the
+//! JSON file (default `BENCH_pr8.json`). The checksums make the
 //! equivalence contract auditable: every run of a workload must report the
 //! same checksum no matter the jobs count, and a checksum change across
 //! commits means virtual-time results moved — which the host-performance
 //! work must never do.
+//!
+//! Workloads that are single-threaded by construction (one address space,
+//! no sweep to distribute) are marked jobs-invariant and measured only
+//! once, at `--jobs 1`: re-timing the identical function under a
+//! different label measures scheduler noise, not the pool — the
+//! BENCH_pr7 `ptrepl jobs=4` "regression" was exactly that artifact.
 //!
 //! The workload set covers every memory-metadata hot path the dense PTE
 //! slabs serve: fig7 (fault-path migration + `move_pages` under
@@ -33,10 +39,18 @@ use std::hash::Hasher;
 use std::time::Instant;
 
 /// Wall-clock of the quick sweeps on the commit preceding the
-/// present-bitmap SoA slab round, single host thread (seconds, from
-/// BENCH_pr6.json). A trajectory marker, not a cross-machine constant.
-const BASELINE_SECONDS: [(&str, f64); 3] =
-    [("fig7", 0.0694), ("table1", 2.1201), ("ptrepl", 0.5760)];
+/// calendar-queue/arena engine round, single host thread (seconds, the
+/// jobs=1 medians from BENCH_pr7.json). A trajectory marker, not a
+/// cross-machine constant. `qchurn` is new this round and carries no
+/// baseline.
+const BASELINE_SECONDS: [(&str, f64); 6] = [
+    ("fig7", 0.0485),
+    ("table1", 1.6419),
+    ("fig4", 0.0029),
+    ("fig5", 0.0035),
+    ("ptrepl", 0.0981),
+    ("sparsewalk", 0.0309),
+];
 
 fn checksum(debug_rows: &str) -> String {
     let mut h = FxHasher::default();
@@ -159,39 +173,99 @@ fn sparsewalk_stress() -> String {
     )
 }
 
+/// Engine-core churn: the calendar ready queue and the breakdown
+/// accumulator under the exact access pattern the engine drives — pop
+/// the earliest thread, charge a couple of cost components, re-schedule
+/// at a deterministic stride — with no kernel, no page tables, and no
+/// memory system, so queue push/pop plus breakdown adds are the entire
+/// profile. The stride mix covers the three calendar regimes: same-day
+/// ties (FIFO order), short hops within the 64-bucket ring (the common
+/// quantum-sized advance), and rare far-future jumps that park on the
+/// overflow rung and must migrate back. Single-threaded by
+/// construction; trivially jobs-invariant.
+fn qchurn_stress() -> String {
+    use numa_migrate::sim::{ReadyQueue, SimTime};
+    use numa_migrate::stats::{Breakdown, CostComponent};
+    const THREADS: usize = 64;
+    const MICROS: u64 = 100_000;
+    let mut q = ReadyQueue::with_capacity(THREADS);
+    let mut b = Breakdown::new();
+    for tid in 0..THREADS {
+        q.push(SimTime((tid % 5) as u64), tid);
+    }
+    let mut remaining = [MICROS; THREADS];
+    let (mut pops, mut mix) = (0u64, 0u64);
+    while let Some((now, tid)) = q.pop() {
+        pops += 1;
+        let stride = match pops % 127 {
+            0 => 1 << 24,                          // overflow rung
+            1..=9 => 0,                            // same-instant FIFO ties
+            r => 40 + (r * 37 + tid as u64) % 400, // in-ring hops
+        };
+        b.add(CostComponent::MemoryAccess, stride);
+        b.add(CostComponent::Compute, 1);
+        mix = mix
+            .wrapping_add(now.ns() ^ (tid as u64) << 7)
+            .rotate_left(5);
+        if remaining[tid] > 0 {
+            remaining[tid] -= 1;
+            q.push(now + stride, tid);
+        }
+    }
+    assert_eq!(pops, THREADS as u64 * (MICROS + 1), "qchurn lost events");
+    format!("pops={pops} mix={mix:016x} total={}", b.total())
+}
+
 fn main() {
     let opts = Options::parse("hostbench", "host wall-clock of the heavy sweeps");
-    let out_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr7.json".into());
+    let out_path = opts.json.clone().unwrap_or_else(|| "BENCH_pr8.json".into());
     let fig7_pages: Vec<u64> = vec![64, 512, 4096, 16384];
     let fig4_pages: Vec<u64> = vec![16, 256, 2048];
     let fig5_pages: Vec<u64> = vec![16, 256, 2048];
     let table1_cases = table1::quick_cases();
-    // (name, reps, runner) — reps are median-of; table1 is slow enough
-    // that fewer iterations already give a stable median.
+    // (name, reps, jobs-sensitive, runner) — reps are median-of; table1
+    // is slow enough that fewer iterations already give a stable median.
+    // Jobs-insensitive workloads ignore the jobs argument and are
+    // measured only at jobs=1 (see the module docs).
     type Runner<'a> = Box<dyn Fn(usize) -> String + 'a>;
-    let workloads: Vec<(&str, usize, Runner)> = vec![
+    let workloads: Vec<(&str, usize, bool, Runner)> = vec![
         (
             "fig7",
             5,
+            true,
             Box::new(|jobs| format!("{:?}", fig7::run_jobs(&fig7_pages, 4, jobs))),
         ),
         (
             "table1",
             3,
+            true,
             Box::new(|jobs| format!("{:?}", table1::run_jobs(&table1_cases, jobs))),
         ),
         (
             "fig4",
             5,
+            true,
             Box::new(|jobs| format!("{:?}", fig4::run_jobs(&fig4_pages, jobs))),
         ),
         (
             "fig5",
             5,
+            true,
             Box::new(|jobs| format!("{:?}", fig5::run_jobs(&fig5_pages, jobs))),
         ),
-        ("ptrepl", 3, Box::new(|_jobs| ptrepl_replica_stress())),
-        ("sparsewalk", 3, Box::new(|_jobs| sparsewalk_stress())),
+        (
+            "ptrepl",
+            3,
+            false,
+            Box::new(|_jobs| ptrepl_replica_stress()),
+        ),
+        (
+            "sparsewalk",
+            3,
+            false,
+            Box::new(|_jobs| sparsewalk_stress()),
+        ),
+        ("qchurn", 3, false, Box::new(|_jobs| qchurn_stress())),
     ];
 
     let jobs_values = if opts.jobs > 1 {
@@ -201,9 +275,12 @@ fn main() {
     };
     let mut runs = Vec::new();
     let mut seq_seconds = Vec::new();
-    for (name, reps, run) in &workloads {
+    for (name, reps, jobs_sensitive, run) in &workloads {
         let mut sums = Vec::new();
         for &jobs in &jobs_values {
+            if jobs > 1 && !jobs_sensitive {
+                continue;
+            }
             let s = measure(*reps, || run(jobs));
             if opts.verbose {
                 eprintln!(

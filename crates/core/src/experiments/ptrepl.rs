@@ -131,9 +131,32 @@ pub fn cases(page_counts: &[u64]) -> Vec<(&'static str, u64)> {
     cases
 }
 
-/// Below this many summed case pages the sweep runs sequentially (same
-/// spawn/join-vs-work threshold as the Fig. 7 harness).
-const MIN_PARALLEL_SWEEP_PAGES: u64 = 32_768;
+/// Below this much summed estimated work (page-touch units, see
+/// [`case_work`]) the sweep runs sequentially: spawn/join and result-slot
+/// synchronisation cost more host time than the cells themselves. The
+/// default sweep (~0.8M units, most of it the one `lu` cell that parallel
+/// workers cannot split anyway) sits under this gate — `--jobs 4` used to
+/// pay pool overhead on it for no speedup because the old gate summed raw
+/// `size` values, where `lu`'s matrix dimension (1024) looked *smaller*
+/// than a single mid-size walk cell.
+const MIN_PARALLEL_SWEEP_WORK: u64 = 1 << 20;
+
+/// Estimated simulated work of one cell, in page-touch units.
+///
+/// `size` alone is a bad estimator because the workloads scale
+/// differently in it: the walk touches every page `1 + WALK_SWEEPS`
+/// times, migrate/next-touch touch each page a constant number of times,
+/// and `lu`'s `size` is a matrix *dimension* — the factorization does
+/// ~n³/3 element updates, i.e. n³/1536 page-touch units at 512 f64 per
+/// page.
+fn case_work(workload: &str, size: u64) -> u64 {
+    match workload {
+        "walk" => size * (1 + WALK_SWEEPS),
+        "migrate" | "next_touch" => size * 3,
+        "lu" => (size * size * size) / 1536,
+        _ => size,
+    }
+}
 
 /// Run the given cells sequentially.
 pub fn run(cases: &[(&'static str, u64)]) -> Vec<PtreplRow> {
@@ -147,8 +170,8 @@ pub fn run_jobs(cases: &[(&'static str, u64)], jobs: usize) -> Vec<PtreplRow> {
     threadpool::par_map_weighted(
         jobs,
         cases,
-        |&(_, size)| size,
-        MIN_PARALLEL_SWEEP_PAGES,
+        |&(workload, size)| case_work(workload, size),
+        MIN_PARALLEL_SWEEP_WORK,
         |_, &(workload, size)| run_case(workload, size),
     )
 }
@@ -248,6 +271,19 @@ pub fn measure_lu(scenario: PtScenario, n: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_sweep_stays_sequential() {
+        let cases = cases(&default_page_counts());
+        let total: u64 = cases.iter().map(|&(w, s)| case_work(w, s)).sum();
+        assert!(
+            total < MIN_PARALLEL_SWEEP_WORK,
+            "default sweep ({total} units) must stay under the parallel gate"
+        );
+        // The one lu cell is most of that work: parallel workers cannot
+        // split a single cell, so pooling the default sweep buys nothing.
+        assert!(case_work("lu", 1024) * 2 > total);
+    }
 
     #[test]
     fn walk_orders_local_repl_remote() {

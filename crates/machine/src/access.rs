@@ -14,6 +14,54 @@ use numa_vm::{PageRange, VirtAddr, PAGE_SIZE};
 /// fault handler is not making progress (a runtime bug, loudly reported).
 const MAX_FAULT_RETRIES: u32 = 8;
 
+/// Batched per-touch statistics (DESIGN.md §13).
+///
+/// The touch loop charges the same handful of stats on every page — the
+/// `MemoryAccess` breakdown add plus cache-hit/miss and local/remote
+/// counters. Accumulating them in this plain-integer scratch and flushing
+/// once per scheduling quantum keeps those read-modify-writes out of the
+/// per-page path. Totals are unchanged because every charge is additive;
+/// traced runs flush after every micro so the engine's span diffs still
+/// see per-micro deltas (the flush points are the engine's contract).
+/// Rare charges (faults, tiering stalls, replica syncs) keep writing to
+/// `RunStats` directly — batching them would buy nothing.
+#[derive(Default)]
+pub(crate) struct TouchBatch {
+    mem_ns: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    local: u64,
+    remote: u64,
+}
+
+impl TouchBatch {
+    /// Drain the accumulated charges into `stats`.
+    pub(crate) fn flush(&mut self, stats: &mut RunStats) {
+        if self.mem_ns > 0 {
+            stats
+                .breakdown
+                .add(CostComponent::MemoryAccess, self.mem_ns);
+            self.mem_ns = 0;
+        }
+        if self.cache_hits > 0 {
+            stats.counters.add(Counter::CacheHits, self.cache_hits);
+            self.cache_hits = 0;
+        }
+        if self.cache_misses > 0 {
+            stats.counters.add(Counter::CacheMisses, self.cache_misses);
+            self.cache_misses = 0;
+        }
+        if self.local > 0 {
+            stats.counters.add(Counter::LocalAccesses, self.local);
+            self.local = 0;
+        }
+        if self.remote > 0 {
+            stats.counters.add(Counter::RemoteAccesses, self.remote);
+            self.remote = 0;
+        }
+    }
+}
+
 impl Machine {
     /// Resolve the page-table vpn that backs `addr` (huge mappings are
     /// keyed by their head page).
@@ -169,10 +217,14 @@ impl Machine {
         let per_page = traffic / pages.max(1);
         let remainder = traffic - per_page * pages;
         let fits = self.operand_fits_in_cache(core, pages);
+        let mut batch = TouchBatch::default();
         for (i, page_addr) in touches.iter().copied().enumerate() {
             let portion = per_page + if (i as u64) < remainder { 1 } else { 0 };
-            now = self.touch_page(tid, core, now, page_addr, portion, write, kind, fits, stats);
+            now = self.touch_page(
+                tid, core, now, page_addr, portion, write, kind, fits, stats, &mut batch,
+            );
         }
+        batch.flush(stats);
         now
     }
 
@@ -193,7 +245,9 @@ impl Machine {
 
     /// Touch one page: resolve faults, then charge `portion` bytes of
     /// traffic through the cache/DRAM/interconnect model. The engine's
-    /// per-page micro-op executor.
+    /// per-page micro-op executor. The common-case charges land in
+    /// `batch`; the caller flushes it into `stats` at its quantum
+    /// boundary (see [`TouchBatch`]).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn touch_page(
         &mut self,
@@ -206,6 +260,7 @@ impl Machine {
         kind: MemAccessKind,
         fits_in_cache: bool,
         stats: &mut RunStats,
+        batch: &mut TouchBatch,
     ) -> SimTime {
         // Field borrows of `self.topo`, never an Arc clone: this runs
         // once per touched page, and the refcount round-trip was
@@ -259,10 +314,10 @@ impl Machine {
         now = self.charge_pt_walk(core_node, now, kind, stats);
         if self.caches[core_node.index()].touch(vpn) {
             // Served from the node's shared L3.
-            stats.counters.bump(Counter::CacheHits);
+            batch.cache_hits += 1;
             now += (portion as f64 / self.topo.cost().l3_bw).round() as u64;
         } else {
-            stats.counters.bump(Counter::CacheMisses);
+            batch.cache_misses += 1;
             // Split the charged traffic into the DRAM part (the fill,
             // plus all reuse when the operand cannot stay resident) and
             // the L3-served reuse part.
@@ -300,14 +355,12 @@ impl Machine {
             now = xfer.end;
             now += (l3_bytes as f64 / l3_bw).round() as u64;
             if home == core_node {
-                stats.counters.bump(Counter::LocalAccesses);
+                batch.local += 1;
             } else {
-                stats.counters.bump(Counter::RemoteAccesses);
+                batch.remote += 1;
             }
         }
-        stats
-            .breakdown
-            .add(CostComponent::MemoryAccess, now.since(start));
+        batch.mem_ns += now.since(start);
         now
     }
 

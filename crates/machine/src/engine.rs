@@ -84,9 +84,13 @@ impl RunResult {
 /// lock/link watermark to its own completion time, invisibly serializing
 /// any logically-concurrent caller — exactly the artifact a single
 /// `busy_until` resource model is prone to.
+#[derive(Clone, Copy)]
 enum Micro {
-    /// A small op that is safe to execute atomically.
-    Whole(Op),
+    /// A small op that is safe to execute atomically, stored out-of-line
+    /// in [`MicroRuns::whole_ops`] (index). Keeping the one non-`Copy`
+    /// payload out of the enum makes every arena slot a plain 32-byte
+    /// copy — drained slots need no sentinel back-fill and no drop glue.
+    Whole(u32),
     /// `move_pages` base bookkeeping.
     MovePagesBegin,
     /// Migrate one page of a `move_pages` call; a transient (`EBUSY`)
@@ -151,12 +155,106 @@ const TIER_TXN_RETRIES: u32 = 3;
 /// `migrate_pages()` retry loop.
 const MOVE_PAGE_RETRIES: u32 = 3;
 
+/// A thread's pending micro-ops: a bump arena of contiguous runs
+/// (DESIGN.md §13).
+///
+/// `expand_op_into` writes each op as one contiguous run and the arena is
+/// cleared wholesale before the next expansion, so steady state allocates
+/// nothing and drains by bumping a cursor through a flat `Vec`. The
+/// `push_front` re-queues of the retry paths (fault retries, tier txn
+/// abort/re-begin) append single-micro runs at the arena *tail* and chain
+/// them LIFO on the run stack: the top run always drains first, which is
+/// exactly a deque's front-push order without the deque.
+#[derive(Default)]
+struct MicroRuns {
+    /// Flat storage; cleared (capacity kept) before each expansion.
+    arena: Vec<Micro>,
+    /// `(cursor, end)` windows into `arena`; the last entry is the run
+    /// currently draining. Depth is 1 + pending front-pushes, so it stays
+    /// within a couple of entries.
+    runs: Vec<(u32, u32)>,
+    /// Out-of-line [`Micro::Whole`] payloads, indexed by the variant.
+    whole_ops: Vec<Op>,
+}
+
+impl MicroRuns {
+    fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Reset the arena for a fresh op expansion. Only legal when drained —
+    /// live run windows would dangle otherwise.
+    fn begin_expand(&mut self) {
+        debug_assert!(self.runs.is_empty(), "expansion into a draining arena");
+        self.arena.clear();
+        self.whole_ops.clear();
+    }
+
+    /// Seal everything emitted since `begin_expand` as one contiguous
+    /// run. A no-op for empty expansions.
+    fn end_expand(&mut self) {
+        debug_assert!(self.runs.is_empty(), "sealing into a draining arena");
+        if !self.arena.is_empty() {
+            self.runs.push((0, self.arena.len() as u32));
+        }
+    }
+
+    /// Append a micro to the run being expanded. Plain arena push — the
+    /// covering window is created once by `end_expand`, not maintained
+    /// per push (expansion is itself a hot path: one emit per page).
+    fn emit(&mut self, m: Micro) {
+        debug_assert!(self.runs.is_empty(), "emit outside an expansion");
+        self.arena.push(m);
+    }
+
+    /// Append a whole op, parking its payload out-of-line.
+    fn push_whole(&mut self, op: Op) {
+        let i = self.whole_ops.len() as u32;
+        self.whole_ops.push(op);
+        self.emit(Micro::Whole(i));
+    }
+
+    /// Take the payload of a [`Micro::Whole`] slot (executed exactly once
+    /// per expansion; the slot is dead afterwards).
+    fn take_whole(&mut self, i: u32) -> Op {
+        std::mem::replace(&mut self.whole_ops[i as usize], Op::Nop)
+    }
+
+    /// Chain a micro to drain *next* (deque `push_front` semantics): a
+    /// fresh single-micro run on top of the stack, stored at the arena
+    /// tail so nothing shifts.
+    fn push_front(&mut self, m: Micro) {
+        let i = self.arena.len() as u32;
+        self.arena.push(m);
+        self.runs.push((i, i + 1));
+    }
+
+    /// Take the next micro, bumping the top run's cursor.
+    fn pop_front(&mut self) -> Option<Micro> {
+        let (cursor, end) = self.runs.last_mut()?;
+        let i = *cursor as usize;
+        *cursor += 1;
+        let done = *cursor == *end;
+        let m = self.arena[i];
+        if done {
+            self.runs.pop();
+        }
+        Some(m)
+    }
+
+    /// The micro `pop_front` would return, without consuming it.
+    fn front(&self) -> Option<&Micro> {
+        let &(cursor, _) = self.runs.last()?;
+        Some(&self.arena[cursor as usize])
+    }
+}
+
 struct ThreadState {
     core: CoreId,
     clock: SimTime,
     done: bool,
     program: Program,
-    micro: std::collections::VecDeque<Micro>,
+    micro: MicroRuns,
     /// The from/to node sets of the thread's in-flight `migrate_pages`
     /// walk (set at expansion, read by every `Micro::MigratePage`).
     migrate_args: Option<(Vec<numa_topology::NodeId>, Vec<numa_topology::NodeId>)>,
@@ -199,7 +297,7 @@ impl Machine {
                 clock: SimTime::ZERO,
                 done: false,
                 program: t.program,
-                micro: std::collections::VecDeque::new(),
+                micro: MicroRuns::default(),
                 migrate_args: None,
                 op: None,
             })
@@ -215,6 +313,9 @@ impl Machine {
         // Scratch snapshot for the traced-micro breakdown diff, reused
         // across micros instead of cloning a fresh Vec per drain.
         let mut snap = Breakdown::new();
+        // Tracing cannot be toggled mid-run; hoist the flag out of the
+        // per-micro loop (it lives behind a shared-handle indirection).
+        let tracing = self.trace.enabled();
 
         while let Some((t, tid)) = queue.pop() {
             let state = &mut states[tid];
@@ -229,6 +330,10 @@ impl Machine {
             // passed down so a micro can queue follow-up work (e.g. a
             // transactional tier abort re-queuing its retry).
             if let Some(first) = state.micro.pop_front() {
+                // Per-touch charges accumulate here and flush once per
+                // quantum (per micro when traced, so span diffs are
+                // unchanged) — see `TouchBatch`.
+                let mut batch = crate::access::TouchBatch::default();
                 let mut micro = first;
                 loop {
                     // With tracing on, diff the breakdown around the micro
@@ -236,13 +341,13 @@ impl Machine {
                     // appears as a trace span — component_totals() then
                     // reconciles exactly with the run's Breakdown by
                     // construction.
-                    let traced = self.trace.enabled();
-                    if traced {
+                    if tracing {
                         self.trace.set_thread(tid);
                         snap.clone_from(&stats.breakdown);
                     }
-                    let end = self.exec_micro(tid, core, now, micro, state, &mut stats);
-                    if traced {
+                    let end = self.exec_micro(tid, core, now, micro, state, &mut stats, &mut batch);
+                    if tracing {
+                        batch.flush(&mut stats);
                         for c in CostComponent::ALL {
                             let delta = stats.breakdown.get(c) - snap.get(c);
                             if delta > 0 {
@@ -288,6 +393,7 @@ impl Machine {
                         micro = state.micro.pop_front().expect("checked non-empty");
                         continue;
                     }
+                    batch.flush(&mut stats);
                     queue.push(end, tid);
                     break;
                 }
@@ -350,7 +456,7 @@ impl Machine {
                     let op_name = other.name();
                     let state = &mut states[tid];
                     self.expand_op_into(core, other, state);
-                    if self.trace.enabled() && !state.micro.is_empty() {
+                    if tracing && !state.micro.is_empty() {
                         self.trace
                             .record_for(now, tid, TraceEventKind::OpStart { op: op_name });
                         state.op = Some((op_name, now));
@@ -368,13 +474,13 @@ impl Machine {
         }
     }
 
-    /// Expand an op into its scheduling quanta, pushed onto the thread's
-    /// (empty) micro deque — reused across ops so expansion stops
-    /// allocating once the deque has grown to the run's largest op.
+    /// Expand an op into its scheduling quanta as one contiguous run in
+    /// the thread's micro arena — reused across ops so expansion stops
+    /// allocating once the arena has grown to the run's largest op.
     fn expand_op_into(&mut self, core: CoreId, op: Op, state: &mut ThreadState) {
         use crate::access::{build_strided_touches, touch_iter};
         use numa_vm::{PageRange, PAGE_SIZE};
-        debug_assert!(state.micro.is_empty(), "expansion into a drained deque");
+        state.micro.begin_expand();
         let micros = &mut state.micro;
         match op {
             Op::Access {
@@ -419,7 +525,7 @@ impl Machine {
                 let mut off = 0u64;
                 while off < bytes {
                     let chunk = (PAGE_SIZE - (src + off).page_offset()).min(bytes - off);
-                    micros.push_back(Micro::MemcpyChunk {
+                    micros.emit(Micro::MemcpyChunk {
                         src: src + off,
                         dst: dst + off,
                         bytes: chunk,
@@ -429,7 +535,7 @@ impl Machine {
             }
             Op::MovePages { pages, dest } => {
                 assert_eq!(pages.len(), dest.len(), "pages/dest length mismatch");
-                micros.push_back(Micro::MovePagesBegin);
+                micros.emit(Micro::MovePagesBegin);
                 let n = pages.len();
                 let unpatched_n = if self.kernel.config.patched_move_pages {
                     0
@@ -437,14 +543,14 @@ impl Machine {
                     n
                 };
                 for (addr, d) in pages.into_iter().zip(dest) {
-                    micros.push_back(Micro::MovePage {
+                    micros.emit(Micro::MovePage {
                         addr,
                         dest: d,
                         unpatched_n,
                         retries_left: MOVE_PAGE_RETRIES,
                     });
                 }
-                micros.push_back(Micro::MigrationShootdown);
+                micros.emit(Micro::MigrationShootdown);
             }
             Op::TierMigrate {
                 pages,
@@ -458,37 +564,38 @@ impl Machine {
                     if transactional {
                         // The begin returns copy-completion time; the
                         // commit micro then runs exactly at that time.
-                        micros.push_back(Micro::TierTxnBegin { vpn, dest });
-                        micros.push_back(Micro::TierTxnCommit {
+                        micros.emit(Micro::TierTxnBegin { vpn, dest });
+                        micros.emit(Micro::TierTxnCommit {
                             vpn,
                             dest,
                             retries_left: TIER_TXN_RETRIES,
                         });
                     } else {
-                        micros.push_back(Micro::TierStwPage { vpn, dest });
+                        micros.emit(Micro::TierStwPage { vpn, dest });
                     }
                 }
-                micros.push_back(Micro::MigrationShootdown);
+                micros.emit(Micro::MigrationShootdown);
             }
             Op::MigratePages { from, to } => {
                 assert!(
                     !from.is_empty() && from.len() == to.len(),
                     "from/to node sets mismatch"
                 );
-                micros.push_back(Micro::MigratePagesBegin);
+                micros.emit(Micro::MigratePagesBegin);
                 // The ordered address-space walk (§4.2). The node sets are
                 // parked on the thread, not cloned into every micro.
                 for vpn in self.space.page_table.sorted_vpns() {
-                    micros.push_back(Micro::MigratePage {
+                    micros.emit(Micro::MigratePage {
                         vpn,
                         retries_left: MOVE_PAGE_RETRIES,
                     });
                 }
-                micros.push_back(Micro::MigrationShootdown);
+                micros.emit(Micro::MigrationShootdown);
                 state.migrate_args = Some((from, to));
             }
-            other => micros.push_back(Micro::Whole(other)),
+            other => micros.push_whole(other),
         }
+        state.micro.end_expand();
     }
 
     /// Account a transiently failed per-page migration (`EBUSY` status or
@@ -525,6 +632,7 @@ impl Machine {
     /// queue (a failed tier begin drops its paired commit), queue new work
     /// at the front (an aborted commit re-queues a retry pair), or read
     /// the thread's parked `migrate_args`.
+    #[allow(clippy::too_many_arguments)]
     fn exec_micro(
         &mut self,
         tid: usize,
@@ -533,9 +641,13 @@ impl Machine {
         micro: Micro,
         state: &mut ThreadState,
         stats: &mut RunStats,
+        batch: &mut crate::access::TouchBatch,
     ) -> SimTime {
         match micro {
-            Micro::Whole(op) => self.exec_whole(tid, core, now, op, stats),
+            Micro::Whole(i) => {
+                let op = state.micro.take_whole(i);
+                self.exec_whole(tid, core, now, op, stats)
+            }
             Micro::MovePagesBegin => {
                 let (end, b) = self.kernel.move_pages_begin(now);
                 stats.breakdown.merge(&b);
@@ -669,7 +781,9 @@ impl Machine {
                 write,
                 kind,
                 fits,
-            } => self.touch_page(tid, core, now, page_addr, portion, write, kind, fits, stats),
+            } => self.touch_page(
+                tid, core, now, page_addr, portion, write, kind, fits, stats, batch,
+            ),
             Micro::MemcpyChunk { src, dst, bytes } => {
                 self.exec_memcpy(tid, core, now, src, dst, bytes, stats)
             }
@@ -756,7 +870,7 @@ impl Machine {
 /// from the range iterator instead of materialising a `Vec`.
 #[allow(clippy::too_many_arguments)]
 fn push_touches(
-    micros: &mut std::collections::VecDeque<Micro>,
+    micros: &mut MicroRuns,
     machine: &Machine,
     core: CoreId,
     pages: u64,
@@ -770,7 +884,7 @@ fn push_touches(
     let fits = machine.operand_fits_in_cache(core, pages);
     for (i, page_addr) in touches.into_iter().enumerate() {
         let portion = per_page + if (i as u64) < remainder { 1 } else { 0 };
-        micros.push_back(Micro::Touch {
+        micros.emit(Micro::Touch {
             page_addr,
             portion,
             write,

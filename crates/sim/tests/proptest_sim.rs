@@ -1,7 +1,8 @@
 //! Property-based tests for the discrete-event primitives.
 
 use numa_sim::{
-    BarrierOutcome, BarrierState, ReadyQueue, Resource, SimTime, Splitmix64, Trace, TraceEventKind,
+    BarrierOutcome, BarrierState, HeapReadyQueue, ReadyQueue, Resource, SimTime, Splitmix64, Trace,
+    TraceEventKind,
 };
 use proptest::prelude::*;
 
@@ -124,6 +125,58 @@ proptest! {
             prop_assert_eq!(plain.len(), model.len());
             prop_assert_eq!(plain.is_empty(), model.is_empty());
         }
+    }
+
+    /// Lockstep equivalence of the calendar [`ReadyQueue`] against the
+    /// [`HeapReadyQueue`] reference model over random push/pop
+    /// interleavings. The time generator deliberately mixes three
+    /// regimes: dense small times (same-instant FIFO ties land in one
+    /// calendar bucket), mid-range times (cursor advances across bucket
+    /// years), and far-future times (events park on the overflow rung
+    /// and must migrate back in exact order). Pops must match pair for
+    /// pair — time AND payload — at every step, as must peeks/lengths.
+    #[test]
+    fn calendar_queue_lockstep_with_heap_reference(
+        ops in proptest::collection::vec(
+            proptest::option::weighted(0.65, (0u64..12, 0u64..200_000)),
+            1..300,
+        )
+    ) {
+        // Map each pushed (regime, raw) pair onto one of the five time
+        // regimes (the compat proptest has no `prop_oneof`).
+        let time_of = |regime: u64, raw: u64| -> u64 {
+            match regime {
+                0..=3 => raw % 6,                  // same-instant ties
+                4..=7 => raw % 2_000,              // intra-ring days
+                8 | 9 => raw,                      // multi-year advance
+                10 => (1u64 << 40) + raw % 50,     // deep overflow rung
+                _ => u64::MAX,                     // saturated SimTime
+            }
+        };
+        let mut cal = ReadyQueue::new();
+        let mut heap = HeapReadyQueue::new();
+        let mut seq = 0usize;
+        for op in ops {
+            match op {
+                Some((regime, raw)) => {
+                    let t = time_of(regime, raw);
+                    cal.push(SimTime(t), seq);
+                    heap.push(SimTime(t), seq);
+                    seq += 1;
+                }
+                None => {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+            }
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.is_empty(), heap.is_empty());
+        }
+        // Drain: the full remaining pop sequences must coincide.
+        while let Some(expect) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some(expect));
+        }
+        prop_assert_eq!(cal.pop(), None);
     }
 
     /// A barrier of size n releases exactly once per episode, at the max
