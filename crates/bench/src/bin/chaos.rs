@@ -15,7 +15,14 @@ fn main() {
     );
     let mut out = opts.open_output("chaos");
     let rates = chaos::default_rates(opts.full);
-    let table = chaos_table(&chaos::WORKLOADS, &rates, opts.seed, opts.jobs);
+    // --full also sweeps the memory-pressure paths (node evacuation,
+    // direct reclaim); the default workload list — and so the golden
+    // JSON — is unchanged.
+    let mut workloads = chaos::WORKLOADS.to_vec();
+    if opts.full {
+        workloads.extend(chaos::PRESSURE_WORKLOADS);
+    }
+    let table = chaos_table(&workloads, &rates, opts.seed, opts.jobs);
     out.table(
         &format!(
             "Chaos sweep: {} pages per workload; transient-copy (EBUSY), frame-exhausted\n\

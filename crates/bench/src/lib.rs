@@ -261,6 +261,43 @@ pub fn chaos_table(
     table
 }
 
+/// Build the memory-pressure sweep table: every redistribution strategy
+/// at every occupancy, full pressure ladder enabled, each case executed
+/// twice and audited (see `experiments::pressure`). Shared by the
+/// `pressure` binary and the determinism regression test.
+pub fn pressure_table(occupancies: &[u32], seed: u64, jobs: usize) -> numa_migrate::stats::Table {
+    use numa_migrate::experiments::pressure;
+    let mut table = numa_migrate::stats::Table::new([
+        "strategy",
+        "occupancy",
+        "makespan-ms",
+        "moved",
+        "reclaimed",
+        "evacuated",
+        "oom-kills",
+        "watchdog",
+        "degraded",
+        "retried",
+        "violations",
+    ]);
+    for r in pressure::sweep_jobs(occupancies, seed, jobs) {
+        table.row([
+            r.strategy.to_string(),
+            format!("{}%", r.occupancy_pct),
+            format!("{:.3}", r.makespan_ns as f64 / 1e6),
+            r.moved.to_string(),
+            r.reclaimed.to_string(),
+            r.evacuated.to_string(),
+            r.oom_kills.to_string(),
+            r.watchdog_firings.to_string(),
+            r.degraded.to_string(),
+            r.retried.to_string(),
+            r.violations.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Format seconds with adaptive precision (the paper's Table 1 style).
 pub fn secs(v: f64) -> String {
     if v >= 100.0 {

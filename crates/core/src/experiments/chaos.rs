@@ -43,6 +43,14 @@ pub const WORKLOADS: [&str; 5] = [
     "tiering",
 ];
 
+/// The two memory-pressure paths, swept separately (`--full` and the
+/// chaos CI job) so the default sweep — and its golden output — is
+/// unchanged. `evacuation` offlines a populated node under injection at
+/// [`numa_sim::FaultSite::Evacuation`]; `reclaim` overcommits a shrunken
+/// DRAM node so every allocation past capacity direct-reclaims toward
+/// the slow tier under injection at [`numa_sim::FaultSite::Reclaim`].
+pub const PRESSURE_WORKLOADS: [&str; 2] = ["evacuation", "reclaim"];
+
 /// The injection-rate axis, parts per million per decision point.
 pub fn default_rates(full: bool) -> Vec<u32> {
     if full {
@@ -155,6 +163,8 @@ fn execute(workload: &'static str, rate_ppm: u32, seed: u64) -> ChaosRow {
         "kernel_nt" => run_kernel_nt(seed, rate_ppm),
         "user_nt" => run_user_nt(seed, rate_ppm),
         "tiering" => run_tiering(seed, rate_ppm),
+        "evacuation" => run_evacuation(seed, rate_ppm),
+        "reclaim" => run_reclaim(seed, rate_ppm),
         other => panic!("unknown chaos workload {other:?} (see chaos::WORKLOADS)"),
     };
     let problems = check_invariants(&machine);
@@ -300,6 +310,74 @@ fn run_tiering(seed: u64, rate_ppm: u32) -> CaseOutput {
     (machine, r, buf.page_addrs(), NodeId(0))
 }
 
+/// Node hot-remove under fire: populate node 0, then offline it from a
+/// node-1 core. Every resident page must either evacuate (nearest
+/// online node — node 1) or degrade in place with Linux partial-failure
+/// semantics; the audit catches anything worse. The node is brought
+/// back online afterwards so the sweep also exercises hot-add.
+fn run_evacuation(seed: u64, rate_ppm: u32) -> CaseOutput {
+    let mut machine = Machine::new(
+        std::sync::Arc::new(numa_topology::presets::opteron_4p()),
+        numa_kernel::KernelConfig {
+            pressure: numa_kernel::PressureSettings::enabled(),
+            ..numa_kernel::KernelConfig::default()
+        },
+    );
+    let buf = Buffer::alloc(&mut machine, PAGES * PAGE_SIZE);
+    setup::populate_on_node(&mut machine, &buf, NodeId(0));
+    machine
+        .kernel
+        .set_fault_plan(FaultPlan::chaos(seed, rate_ppm));
+    let r = machine.run(
+        vec![ThreadSpec::scripted(
+            CoreId(4),
+            vec![
+                Op::NodeOffline { node: NodeId(0) },
+                Op::NodeOnline { node: NodeId(0) },
+            ],
+        )],
+        &[],
+    );
+    (machine, r, buf.page_addrs(), NodeId(1))
+}
+
+/// Direct reclaim under fire: a tiered machine whose DRAM banks hold
+/// only 192 frames gets a 256-page buffer bound to node 0, so every
+/// fault past capacity runs the allocation slow path — direct reclaim
+/// demoting cold pages to the slow node behind node 0 — with injections
+/// at the per-victim isolate. "Moved" counts the pages that ended up
+/// demoted; the rest stay resident in DRAM.
+fn run_reclaim(seed: u64, rate_ppm: u32) -> CaseOutput {
+    let topo = numa_topology::presets::tiered_4p2_with(
+        numa_topology::CostModel::default(),
+        192 * PAGE_SIZE,
+        512 * PAGE_SIZE,
+    );
+    let mut machine = Machine::new(
+        std::sync::Arc::new(topo),
+        numa_kernel::KernelConfig {
+            pressure: numa_kernel::PressureSettings::enabled(),
+            ..numa_kernel::KernelConfig::tiered()
+        },
+    );
+    let nodes: Vec<NodeId> = machine.topology().node_ids().collect();
+    for n in nodes {
+        machine.frames.set_watermarks(n, 16, 8);
+    }
+    machine
+        .kernel
+        .set_fault_plan(FaultPlan::chaos(seed, rate_ppm));
+    let buf = Buffer::alloc_on(&mut machine, PAGES * PAGE_SIZE, NodeId(0));
+    let r = machine.run(
+        vec![ThreadSpec::scripted(
+            CoreId(0),
+            vec![Op::write(buf.addr, buf.len, MemAccessKind::Stream)],
+        )],
+        &[],
+    );
+    (machine, r, buf.page_addrs(), NodeId(4))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +429,29 @@ mod tests {
             row.moved >= PAGES * 9 / 10,
             "retries should rescue most pages: {row:?}"
         );
+    }
+
+    #[test]
+    fn pressure_workloads_survive_chaos() {
+        for w in PRESSURE_WORKLOADS {
+            for rate in [0u32, 100_000] {
+                let row = run_case(w, rate, 11);
+                assert_eq!(row.invariant_violations, 0, "{w}@{rate}");
+                assert_eq!(
+                    row.moved + row.left_behind,
+                    PAGES,
+                    "{w}@{rate}: every page accounted for"
+                );
+                assert!(
+                    row.moved > 0,
+                    "{w}@{rate}: pressure relief must make progress: {row:?}"
+                );
+            }
+        }
+        // A clean offline evacuates every page; nothing degrades.
+        let row = run_case("evacuation", 0, 11);
+        assert_eq!(row.moved, PAGES);
+        assert_eq!(row.degraded, 0);
     }
 
     #[test]

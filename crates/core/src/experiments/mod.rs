@@ -15,6 +15,7 @@
 //! | [`ablations`] | design-choice sweeps (lookup fix, lock fraction, granularity, extensions) |
 //! | [`chaos`]  | fault-injection sweep: retry/degradation robustness across every migration path |
 //! | [`ptrepl`] | page-table placement: local vs replicated vs remote PT homes (ptplace subsystem) |
+//! | [`pressure`] | memory-pressure sweep: watermark reclaim, hot-remove, OOM and watchdog across 60–105 % occupancy |
 //!
 //! Each experiment returns plain row structs; the `numa-bench` binaries
 //! format them as the paper's tables, and the integration tests assert
@@ -28,6 +29,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod pressure;
 pub mod ptrepl;
 pub mod scaling;
 pub mod table1;

@@ -1,5 +1,6 @@
 //! Kernel feature switches.
 
+use crate::pressure::PressureSettings;
 use serde::{Deserialize, Serialize};
 
 /// Which kernel variant is running.
@@ -29,6 +30,10 @@ pub struct KernelConfig {
     /// stop-the-world fallback path. Off by default — the paper's machine
     /// has a single tier.
     pub tiering: bool,
+    /// Memory-pressure resilience: watermark-driven reclaim, OOM-kill
+    /// semantics and the retry-livelock watchdog. All off by default —
+    /// the paper's experiments never run out of frames.
+    pub pressure: PressureSettings,
 }
 
 impl Default for KernelConfig {
@@ -40,6 +45,7 @@ impl Default for KernelConfig {
             huge_page_migration: false,
             replication: false,
             tiering: false,
+            pressure: PressureSettings::default(),
         }
     }
 }
@@ -64,6 +70,7 @@ impl KernelConfig {
             huge_page_migration: true,
             replication: true,
             tiering: true,
+            ..KernelConfig::default()
         }
     }
 
@@ -101,6 +108,18 @@ mod tests {
         let c = KernelConfig::all_extensions();
         assert!(c.next_touch_shared && c.huge_page_migration && c.replication);
         assert!(c.tiering);
+    }
+
+    #[test]
+    fn pressure_defaults_off_in_every_preset() {
+        for c in [
+            KernelConfig::default(),
+            KernelConfig::vanilla_2_6_27(),
+            KernelConfig::all_extensions(),
+            KernelConfig::tiered(),
+        ] {
+            assert_eq!(c.pressure, PressureSettings::default());
+        }
     }
 
     #[test]

@@ -124,8 +124,29 @@ impl Kernel {
                         end: now + cost.page_fault_ns,
                     };
                 }
-                let Some(frame) = self.alloc_frame(frames, policy_target, policy_fallback) else {
-                    return FaultResolution::Fatal(VmError::OutOfMemory);
+                let mut t0 = now;
+                let frame = match self.alloc_frame(frames, policy_target, policy_fallback) {
+                    Some(f) => f,
+                    None => {
+                        // Allocation slow path: with reclaim enabled,
+                        // evict cold pages off the target node on this
+                        // thread's time and retry once before declaring
+                        // OOM (typed — the machine layer decides whether
+                        // that kills the thread or aborts the run).
+                        let mut retried = None;
+                        if self.config.pressure.reclaim {
+                            let (end, freed) =
+                                self.direct_reclaim(space, frames, t0, policy_target, Some(vpn), b);
+                            t0 = end;
+                            if freed > 0 {
+                                retried = self.alloc_frame(frames, policy_target, policy_fallback);
+                            }
+                        }
+                        match retried {
+                            Some(f) => f,
+                            None => return FaultResolution::Fatal(VmError::OutOfMemory),
+                        }
+                    }
                 };
                 let node = frames.node_of(frame);
                 let mut flags = PteFlags::PRESENT | PteFlags::READ;
@@ -149,13 +170,26 @@ impl Kernel {
                 // Allocation + zeroing, partially serialized (zone lock).
                 let work = cost.first_touch_ns * pages_covered;
                 let end = self.locks.pt_serialized(
-                    now + cost.page_fault_ns,
+                    t0 + cost.page_fault_ns,
                     work,
                     cost.pt_lock_fraction,
                     CostComponent::FaultControl,
                     b,
                 );
-                let end = self.pt_note_update(space, end, PageRange::new(vpn, vpn + 1));
+                let mut end = self.pt_note_update(space, end, PageRange::new(vpn, vpn + 1));
+                // Watermark upkeep: an allocation that leaves the node
+                // below its min watermark reclaims ahead of the next one
+                // (still on this thread's time), and level transitions
+                // are accounted. One branch when watermarks are unset.
+                if frames.watermarked() {
+                    if self.config.pressure.reclaim
+                        && frames.pressure_of(node) == numa_vm::PressureLevel::Min
+                    {
+                        let (end2, _) = self.direct_reclaim(space, frames, end, node, Some(vpn), b);
+                        end = end2;
+                    }
+                    self.note_pressure(frames, end, node);
+                }
                 self.counters.bump(Counter::FirstTouchFaults);
                 self.trace.record(
                     now,

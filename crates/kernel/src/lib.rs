@@ -28,6 +28,7 @@ mod extensions_tests;
 pub mod fault;
 pub mod interconnect;
 pub mod locks;
+pub mod pressure;
 pub mod syscalls;
 pub mod tier;
 
@@ -35,6 +36,7 @@ pub use config::KernelConfig;
 pub use fault::{AccessKind, FaultResolution};
 pub use interconnect::Interconnect;
 pub use locks::LockSet;
+pub use pressure::{PressureSettings, WatchdogConfig};
 pub use syscalls::{MovePagesResult, PageStatus, SyscallOutcome};
 pub use tier::{TierTxn, TxnOutcome};
 
@@ -68,6 +70,8 @@ pub struct Kernel {
     /// Read-only replicas per vpn (replication extension): which nodes hold
     /// a copy, and in which frame.
     replicas: FxHashMap<u64, Vec<(NodeId, FrameId)>>,
+    /// Retry-livelock watchdog state (pressure subsystem).
+    pub(crate) watchdog: pressure::Watchdog,
     /// In-flight transactional tier migrations, keyed by vpn.
     pub(crate) pending_txns: FxHashMap<u64, tier::TierTxn>,
     /// Pages currently unmapped by a stop-the-world tier migration:
@@ -91,6 +95,7 @@ impl Kernel {
             trace,
             faults: numa_sim::FaultInjector::disabled(),
             topo,
+            watchdog: pressure::Watchdog::new(),
             replicas: FxHashMap::default(),
             pending_txns: FxHashMap::default(),
             in_flight_stw: FxHashMap::default(),
@@ -142,21 +147,46 @@ impl Kernel {
 
     /// Allocate a frame on `node`, falling back per `fallback` when the
     /// bank is full.
+    ///
+    /// `fallback == None` means *strict*: only `node` is tried (the
+    /// MPOL_BIND contract, and the strict placement of next-touch and
+    /// tier migrations, which must land exactly where aimed or not move
+    /// at all). With `Some(f)` the policy's own fallback is tried first
+    /// and then, Linux-zonelist style, every remaining node in
+    /// [`Kernel::fallback_order`] — so a fault under memory pressure
+    /// degrades to a distant placement instead of an OOM.
     pub(crate) fn alloc_frame(
         &mut self,
         frames: &mut FrameAllocator,
         node: NodeId,
         fallback: Option<NodeId>,
     ) -> Option<FrameId> {
-        let got = frames.alloc(node).or_else(|| {
+        let mut got = frames.alloc(node).or_else(|| {
             fallback
                 .filter(|f| *f != node)
                 .and_then(|f| frames.alloc(f))
         });
+        if got.is_none() && fallback.is_some() {
+            for n in self.fallback_order(node) {
+                got = frames.alloc(n);
+                if got.is_some() {
+                    break;
+                }
+            }
+        }
         if got.is_some() {
             self.counters.bump(numa_stats::Counter::FramesAllocated);
         }
         got
+    }
+
+    /// The distance-ordered walk a failed allocation on `node` falls
+    /// back through: every other node, nearest first, ties broken by
+    /// node number — the simulator's analogue of the Linux zonelist.
+    pub fn fallback_order(&self, node: NodeId) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = self.topo.node_ids().filter(|n| *n != node).collect();
+        order.sort_by_key(|n| (self.topo.hops(node, *n), n.0));
+        order
     }
 
     /// The control + copy of one page migration, with the cost-model
@@ -339,5 +369,44 @@ mod tests {
         assert_eq!(k.topology().node_count(), 4);
         assert_eq!(k.interconnect.link_count(), topo.link_count());
         assert!(!k.has_replicas(0));
+    }
+
+    /// Pins the zonelist visit order: from node 2 on the opteron square
+    /// (links 0-1, 0-2, 1-3, 2-3), nodes 0 and 3 are one hop and node 1
+    /// is two, so the order is [0, 3, 1] — ties broken by node number.
+    #[test]
+    fn fallback_order_is_distance_then_id() {
+        let topo = Arc::new(presets::opteron_4p());
+        let k = Kernel::new(topo, KernelConfig::default());
+        assert_eq!(
+            k.fallback_order(NodeId(2)),
+            vec![NodeId(0), NodeId(3), NodeId(1)]
+        );
+        assert_eq!(
+            k.fallback_order(NodeId(0)),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    /// With preferred node 2 and fallback 0 both full, the allocation
+    /// walks the zonelist and lands on node 3 (one hop from 2), not
+    /// node 1 (two hops). Strict requests (`fallback == None`) still
+    /// fail outright.
+    #[test]
+    fn exhausted_alloc_walks_the_zonelist() {
+        let topo = Arc::new(presets::opteron_4p());
+        let mut k = Kernel::new(topo, KernelConfig::default());
+        let mut frames = FrameAllocator::new(4, 2);
+        for n in [NodeId(2), NodeId(0)] {
+            while frames.alloc(n).is_some() {}
+        }
+        let got = k
+            .alloc_frame(&mut frames, NodeId(2), Some(NodeId(0)))
+            .expect("zonelist must find room");
+        assert_eq!(frames.node_of(got), NodeId(3));
+        assert!(
+            k.alloc_frame(&mut frames, NodeId(2), None).is_none(),
+            "strict allocation must not fall back"
+        );
     }
 }

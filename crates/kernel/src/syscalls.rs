@@ -455,7 +455,7 @@ impl Kernel {
     /// Charge the (cheaper) cost of a page that could not be migrated:
     /// the kernel still walked the page tables and attempted the isolate
     /// under the page-table lock before bailing, but no copy ever ran.
-    fn charge_failed_page(
+    pub(crate) fn charge_failed_page(
         &mut self,
         t: &mut SimTime,
         b: &mut Breakdown,

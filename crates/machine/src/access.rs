@@ -97,6 +97,13 @@ impl Machine {
         // shootdowns) to the faulting thread.
         self.trace.set_thread(tid);
         for _ in 0..MAX_FAULT_RETRIES {
+            // A nested fault (e.g. inside a next-touch signal handler)
+            // already OOM-killed this thread: unwind without touching
+            // anything further; the engine reaps the thread after the
+            // current micro.
+            if self.oom_kill_pending {
+                return (now, self.topo.node_of_core(core));
+            }
             let vpn = self.resolve_vpn(addr);
             if let Some(pte) = self.space.page_table.get(vpn) {
                 if pte.permits(write) {
@@ -135,6 +142,19 @@ impl Machine {
                     self.segv_handler = Some(handler);
                 }
                 FaultResolution::Fatal(e) => {
+                    if self.kernel.config.pressure.oom_kill
+                        && matches!(e, numa_vm::VmError::OutOfMemory)
+                    {
+                        // Deterministic kill policy: the allocating thread
+                        // is the victim (Linux `oom_kill_allocating_task`),
+                        // so runs never depend on a heuristic badness scan.
+                        let node = self.topo.node_of_core(core);
+                        self.kernel.counters.bump(Counter::OomKills);
+                        self.trace
+                            .record(now, TraceEventKind::OomKill { node: node.0 });
+                        self.oom_kill_pending = true;
+                        return (now, node);
+                    }
                     panic!("thread {tid} fatal memory fault at {addr}: {e}");
                 }
             }
@@ -223,6 +243,9 @@ impl Machine {
             now = self.touch_page(
                 tid, core, now, page_addr, portion, write, kind, fits, stats, &mut batch,
             );
+            if self.oom_kill_pending {
+                break;
+            }
         }
         batch.flush(stats);
         now
@@ -269,6 +292,11 @@ impl Machine {
         let vpn = page_addr.vpn();
 
         let (mut now, mut home) = self.ensure_mapped(tid, core, now, page_addr, write, stats);
+        if self.oom_kill_pending {
+            // The fault OOM-killed this thread: nothing got mapped, so
+            // charge nothing and let the engine reap it.
+            return now;
+        }
 
         // Tiering hooks: stall behind stop-the-world migration windows,
         // track write generations (what transactional commits re-check),
@@ -440,6 +468,9 @@ impl Machine {
             let (t1, src_node) = self.ensure_mapped(tid, core, now, src + off, false, stats);
             let (t2, dst_node) = self.ensure_mapped(tid, core, t1, dst + off, true, stats);
             now = t2;
+            if self.oom_kill_pending {
+                return now;
+            }
             let start = now;
             let xfer = self.kernel.interconnect.transfer(
                 &topo,

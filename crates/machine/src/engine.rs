@@ -141,6 +141,17 @@ enum Micro {
         dst: numa_vm::VirtAddr,
         bytes: u64,
     },
+    /// Mark a node unallocatable before its evacuation walk (the first
+    /// step of memory hot-remove).
+    NodeOfflineBegin { node: numa_topology::NodeId },
+    /// Evacuate one resident page off an offlining node; transient
+    /// (`EBUSY`) failures retry like [`Micro::MovePage`], permanent ones
+    /// degrade and leave the page in place (partial-failure semantics).
+    EvacuatePage {
+        vpn: u64,
+        node: numa_topology::NodeId,
+        retries_left: u32,
+    },
 }
 
 /// How many times an aborted transactional tier migration is retried
@@ -246,6 +257,13 @@ impl MicroRuns {
     fn front(&self) -> Option<&Micro> {
         let &(cursor, _) = self.runs.last()?;
         Some(&self.arena[cursor as usize])
+    }
+
+    /// Abandon every pending micro (the owning thread was OOM-killed).
+    fn clear(&mut self) {
+        self.runs.clear();
+        self.arena.clear();
+        self.whole_ops.clear();
     }
 }
 
@@ -375,6 +393,32 @@ impl Machine {
                         }
                     }
                     state.clock = end;
+                    // An OOM kill raised inside the micro (a fault came
+                    // back fatally out of memory with the kill policy on):
+                    // this thread is the deterministic victim — the
+                    // allocating task, as under Linux's
+                    // `oom_kill_allocating_task` — so abandon its pending
+                    // micros and let the rest of the run continue.
+                    if self.oom_kill_pending {
+                        self.oom_kill_pending = false;
+                        batch.flush(&mut stats);
+                        state.micro.clear();
+                        if tracing {
+                            if let Some((op, started)) = state.op.take() {
+                                self.trace.record_for(
+                                    started,
+                                    tid,
+                                    TraceEventKind::OpEnd {
+                                        op,
+                                        dur_ns: end.since(started),
+                                    },
+                                );
+                            }
+                        }
+                        state.done = true;
+                        thread_end[tid] = end;
+                        break;
+                    }
                     // Lookahead fast path: if this thread still has micros
                     // and every other runnable thread wakes *strictly after*
                     // `end`, pushing and re-popping the queue would
@@ -593,6 +637,27 @@ impl Machine {
                 micros.emit(Micro::MigrationShootdown);
                 state.migrate_args = Some((from, to));
             }
+            Op::NodeOffline { node } => {
+                micros.emit(Micro::NodeOfflineBegin { node });
+                // Snapshot the node's residents at expansion time — the
+                // ordered walk of memory hot-remove. A page that lands on
+                // the node after the snapshot (before the offline mark
+                // executes) is simply left behind; Linux's offline loop
+                // has the same window and re-scans, which the caller can
+                // model by issuing the op again.
+                for vpn in self.space.page_table.sorted_vpns() {
+                    if let Some(pte) = self.space.page_table.get(vpn) {
+                        if self.frames.node_of(pte.frame) == node {
+                            micros.emit(Micro::EvacuatePage {
+                                vpn,
+                                node,
+                                retries_left: MOVE_PAGE_RETRIES,
+                            });
+                        }
+                    }
+                }
+                micros.emit(Micro::MigrationShootdown);
+            }
             other => micros.push_whole(other),
         }
         state.micro.end_expand();
@@ -603,8 +668,12 @@ impl Machine {
     /// return `true` — the caller re-queues the micro with one fewer
     /// attempt. Otherwise count the give-up: the page stays where it is
     /// and the syscall reports the failure in its per-page status.
+    /// The retry-livelock watchdog can veto a retry that would otherwise
+    /// be granted: when the kernel-wide progress counters have not moved
+    /// for a full watchdog window despite continuous retrying, further
+    /// retries are refused and the page degrades immediately.
     fn note_transient_failure(&mut self, now: SimTime, page: u64, retries_left: u32) -> bool {
-        if retries_left > 0 {
+        if retries_left > 0 && self.kernel.watchdog_allow_retry(now) {
             self.kernel.counters.bump(Counter::MigrationRetries);
             self.trace.record(
                 now,
@@ -620,7 +689,11 @@ impl Machine {
                 now,
                 TraceEventKind::MigrationDegraded {
                     page,
-                    reason: "retries_exhausted",
+                    reason: if retries_left > 0 {
+                        "watchdog"
+                    } else {
+                        "retries_exhausted"
+                    },
                 },
             );
             false
@@ -787,6 +860,34 @@ impl Machine {
             Micro::MemcpyChunk { src, dst, bytes } => {
                 self.exec_memcpy(tid, core, now, src, dst, bytes, stats)
             }
+            Micro::NodeOfflineBegin { node } => {
+                self.kernel.node_offline_begin(&mut self.frames, now, node);
+                now
+            }
+            Micro::EvacuatePage {
+                vpn,
+                node,
+                retries_left,
+            } => {
+                let (end, b, status) = self.kernel.evacuate_page_step(
+                    &mut self.space,
+                    &mut self.frames,
+                    now,
+                    vpn,
+                    node,
+                );
+                stats.breakdown.merge(&b);
+                if status == Some(numa_kernel::PageStatus::Busy)
+                    && self.note_transient_failure(end, vpn, retries_left)
+                {
+                    state.micro.push_front(Micro::EvacuatePage {
+                        vpn,
+                        node,
+                        retries_left: retries_left - 1,
+                    });
+                }
+                end
+            }
         }
     }
 
@@ -847,6 +948,10 @@ impl Machine {
                 stats.breakdown.merge(&r.breakdown);
                 r.end
             }
+            Op::NodeOnline { node } => {
+                self.kernel.node_online(&mut self.frames, now, node);
+                now
+            }
             Op::Nop => now,
             Op::Barrier(_) => unreachable!("barriers are handled by the engine loop"),
             Op::MigrateThread { .. } => {
@@ -857,7 +962,8 @@ impl Machine {
             | Op::Memcpy { .. }
             | Op::MovePages { .. }
             | Op::MigratePages { .. }
-            | Op::TierMigrate { .. } => {
+            | Op::TierMigrate { .. }
+            | Op::NodeOffline { .. } => {
                 unreachable!("multi-page ops are expanded into micro-ops")
             }
         }
@@ -1080,6 +1186,79 @@ mod tests {
         );
         // Writers never stalled on the migration: no STW windows existed.
         assert_eq!(m.kernel.counters.get(Counter::TierStwStalls), 0);
+    }
+
+    #[test]
+    fn node_offline_evacuates_and_online_restores() {
+        use numa_topology::NodeId;
+        let mut m = Machine::two_node();
+        let a = m.alloc(4 * PAGE_SIZE, MemPolicy::FirstTouch);
+        // Populate on node 0, then hot-remove it from a node-1 core.
+        m.run(
+            vec![ThreadSpec::scripted(
+                CoreId(0),
+                vec![Op::write(a, 4 * PAGE_SIZE, MemAccessKind::Stream)],
+            )],
+            &[],
+        );
+        m.run(
+            vec![ThreadSpec::scripted(
+                CoreId(2),
+                vec![Op::NodeOffline { node: NodeId(0) }],
+            )],
+            &[],
+        );
+        for p in 0..4u64 {
+            assert_eq!(m.page_node(a + p * PAGE_SIZE), Some(NodeId(1)));
+        }
+        assert!(m.frames.is_offline(NodeId(0)));
+        assert_eq!(m.kernel.counters.get(Counter::NodesOfflined), 1);
+        assert_eq!(m.kernel.counters.get(Counter::PagesEvacuated), 4);
+        m.run(
+            vec![ThreadSpec::scripted(
+                CoreId(2),
+                vec![Op::NodeOnline { node: NodeId(0) }],
+            )],
+            &[],
+        );
+        assert!(!m.frames.is_offline(NodeId(0)));
+        assert_eq!(m.kernel.counters.get(Counter::NodesOnlined), 1);
+    }
+
+    #[test]
+    fn oom_kill_reaps_thread_and_run_continues() {
+        use numa_kernel::{KernelConfig, PressureSettings};
+        use numa_topology::NodeId;
+        use std::sync::Arc;
+        // Two frames per node and a strict binding that cannot fall back:
+        // the third touch is a fatal OutOfMemory.
+        let topo = Arc::new(numa_topology::presets::opteron_4p_with_memory(
+            2 * PAGE_SIZE,
+        ));
+        let config = KernelConfig {
+            pressure: PressureSettings {
+                oom_kill: true,
+                ..PressureSettings::default()
+            },
+            ..KernelConfig::default()
+        };
+        let mut m = Machine::new(topo, config);
+        let a = m.alloc(3 * PAGE_SIZE, MemPolicy::Bind(NodeId(0)));
+        let victim = ThreadSpec::scripted(
+            CoreId(0),
+            vec![
+                Op::write(a, 3 * PAGE_SIZE, MemAccessKind::Stream),
+                Op::ComputeNs(1_000_000),
+            ],
+        );
+        let survivor = ThreadSpec::scripted(CoreId(4), vec![Op::ComputeNs(500)]);
+        let r = m.run(vec![victim, survivor], &[]);
+        assert_eq!(m.kernel.counters.get(Counter::OomKills), 1);
+        // The victim died at the fatal fault: its trailing compute op
+        // never ran, while the survivor finished normally.
+        assert!(r.thread_end[0] < SimTime(1_000_000));
+        assert!(r.thread_end[1] >= SimTime(500));
+        assert!(!m.oom_kill_pending, "engine must clear the kill flag");
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub struct Machine {
     /// deliberately *not* part of `RunStats` so enabling/disabling the
     /// fast path cannot perturb any reported statistic).
     pub fastpath_micros: u64,
+    /// Set by the fault path when an allocation failed fatally under the
+    /// OOM-kill policy: the executing thread is the victim. The engine
+    /// clears the flag after reaping the thread at the end of the current
+    /// micro-op.
+    pub(crate) oom_kill_pending: bool,
 }
 
 impl Machine {
@@ -115,6 +120,7 @@ impl Machine {
             topo,
             fast_path: engine::fast_path_default(),
             fastpath_micros: 0,
+            oom_kill_pending: false,
         }
     }
 
@@ -227,17 +233,24 @@ impl Machine {
         self.segv_handler.take()
     }
 
+    /// Allocate an anonymous RW buffer of `len` bytes with `policy`,
+    /// returning the VM layer's typed error on failure (zero length,
+    /// address-space exhaustion). The fallible form of [`Machine::alloc`]
+    /// for callers that can degrade gracefully.
+    pub fn try_alloc(&mut self, len: u64, policy: MemPolicy) -> Result<VirtAddr, numa_vm::VmError> {
+        self.space.mmap(
+            len,
+            Protection::ReadWrite,
+            VmaKind::PrivateAnonymous,
+            policy,
+        )
+    }
+
     /// Allocate an anonymous RW buffer of `len` bytes with `policy`.
-    /// Convenience used by runtimes and tests.
+    /// Convenience used by runtimes and tests; panics where
+    /// [`Machine::try_alloc`] would return an error.
     pub fn alloc(&mut self, len: u64, policy: MemPolicy) -> VirtAddr {
-        self.space
-            .mmap(
-                len,
-                Protection::ReadWrite,
-                VmaKind::PrivateAnonymous,
-                policy,
-            )
-            .expect("mmap in simulation")
+        self.try_alloc(len, policy).expect("mmap in simulation")
     }
 
     /// The node currently holding the page at `addr`, if populated

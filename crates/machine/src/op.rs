@@ -146,6 +146,23 @@ pub enum Op {
         /// Destination core.
         to: numa_topology::CoreId,
     },
+    /// Take `node` offline: mark it unallocatable and evacuate every
+    /// resident page to the nearest online node with room (Linux memory
+    /// hot-remove). Expands into one evacuation micro-op per resident
+    /// page so concurrent threads interleave with the drain; pages whose
+    /// evacuation fails permanently are accounted as degraded and left in
+    /// place (partial-failure semantics, like a `migrate_pages` that runs
+    /// out of memory).
+    NodeOffline {
+        /// Node to drain and mark offline.
+        node: NodeId,
+    },
+    /// Bring a previously offlined `node` back online (memory hot-add).
+    /// Pages are not moved back — the node simply becomes allocatable.
+    NodeOnline {
+        /// Node to mark allocatable again.
+        node: NodeId,
+    },
     /// Arrive at barrier `id` (sized by
     /// the barrier sizes passed to [`crate::Machine::run`]).
     Barrier(usize),
@@ -169,6 +186,8 @@ impl Op {
             Op::Mprotect { .. } => "mprotect",
             Op::Mbind { .. } => "mbind",
             Op::MigrateThread { .. } => "migrate_thread",
+            Op::NodeOffline { .. } => "node_offline",
+            Op::NodeOnline { .. } => "node_online",
             Op::Barrier(_) => "barrier",
             Op::Nop => "nop",
         }

@@ -31,7 +31,7 @@ pub mod setup;
 
 pub use autobalance::{AutoBalance, AutoBalanceState};
 pub use buffer::Buffer;
-pub use lazy::MigrationStrategy;
+pub use lazy::{MigrationStrategy, StrategyError};
 pub use next_touch::UserNextTouch;
 pub use omp::{Schedule, Team, WorkPlan};
 pub use retry::RetryPolicy;

@@ -183,14 +183,25 @@ impl NtSegvHandler {
             if busy.is_empty() {
                 return t;
             }
-            if attempts_left == 0 {
+            // Degrade when the budget runs out — or earlier, when the
+            // kernel's retry-livelock watchdog reports that retries have
+            // stopped making progress machine-wide (backing off further
+            // would only prolong the livelock).
+            let give_up = if attempts_left == 0 {
+                Some("retries_exhausted")
+            } else if !machine.kernel.watchdog_allow_retry(t) {
+                Some("watchdog")
+            } else {
+                None
+            };
+            if let Some(reason) = give_up {
                 for p in &busy {
                     machine.kernel.counters.bump(Counter::MigrationsGaveUp);
                     machine.trace.record(
                         t,
                         TraceEventKind::MigrationDegraded {
                             page: p.vpn(),
-                            reason: "retries_exhausted",
+                            reason,
                         },
                     );
                 }
@@ -253,7 +264,10 @@ impl SegvHandler for NtSegvHandler {
 
         // Restore protection so the retried touch (and everyone else)
         // proceeds — even for degraded pages, which must again be
-        // accessible at their old home.
+        // accessible at their old home. The expect below is an invariant,
+        // not error handling: the handler restores exactly the range it
+        // protected earlier, so mprotect can only fail if the registry
+        // itself is corrupt.
         let r2 = machine
             .kernel
             .mprotect(

@@ -39,14 +39,21 @@ pub enum FaultSite {
     /// Tier promotion/demotion (transactional begin/commit and
     /// stop-the-world).
     TierPromotion,
+    /// Per-victim demotion inside direct reclaim / `kreclaimd` (the
+    /// memory-pressure subsystem's cold-page eviction copy).
+    Reclaim,
+    /// Per-page copy while evacuating a node marked for hot-remove.
+    Evacuation,
 }
 
 /// All sites, in stream order.
-pub const FAULT_SITES: [FaultSite; 4] = [
+pub const FAULT_SITES: [FaultSite; 6] = [
     FaultSite::MovePagesCopy,
     FaultSite::MigratePagesCopy,
     FaultSite::NextTouchFault,
     FaultSite::TierPromotion,
+    FaultSite::Reclaim,
+    FaultSite::Evacuation,
 ];
 
 impl FaultSite {
@@ -56,6 +63,8 @@ impl FaultSite {
             FaultSite::MigratePagesCopy => 1,
             FaultSite::NextTouchFault => 2,
             FaultSite::TierPromotion => 3,
+            FaultSite::Reclaim => 4,
+            FaultSite::Evacuation => 5,
         }
     }
 
@@ -66,6 +75,8 @@ impl FaultSite {
             FaultSite::MigratePagesCopy => "migrate_pages_copy",
             FaultSite::NextTouchFault => "next_touch_fault",
             FaultSite::TierPromotion => "tier_promotion",
+            FaultSite::Reclaim => "reclaim",
+            FaultSite::Evacuation => "evacuation",
         }
     }
 }
@@ -159,15 +170,20 @@ impl FaultPlan {
         self
     }
 
-    /// The chaos-sweep mix: at every site, transient copy failures at
+    /// The chaos-sweep mix: at every site (including the pressure-path
+    /// `Reclaim`/`Evacuation` sites), transient copy failures at
     /// `rate_ppm`, frame exhaustion at half that, and racing unmaps at a
-    /// quarter (copy sites only — an unmap race needs an in-flight copy).
+    /// quarter (sites with an in-flight copy against a live mapping —
+    /// an unmap race needs a copy to race with).
     pub fn chaos(seed: u64, rate_ppm: u32) -> Self {
         let mut plan = FaultPlan::new(seed);
         for site in FAULT_SITES {
             plan = plan.with_rate(site, FaultKind::TransientCopy, rate_ppm);
             plan = plan.with_rate(site, FaultKind::FrameExhausted, rate_ppm / 2);
-            if matches!(site, FaultSite::MovePagesCopy | FaultSite::MigratePagesCopy) {
+            if matches!(
+                site,
+                FaultSite::MovePagesCopy | FaultSite::MigratePagesCopy | FaultSite::Evacuation
+            ) {
                 plan = plan.with_rate(site, FaultKind::RacingUnmap, rate_ppm / 4);
             }
         }
@@ -419,6 +435,36 @@ mod tests {
             inj.consult(FaultSite::TierPromotion),
             Some(FaultKind::TransientCopy)
         );
+    }
+
+    #[test]
+    fn pressure_sites_are_wired_into_chaos() {
+        assert_eq!(FaultSite::Reclaim.name(), "reclaim");
+        assert_eq!(FaultSite::Evacuation.name(), "evacuation");
+        let plan = FaultPlan::chaos(1, 10_000);
+        for site in [FaultSite::Reclaim, FaultSite::Evacuation] {
+            assert!(
+                plan.rules
+                    .iter()
+                    .any(|r| r.site == site && r.rate_ppm == 10_000),
+                "chaos plan must cover {}",
+                site.name()
+            );
+        }
+        // Adding the pressure sites must not perturb decisions at the
+        // original sites: stream seeding is positional and the original
+        // four indices are unchanged.
+        let mut inj = FaultInjector::new(FaultPlan::chaos(9, 200_000));
+        let mut with_noise = FaultInjector::new(FaultPlan::chaos(9, 200_000));
+        let mut da = Vec::new();
+        let mut db = Vec::new();
+        for _ in 0..200 {
+            da.push(inj.consult(FaultSite::MovePagesCopy));
+            let _ = with_noise.consult(FaultSite::Reclaim);
+            db.push(with_noise.consult(FaultSite::MovePagesCopy));
+            let _ = with_noise.consult(FaultSite::Evacuation);
+        }
+        assert_eq!(da, db);
     }
 
     #[test]

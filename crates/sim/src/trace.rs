@@ -111,6 +111,27 @@ pub enum TraceEventKind {
     /// A single-homed page table migrated to follow its thread (numaPTE);
     /// `entries` PTEs were copied.
     PtMigrate { entries: u64, dur_ns: u64 },
+    /// A node's memory-pressure level changed (sampled at the
+    /// allocator's probe points; level names from `PressureLevel`).
+    PressureChange { node: u16, level: &'static str },
+    /// One reclaim run: `scanned` victims considered, `reclaimed` pages
+    /// demoted/migrated away from `node`.
+    ReclaimRun {
+        node: u16,
+        scanned: u64,
+        reclaimed: u64,
+        dur_ns: u64,
+    },
+    /// A node was marked offline (unallocatable) for hot-remove.
+    NodeOffline { node: u16 },
+    /// A node was brought back online.
+    NodeOnline { node: u16 },
+    /// The OOM policy killed the allocating process after reclaim and
+    /// every fallback node failed (`node` is the exhausted target).
+    OomKill { node: u16 },
+    /// The retry-livelock watchdog fired: `retries` retries in a
+    /// `window_ns` window with zero migration progress.
+    WatchdogFired { retries: u64, window_ns: u64 },
 }
 
 impl TraceEventKind {
@@ -144,6 +165,12 @@ impl TraceEventKind {
             TraceEventKind::MigrationDegraded { .. } => "migration_degraded".to_string(),
             TraceEventKind::PtReplicaSync { .. } => "pt_replica_sync".to_string(),
             TraceEventKind::PtMigrate { .. } => "pt_migrate".to_string(),
+            TraceEventKind::PressureChange { level, .. } => format!("pressure:{level}"),
+            TraceEventKind::ReclaimRun { .. } => "reclaim_run".to_string(),
+            TraceEventKind::NodeOffline { .. } => "node_offline".to_string(),
+            TraceEventKind::NodeOnline { .. } => "node_online".to_string(),
+            TraceEventKind::OomKill { .. } => "oom_kill".to_string(),
+            TraceEventKind::WatchdogFired { .. } => "watchdog_fired".to_string(),
         }
     }
 
@@ -159,7 +186,8 @@ impl TraceEventKind {
             | TraceEventKind::OpEnd { dur_ns, .. }
             | TraceEventKind::Span { dur_ns, .. }
             | TraceEventKind::PtReplicaSync { dur_ns, .. }
-            | TraceEventKind::PtMigrate { dur_ns, .. } => Some(*dur_ns),
+            | TraceEventKind::PtMigrate { dur_ns, .. }
+            | TraceEventKind::ReclaimRun { dur_ns, .. } => Some(*dur_ns),
             TraceEventKind::LockAcquire { hold_ns, .. } => Some(*hold_ns),
             _ => None,
         }
@@ -219,6 +247,25 @@ impl TraceEventKind {
             }
             TraceEventKind::PtReplicaSync { entries, .. }
             | TraceEventKind::PtMigrate { entries, .. } => Json::obj().set("entries", entries),
+            TraceEventKind::PressureChange { node, level } => {
+                Json::obj().set("node", node).set("level", level)
+            }
+            TraceEventKind::ReclaimRun {
+                node,
+                scanned,
+                reclaimed,
+                ..
+            } => Json::obj()
+                .set("node", node)
+                .set("scanned", scanned)
+                .set("reclaimed", reclaimed),
+            TraceEventKind::NodeOffline { node } | TraceEventKind::NodeOnline { node } => {
+                Json::obj().set("node", node)
+            }
+            TraceEventKind::OomKill { node } => Json::obj().set("node", node),
+            TraceEventKind::WatchdogFired { retries, window_ns } => Json::obj()
+                .set("retries", retries)
+                .set("window_ns", window_ns),
         }
     }
 }

@@ -89,12 +89,34 @@ pub enum Counter {
     /// Walks from a node whose replica was stale and had to reconcile
     /// first (lazy replication only).
     PtReplicaStaleHits,
+    /// Direct-reclaim runs performed on the allocating thread (memory
+    /// pressure below the min watermark, or a failed allocation).
+    DirectReclaims,
+    /// Pages scanned as reclaim victims (both skipped and reclaimed).
+    ReclaimScans,
+    /// Pages demoted/migrated away by reclaim (direct or `kreclaimd`).
+    PagesReclaimed,
+    /// Pages migrated off a node by hot-remove evacuation.
+    PagesEvacuated,
+    /// Nodes marked offline (unallocatable) by hot-remove.
+    NodesOfflined,
+    /// Nodes brought back online.
+    NodesOnlined,
+    /// Processes killed by the OOM policy (reclaim and fallback both
+    /// failed; the allocating thread is the deterministic victim).
+    OomKills,
+    /// Retry-livelock watchdog firings: a retry window elapsed with
+    /// retries but zero migration progress, forcing degradation.
+    WatchdogFirings,
+    /// Per-node memory-pressure level transitions observed at the
+    /// allocator's probe points.
+    PressureTransitions,
 }
 
 impl Counter {
     /// Every counter, in declaration (= `Ord`) order. The registry's
     /// iteration and display orders derive from this list.
-    pub const ALL: [Counter; 33] = [
+    pub const ALL: [Counter; 42] = [
         Counter::FirstTouchFaults,
         Counter::NextTouchFaults,
         Counter::SegvSignals,
@@ -128,6 +150,15 @@ impl Counter {
         Counter::PtWalksRemote,
         Counter::PtReplicaSyncs,
         Counter::PtReplicaStaleHits,
+        Counter::DirectReclaims,
+        Counter::ReclaimScans,
+        Counter::PagesReclaimed,
+        Counter::PagesEvacuated,
+        Counter::NodesOfflined,
+        Counter::NodesOnlined,
+        Counter::OomKills,
+        Counter::WatchdogFirings,
+        Counter::PressureTransitions,
     ];
 
     /// Number of counters.

@@ -79,6 +79,14 @@ impl TierDaemon {
     /// promotions so evictions free DRAM frames ahead of the allocations
     /// that need them.
     pub fn wake(&mut self, machine: &Machine) -> Vec<Op> {
+        // Watchdog degradation: once the kernel's retry-livelock watchdog
+        // has fired, the deferred backlog *is* the retry traffic that
+        // stopped making progress — abandon it instead of re-issuing.
+        // Fresh plans still run; the policy may well pick movable pages.
+        if machine.kernel.watchdog_fired() && !self.deferred.is_empty() {
+            self.gave_up += self.deferred.len() as u64;
+            self.deferred.clear();
+        }
         let view = TierView::capture(machine);
         let mut plan = self.policy.plan(&view);
         // Enforce the batch cap, demotions first (room-making wins).

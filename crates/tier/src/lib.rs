@@ -12,6 +12,9 @@
 //!   a `WorkPlan`, classifies, and issues `Op::TierMigrate` batches,
 //!   either transactionally (Nomad-style non-exclusive copy with
 //!   write-generation recheck) or stop-the-world;
+//! * [`reclaim`] — the kswapd-style [`ReclaimDaemon`] that demotes cold
+//!   pages off DRAM nodes sitting below their low watermark, the
+//!   background half of the memory-pressure subsystem;
 //! * [`TierUsage`] — occupancy reporting per tier.
 //!
 //! Everything is deterministic: views are captured in sorted order, the
@@ -20,11 +23,13 @@
 
 pub mod daemon;
 pub mod policy;
+pub mod reclaim;
 
 pub use daemon::TierDaemon;
 pub use policy::{
     LruishPolicy, PageInfo, StaticPolicy, ThresholdPolicy, TierPlan, TierPolicy, TierView,
 };
+pub use reclaim::ReclaimDaemon;
 
 use numa_machine::Machine;
 use numa_topology::MemTier;

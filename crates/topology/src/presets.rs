@@ -15,6 +15,29 @@ pub fn opteron_4p() -> Topology {
     opteron_4p_with_cost(CostModel::default())
 }
 
+/// [`opteron_4p`] with shrunk per-node memory banks. The pressure
+/// experiments use this to create genuine frame scarcity with working
+/// sets of a few hundred pages instead of paper-scale gigabytes.
+pub fn opteron_4p_with_memory(bytes_per_node: u64) -> Topology {
+    let mut nodes = vec![NodeSpec::opteron_8347he(); 4];
+    for n in &mut nodes {
+        n.memory_bytes = bytes_per_node;
+    }
+    let mut cores = Vec::with_capacity(16);
+    for n in 0..4u16 {
+        for _ in 0..4 {
+            cores.push(CoreSpec::opteron_8347he(NodeId(n)));
+        }
+    }
+    let links = vec![
+        Link::hypertransport(NodeId(0), NodeId(1)),
+        Link::hypertransport(NodeId(0), NodeId(2)),
+        Link::hypertransport(NodeId(1), NodeId(3)),
+        Link::hypertransport(NodeId(2), NodeId(3)),
+    ];
+    Topology::new(nodes, cores, links, CostModel::default()).expect("preset is valid")
+}
+
 /// [`opteron_4p`] with a custom cost model (ablations).
 pub fn opteron_4p_with_cost(cost: CostModel) -> Topology {
     let nodes = vec![NodeSpec::opteron_8347he(); 4];

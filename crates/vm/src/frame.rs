@@ -12,6 +12,33 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FrameId(pub u64);
 
+/// Per-node memory-pressure level, derived from the free-frame count
+/// against the node's low/min watermarks (the Linux zone-watermark
+/// analogue). With watermarks unset (both zero) a node is `Normal` until
+/// it is completely full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PressureLevel {
+    /// Free frames above the low watermark.
+    Normal,
+    /// Free frames at or below the low watermark: background reclaim
+    /// (`kreclaimd`) should start demoting cold pages.
+    Low,
+    /// Free frames at or below the min watermark: allocating threads
+    /// enter direct reclaim.
+    Min,
+}
+
+impl PressureLevel {
+    /// Stable short name (trace events, JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "normal",
+            PressureLevel::Low => "low",
+            PressureLevel::Min => "min",
+        }
+    }
+}
+
 /// A live physical frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Frame {
@@ -47,6 +74,19 @@ pub struct FrameAllocator {
     capacity_per_node: Vec<u64>,
     allocated_total: u64,
     freed_total: u64,
+    /// Low watermark per node, in free frames (0 = unset).
+    watermark_low: Vec<u64>,
+    /// Min watermark per node, in free frames (0 = unset).
+    watermark_min: Vec<u64>,
+    /// Nodes marked unallocatable by hot-remove. Resident frames stay
+    /// valid (reads/frees still work) — only new allocations are refused.
+    offline: Vec<bool>,
+    /// Last pressure level observed by [`FrameAllocator::probe_pressure`]
+    /// per node, for transition detection.
+    last_pressure: Vec<PressureLevel>,
+    /// Any watermark configured at all? Lets the pressure paths stay one
+    /// branch when the subsystem is unused.
+    watermarked: bool,
 }
 
 impl FrameAllocator {
@@ -59,24 +99,30 @@ impl FrameAllocator {
     /// An allocator with a distinct capacity per node — tiered machines
     /// have small fast banks and large slow ones.
     pub fn with_capacities(capacity_per_node: Vec<u64>) -> Self {
+        let nodes = capacity_per_node.len();
         FrameAllocator {
             frames: Vec::new(),
             next_id: 0,
             next_content: 0,
-            live_per_node: vec![0; capacity_per_node.len()],
+            live_per_node: vec![0; nodes],
             capacity_per_node,
             allocated_total: 0,
             freed_total: 0,
+            watermark_low: vec![0; nodes],
+            watermark_min: vec![0; nodes],
+            offline: vec![false; nodes],
+            last_pressure: vec![PressureLevel::Normal; nodes],
+            watermarked: false,
         }
     }
 
     /// Allocate a fresh zeroed frame on `node`. Returns `None` when the
-    /// node's bank is full (the simulated analogue of waking kswapd —
-    /// experiments size their buffers to never hit this, but the invariant
-    /// is enforced).
+    /// node's bank is full or the node is offline (the simulated analogue
+    /// of a zone with no eligible free pages — the kernel layer's
+    /// zonelist/reclaim/OOM machinery decides what happens next).
     pub fn alloc(&mut self, node: NodeId) -> Option<FrameId> {
         let n = node.index();
-        if self.live_per_node[n] >= self.capacity_per_node[n] {
+        if self.live_per_node[n] >= self.capacity_per_node[n] || self.offline[n] {
             return None;
         }
         let id = FrameId(self.next_id);
@@ -181,6 +227,81 @@ impl FrameAllocator {
     pub fn live_total(&self) -> u64 {
         self.allocated_total - self.freed_total
     }
+
+    /// Configure the low/min watermarks of `node`, in free frames.
+    /// `min` must not exceed `low` (a min reserve inside the low band,
+    /// like Linux's `min < low < high` ordering).
+    pub fn set_watermarks(&mut self, node: NodeId, low: u64, min: u64) {
+        assert!(min <= low, "min watermark {min} must not exceed low {low}");
+        let n = node.index();
+        self.watermark_low[n] = low;
+        self.watermark_min[n] = min;
+        self.watermarked =
+            self.watermark_low.iter().any(|&w| w > 0) || self.watermark_min.iter().any(|&w| w > 0);
+    }
+
+    /// Is any watermark configured on any node? One branch for the
+    /// pressure-probe call sites to skip all bookkeeping in ordinary runs.
+    #[inline]
+    pub fn watermarked(&self) -> bool {
+        self.watermarked
+    }
+
+    /// Low watermark of `node`, in free frames.
+    pub fn watermark_low(&self, node: NodeId) -> u64 {
+        self.watermark_low[node.index()]
+    }
+
+    /// Min watermark of `node`, in free frames.
+    pub fn watermark_min(&self, node: NodeId) -> u64 {
+        self.watermark_min[node.index()]
+    }
+
+    /// Current pressure level of `node` from its free-frame count.
+    pub fn pressure_of(&self, node: NodeId) -> PressureLevel {
+        let n = node.index();
+        let free = self.capacity_per_node[n] - self.live_per_node[n];
+        if free <= self.watermark_min[n] {
+            PressureLevel::Min
+        } else if free <= self.watermark_low[n] {
+            PressureLevel::Low
+        } else {
+            PressureLevel::Normal
+        }
+    }
+
+    /// Recompute `node`'s pressure level and compare against the last
+    /// probe: `Some(new_level)` on a transition, `None` when unchanged.
+    /// Callers (the kernel's allocation and reclaim paths) turn
+    /// transitions into counters and trace events; probing is explicit so
+    /// the hot allocation path pays nothing when watermarks are unset.
+    pub fn probe_pressure(&mut self, node: NodeId) -> Option<PressureLevel> {
+        let level = self.pressure_of(node);
+        let slot = &mut self.last_pressure[node.index()];
+        if *slot == level {
+            None
+        } else {
+            *slot = level;
+            Some(level)
+        }
+    }
+
+    /// Mark `node` unallocatable (hot-remove). Resident frames stay live
+    /// and can still be read, copied and freed; only allocation is
+    /// refused. Idempotent.
+    pub fn set_offline(&mut self, node: NodeId) {
+        self.offline[node.index()] = true;
+    }
+
+    /// Bring `node` back online. Idempotent.
+    pub fn set_online(&mut self, node: NodeId) {
+        self.offline[node.index()] = false;
+    }
+
+    /// Is `node` marked offline?
+    pub fn is_offline(&self, node: NodeId) -> bool {
+        self.offline[node.index()]
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +389,55 @@ mod tests {
         let f = fa.alloc(NodeId(0)).unwrap();
         fa.free(f);
         fa.free(f);
+    }
+
+    #[test]
+    fn offline_refuses_alloc_but_keeps_frames_live() {
+        let mut fa = FrameAllocator::new(2, 4);
+        let f = fa.alloc(NodeId(0)).unwrap();
+        fa.set_offline(NodeId(0));
+        assert!(fa.is_offline(NodeId(0)));
+        assert!(fa.alloc(NodeId(0)).is_none(), "offline bank refuses alloc");
+        assert!(fa.alloc(NodeId(1)).is_some(), "other banks unaffected");
+        // Resident frames on the offline node stay readable and freeable.
+        assert_eq!(fa.node_of(f), NodeId(0));
+        fa.free(f);
+        assert_eq!(fa.live_on(NodeId(0)), 0);
+        fa.set_online(NodeId(0));
+        assert!(fa.alloc(NodeId(0)).is_some(), "online restores allocation");
+    }
+
+    #[test]
+    fn watermarks_drive_pressure_levels() {
+        let mut fa = FrameAllocator::new(1, 10);
+        assert!(!fa.watermarked());
+        fa.set_watermarks(NodeId(0), 4, 2);
+        assert!(fa.watermarked());
+        assert_eq!(fa.pressure_of(NodeId(0)), PressureLevel::Normal);
+        for _ in 0..6 {
+            fa.alloc(NodeId(0)).unwrap();
+        }
+        // 4 free == low watermark.
+        assert_eq!(fa.pressure_of(NodeId(0)), PressureLevel::Low);
+        for _ in 0..2 {
+            fa.alloc(NodeId(0)).unwrap();
+        }
+        // 2 free == min watermark.
+        assert_eq!(fa.pressure_of(NodeId(0)), PressureLevel::Min);
+        // Probe reports each transition exactly once.
+        assert_eq!(fa.probe_pressure(NodeId(0)), Some(PressureLevel::Min));
+        assert_eq!(fa.probe_pressure(NodeId(0)), None);
+        fa.free(FrameId(0));
+        fa.free(FrameId(1));
+        fa.free(FrameId(2));
+        assert_eq!(fa.probe_pressure(NodeId(0)), Some(PressureLevel::Normal));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed low")]
+    fn inverted_watermarks_panic() {
+        let mut fa = FrameAllocator::new(1, 10);
+        fa.set_watermarks(NodeId(0), 2, 4);
     }
 
     #[test]
