@@ -38,6 +38,10 @@ pub struct Options {
     /// many threads; every simulation stays single-threaded and the
     /// emitted tables/JSON are byte-identical to a `--jobs 1` run.
     pub jobs: usize,
+    /// Shards for the sharded engine (`--shards`, default 1). Only the
+    /// `multitenant` workload uses it; output is byte-identical for any
+    /// value (engine-level parallelism, deterministic window merge).
+    pub shards: usize,
 }
 
 /// Environment variable consulted for the default `--jobs` value.
@@ -61,6 +65,7 @@ impl Options {
     {
         let mut o = Options {
             jobs: threadpool::jobs_from_env(JOBS_ENV).unwrap_or(1),
+            shards: 1,
             ..Options::default()
         };
         let mut args = args.into_iter();
@@ -93,6 +98,12 @@ impl Options {
                         ParseError::Invalid(format!("--jobs takes a positive integer, got {v}"))
                     })?;
                 }
+                "--shards" => {
+                    let v = value("--shards")?;
+                    o.shards = v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        ParseError::Invalid(format!("--shards takes a positive integer, got {v}"))
+                    })?;
+                }
                 "--help" | "-h" => return Err(ParseError::Help),
                 other => {
                     return Err(ParseError::Invalid(format!(
@@ -117,7 +128,7 @@ impl Options {
                 eprintln!("{binary}: regenerate {what}");
                 eprintln!(
                     "usage: {binary} [--csv] [--full] [--verbose] [--seed <u64>] \
-                     [--trace <file>] [--json <file>] [--jobs <n>]"
+                     [--trace <file>] [--json <file>] [--jobs <n>] [--shards <n>]"
                 );
                 eprintln!("  --csv           emit CSV instead of an aligned table");
                 eprintln!("  --full          run the paper-sized sweep (slower)");
@@ -128,6 +139,10 @@ impl Options {
                 eprintln!(
                     "  --jobs <n>      host threads for the sweep (default \
                      $NUMA_BENCH_JOBS or 1); output is identical for any value"
+                );
+                eprintln!(
+                    "  --shards <n>    shards for the sharded engine (multitenant only, \
+                     default 1); output is identical for any value"
                 );
                 eprintln!("  (value flags also accept --flag=value)");
                 std::process::exit(0);
@@ -296,6 +311,60 @@ pub fn pressure_table(occupancies: &[u32], seed: u64, jobs: usize) -> numa_migra
         ]);
     }
     table
+}
+
+/// Build the multitenant cohort table from a finished churn run.
+/// Shared by the `multitenant` binary and the determinism regression
+/// test; contains nothing shard- or job-dependent.
+pub fn multitenant_table(
+    outcome: &numa_migrate::experiments::multitenant::MultitenantOutcome,
+) -> numa_migrate::stats::Table {
+    let mut table = numa_migrate::stats::Table::new([
+        "cohort",
+        "tenants",
+        "makespan-sum-ms",
+        "makespan-max-ms",
+        "local",
+        "remote",
+        "l3-misses",
+    ]);
+    for r in &outcome.rows {
+        table.row([
+            r.cohort.to_string(),
+            r.tenants.to_string(),
+            format!("{:.3}", r.makespan_sum_ns as f64 / 1e6),
+            format!("{:.3}", r.makespan_max_ns as f64 / 1e6),
+            r.local_accesses.to_string(),
+            r.remote_accesses.to_string(),
+            r.cache_misses.to_string(),
+        ]);
+    }
+    table
+}
+
+/// The multitenant run's global fold as `--json` metadata (window
+/// schedule, ledger pressure, kernel counters). Every value is a
+/// deterministic function of (tenants, seed); `--shards`/`--jobs` are
+/// deliberately absent so the file is byte-identical for any host
+/// parallelism.
+pub fn multitenant_summary(
+    outcome: &numa_migrate::experiments::multitenant::MultitenantOutcome,
+) -> numa_migrate::stats::Json {
+    numa_migrate::stats::Json::obj()
+        .set("tenants", outcome.tenants)
+        .set("makespan_ns", outcome.makespan_ns)
+        .set("window_ns", outcome.window_ns)
+        .set("windows", outcome.windows)
+        .set("windows_skipped", outcome.windows_skipped)
+        .set("ledger_grants", outcome.ledger_grants)
+        .set("ledger_denials", outcome.ledger_denials)
+        .set("ledger_yields", outcome.ledger_yields)
+        .set("flush_windows", outcome.flush_windows)
+        .set("moved_syscall", outcome.moved_syscall)
+        .set("moved_fault", outcome.moved_fault)
+        .set("frames_freed", outcome.frames_freed)
+        .set("oom_kills", outcome.oom_kills)
+        .set("tlb_shootdowns", outcome.tlb_shootdowns)
 }
 
 /// Format seconds with adaptive precision (the paper's Table 1 style).

@@ -16,6 +16,7 @@
 //! | [`chaos`]  | fault-injection sweep: retry/degradation robustness across every migration path |
 //! | [`ptrepl`] | page-table placement: local vs replicated vs remote PT homes (ptplace subsystem) |
 //! | [`pressure`] | memory-pressure sweep: watermark reclaim, hot-remove, OOM and watchdog across 60–105 % occupancy |
+//! | [`multitenant`] | 1,000-tenant churn on the sharded deterministic engine (ledger pressure, windowed barriers) |
 //!
 //! Each experiment returns plain row structs; the `numa-bench` binaries
 //! format them as the paper's tables, and the integration tests assert
@@ -29,6 +30,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod multitenant;
 pub mod pressure;
 pub mod ptrepl;
 pub mod scaling;

@@ -619,6 +619,64 @@ impl Kernel {
         })
     }
 
+    /// `munmap(2)` of the mapping that starts at `addr`: tear down the
+    /// VMA, free every backing frame, and flush stale translations.
+    ///
+    /// The PT teardown walk is charged like the madvise range walk (base
+    /// plus per-present-page), serialized under the mmap lock when the
+    /// cost model says base bookkeeping holds it. Multitenant churn leans
+    /// on this path: a departing tenant's frames return to the shared pool
+    /// only once its unmap has paid the teardown and shootdown.
+    pub fn munmap(
+        &mut self,
+        space: &mut AddressSpace,
+        frames: &mut FrameAllocator,
+        tlb: &mut Tlb,
+        now: SimTime,
+        core: CoreId,
+        addr: VirtAddr,
+    ) -> Result<SyscallOutcome, VmError> {
+        self.trace
+            .record(now, TraceEventKind::SyscallEnter { name: "munmap" });
+        let freed = space.munmap(addr)?;
+        let topo = self.topology().clone();
+        let cost = topo.cost();
+        let mut b = Breakdown::new();
+        let pages = freed.len() as u64;
+        let ns = cost.madvise_base_ns + cost.madvise_per_page_ns * pages;
+        let mut t = if cost.mmap_lock_serializes_base {
+            self.locks
+                .mmap_locked(now, ns, CostComponent::Other, &mut b)
+        } else {
+            b.add(CostComponent::Other, ns);
+            now + ns
+        };
+        for f in freed {
+            frames.free(f);
+            self.counters.bump(Counter::FramesFreed);
+        }
+        // Any core may hold stale translations for the torn-down range.
+        if pages > 0 {
+            let hit = tlb.shootdown_all(core);
+            self.counters.bump(Counter::TlbShootdowns);
+            let flush = cost.tlb_flush_ns(hit);
+            b.add(CostComponent::TlbFlush, flush);
+            t += flush;
+        }
+        self.trace.record(
+            now,
+            TraceEventKind::SyscallExit {
+                name: "munmap",
+                pages,
+                dur_ns: t.since(now),
+            },
+        );
+        Ok(SyscallOutcome {
+            end: t,
+            breakdown: b,
+        })
+    }
+
     /// `mprotect(2)` over a page range. `component` states why the caller
     /// is changing protection so the Figure-6 breakdown can distinguish
     /// the user-space next-touch *mark* from its *restore*.

@@ -296,6 +296,59 @@ pub fn fast_path_default() -> bool {
     FAST_PATH_DEFAULT.load(std::sync::atomic::Ordering::SeqCst)
 }
 
+/// A paused-and-resumable engine session over one machine.
+///
+/// [`Machine::start_run`] captures what used to be the locals of the
+/// monolithic run loop; [`Machine::run_until`] advances the session,
+/// optionally stopping once every pending event lies beyond a virtual-time
+/// horizon; [`EngineRun::finish`] closes the session into a [`RunResult`].
+/// [`Machine::run`] is the composition of the three, so a windowed run is
+/// event-for-event identical to a monolithic one: the horizon only changes
+/// *when the host* executes each event, never which event is next (pops
+/// always follow the queue's global virtual-time order).
+///
+/// This re-entrancy is what the sharded multitenant engine
+/// ([`crate::shard`]) is built on: each tenant's session advances through
+/// bounded windows and pauses at every barrier so shared resources can be
+/// reconciled deterministically.
+pub struct EngineRun {
+    stats: RunStats,
+    barriers: Vec<BarrierState>,
+    states: Vec<ThreadState>,
+    queue: ReadyQueue<usize>,
+    thread_end: Vec<SimTime>,
+    /// Scratch snapshot for the traced-micro breakdown diff, reused
+    /// across micros instead of cloning a fresh Vec per drain.
+    snap: Breakdown,
+    /// Tracing cannot be toggled mid-run; hoisted out of the per-micro
+    /// loop (it lives behind a shared-handle indirection).
+    tracing: bool,
+}
+
+impl EngineRun {
+    /// The statistics accumulated so far (counters read mid-run by the
+    /// shard reconciler's window folds).
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Close the session. Threads that never yielded `None` (e.g. parked
+    /// at a barrier no one releases) report the clock they stalled at,
+    /// exactly as the monolithic loop did.
+    pub fn finish(self) -> RunResult {
+        let makespan = self
+            .thread_end
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        RunResult {
+            makespan,
+            thread_end: self.thread_end,
+            stats: self.stats,
+        }
+    }
+}
+
 impl Machine {
     /// Run `threads` to completion with the given barrier team sizes
     /// (barrier *i* in [`Op::Barrier`] refers to `barrier_sizes[i]`).
@@ -303,12 +356,18 @@ impl Machine {
     /// Threads all start at virtual time zero. Returns when every program
     /// has yielded `None`.
     pub fn run(&mut self, threads: Vec<ThreadSpec>, barrier_sizes: &[usize]) -> RunResult {
-        let mut stats = RunStats::default();
-        let mut barriers: Vec<BarrierState> = barrier_sizes
+        let mut run = self.start_run(threads, barrier_sizes);
+        self.run_until(&mut run, None);
+        run.finish()
+    }
+
+    /// Open a resumable engine session over `threads` (see [`EngineRun`]).
+    pub fn start_run(&mut self, threads: Vec<ThreadSpec>, barrier_sizes: &[usize]) -> EngineRun {
+        let barriers: Vec<BarrierState> = barrier_sizes
             .iter()
             .map(|s| BarrierState::new(*s))
             .collect();
-        let mut states: Vec<ThreadState> = threads
+        let states: Vec<ThreadState> = threads
             .into_iter()
             .map(|t| ThreadState {
                 core: t.core,
@@ -327,15 +386,49 @@ impl Machine {
         for tid in 0..n {
             queue.push(SimTime::ZERO, tid);
         }
-        let mut thread_end = vec![SimTime::ZERO; n];
-        // Scratch snapshot for the traced-micro breakdown diff, reused
-        // across micros instead of cloning a fresh Vec per drain.
-        let mut snap = Breakdown::new();
-        // Tracing cannot be toggled mid-run; hoist the flag out of the
-        // per-micro loop (it lives behind a shared-handle indirection).
-        let tracing = self.trace.enabled();
+        EngineRun {
+            stats: RunStats::default(),
+            barriers,
+            states,
+            queue,
+            thread_end: vec![SimTime::ZERO; n],
+            snap: Breakdown::new(),
+            tracing: self.trace.enabled(),
+        }
+    }
 
-        while let Some((t, tid)) = queue.pop() {
+    /// Advance a session until no pending event is at or before `horizon`
+    /// (`None` = run to completion). Returns the virtual time of the next
+    /// pending event, or `None` when the queue drained (every thread is
+    /// done or parked at a barrier that cannot release).
+    ///
+    /// The horizon gates *pops*, not micro drains: a thread popped inside
+    /// the window may overshoot it through the lookahead fast path. The
+    /// overshoot is harmless for determinism — it depends only on this
+    /// session's own queue, so the same events execute for any window
+    /// schedule — and the shard layer's window boundaries are fixed
+    /// multiples of the lookahead regardless of `--shards`/`--jobs`.
+    pub fn run_until(&mut self, run: &mut EngineRun, horizon: Option<SimTime>) -> Option<SimTime> {
+        let EngineRun {
+            stats,
+            barriers,
+            states,
+            queue,
+            thread_end,
+            snap,
+            tracing,
+        } = run;
+        let tracing = *tracing;
+
+        loop {
+            if horizon.is_some() {
+                match queue.peek_time() {
+                    None => return None,
+                    Some(p) if Some(p) > horizon => return Some(p),
+                    Some(_) => {}
+                }
+            }
+            let (t, tid) = queue.pop()?;
             let state = &mut states[tid];
             if state.done {
                 continue;
@@ -363,9 +456,9 @@ impl Machine {
                         self.trace.set_thread(tid);
                         snap.clone_from(&stats.breakdown);
                     }
-                    let end = self.exec_micro(tid, core, now, micro, state, &mut stats, &mut batch);
+                    let end = self.exec_micro(tid, core, now, micro, state, stats, &mut batch);
                     if tracing {
-                        batch.flush(&mut stats);
+                        batch.flush(stats);
                         for c in CostComponent::ALL {
                             let delta = stats.breakdown.get(c) - snap.get(c);
                             if delta > 0 {
@@ -401,7 +494,7 @@ impl Machine {
                     // micros and let the rest of the run continue.
                     if self.oom_kill_pending {
                         self.oom_kill_pending = false;
-                        batch.flush(&mut stats);
+                        batch.flush(stats);
                         state.micro.clear();
                         if tracing {
                             if let Some((op, started)) = state.op.take() {
@@ -437,7 +530,7 @@ impl Machine {
                         micro = state.micro.pop_front().expect("checked non-empty");
                         continue;
                     }
-                    batch.flush(&mut stats);
+                    batch.flush(stats);
                     queue.push(end, tid);
                     break;
                 }
@@ -491,7 +584,7 @@ impl Machine {
                     // Handled in the loop (like barriers) because it
                     // mutates the thread's core binding, which only the
                     // engine owns.
-                    let end = self.migrate_thread(core, to, now, &mut stats);
+                    let end = self.migrate_thread(core, to, now, stats);
                     states[tid].core = to;
                     states[tid].clock = end;
                     queue.push(end, tid);
@@ -508,13 +601,6 @@ impl Machine {
                     queue.push(now, tid);
                 }
             }
-        }
-
-        let makespan = thread_end.iter().copied().fold(SimTime::ZERO, SimTime::max);
-        RunResult {
-            makespan,
-            thread_end,
-            stats,
         }
     }
 
@@ -917,6 +1003,21 @@ impl Machine {
                     .kernel
                     .madvise_next_touch(&mut self.space, &mut self.tlb, now, core, range)
                     .unwrap_or_else(|e| panic!("thread {tid} madvise failed: {e}"));
+                stats.breakdown.merge(&r.breakdown);
+                r.end
+            }
+            Op::Munmap { addr } => {
+                let r = self
+                    .kernel
+                    .munmap(
+                        &mut self.space,
+                        &mut self.frames,
+                        &mut self.tlb,
+                        now,
+                        core,
+                        addr,
+                    )
+                    .unwrap_or_else(|e| panic!("thread {tid} munmap failed: {e}"));
                 stats.breakdown.merge(&r.breakdown);
                 r.end
             }

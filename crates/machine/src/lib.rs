@@ -17,9 +17,11 @@ pub mod access;
 pub mod cache;
 pub mod engine;
 pub mod op;
+pub mod shard;
 
-pub use engine::{Program, RunResult, RunStats, ThreadSpec};
+pub use engine::{EngineRun, Program, RunResult, RunStats, ThreadSpec};
 pub use op::{MemAccessKind, Op};
+pub use shard::{run_sharded, LedgerConfig, ShardConfig, ShardedRunResult, TenantRun};
 
 use numa_kernel::{Kernel, KernelConfig};
 use numa_sim::{SimTime, Trace};

@@ -131,6 +131,14 @@ pub enum Op {
         /// Breakdown attribution (mark vs restore).
         component: CostComponent,
     },
+    /// `munmap(2)` of the whole mapping starting at `addr`: tear down the
+    /// VMA, return its frames to the allocator, flush stale translations.
+    /// Tenant-churn workloads use this so departed generations recycle
+    /// their memory back into the shared pool.
+    Munmap {
+        /// Base address of the mapping to remove (must equal a VMA start).
+        addr: VirtAddr,
+    },
     /// `mbind(2)`.
     Mbind {
         /// Pages whose VMA policy changes.
@@ -184,6 +192,7 @@ impl Op {
             Op::TierMigrate { .. } => "tier_migrate",
             Op::MadviseNextTouch { .. } => "madvise_next_touch",
             Op::Mprotect { .. } => "mprotect",
+            Op::Munmap { .. } => "munmap",
             Op::Mbind { .. } => "mbind",
             Op::MigrateThread { .. } => "migrate_thread",
             Op::NodeOffline { .. } => "node_offline",

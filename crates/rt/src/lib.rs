@@ -28,6 +28,7 @@ pub mod omp;
 pub mod retry;
 pub mod sched;
 pub mod setup;
+pub mod tenant;
 
 pub use autobalance::{AutoBalance, AutoBalanceState};
 pub use buffer::Buffer;
@@ -35,3 +36,4 @@ pub use lazy::{MigrationStrategy, StrategyError};
 pub use next_touch::UserNextTouch;
 pub use omp::{Schedule, Team, WorkPlan};
 pub use retry::RetryPolicy;
+pub use tenant::{build_tenant, TenantProfile};

@@ -25,6 +25,7 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod window;
 
 pub use barrier::{BarrierOutcome, BarrierState};
 pub use faultinject::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite, FAULT_SITES};
@@ -34,3 +35,4 @@ pub use resource::{Acquisition, Resource};
 pub use rng::Splitmix64;
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent, TraceEventKind, SYSTEM_TID};
+pub use window::{merge_streams, WindowClock, WINDOW_LOOKAHEAD_MULTIPLE};

@@ -221,6 +221,20 @@ impl Counters {
         self.values = [0; Counter::COUNT];
     }
 
+    /// Per-counter delta since `earlier` (`self - earlier`). Panics on a
+    /// counter that went backwards — counters are monotone, so that is a
+    /// snapshotting bug. Window barriers fold these deltas so a shard's
+    /// contribution per window is order-independent.
+    pub fn diff(&self, earlier: &Counters) -> Counters {
+        let mut out = Counters::new();
+        for (i, (now, was)) in self.values.iter().zip(earlier.values.iter()).enumerate() {
+            out.values[i] = now
+                .checked_sub(*was)
+                .unwrap_or_else(|| panic!("counter {i} went backwards: {now} < {was}"));
+        }
+        out
+    }
+
     /// Iterate over non-zero counters in a stable order.
     pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
         Counter::ALL

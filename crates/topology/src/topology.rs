@@ -184,6 +184,34 @@ impl Topology {
         self.cost.numa_factor(self.hops(src, dst))
     }
 
+    /// Conservative lookahead for parallel virtual-time execution: the
+    /// cheapest cross-node DRAM access in the machine, in nanoseconds.
+    ///
+    /// No shard can observe another shard's memory-system effects sooner
+    /// than one remote access, so two shards whose clocks are within this
+    /// bound of each other cannot causally interact inside the bound —
+    /// the classic Chandy–Misra lookahead, read off the interconnect
+    /// latency matrix. Single-node machines fall back to local latency.
+    pub fn min_cross_node_latency_ns(&self) -> u64 {
+        let cost = self.cost();
+        let mut best = f64::INFINITY;
+        for src in self.node_ids() {
+            for dst in self.node_ids() {
+                if src != dst {
+                    let lat = cost.dram_latency_ns * self.numa_factor(src, dst);
+                    if lat < best {
+                        best = lat;
+                    }
+                }
+            }
+        }
+        if best.is_finite() {
+            best.ceil() as u64
+        } else {
+            cost.dram_latency_ns.ceil() as u64
+        }
+    }
+
     /// Memory tier of a node's bank.
     pub fn tier_of(&self, node: NodeId) -> crate::MemTier {
         self.nodes[node.index()].tier

@@ -302,6 +302,130 @@ impl FrameAllocator {
     pub fn is_offline(&self, node: NodeId) -> bool {
         self.offline[node.index()]
     }
+
+    /// Replace `node`'s bank capacity outright. Panics if the new
+    /// capacity would strand already-live frames. The shard orchestrator
+    /// uses this to start each tenant with a small granted slice of the
+    /// machine-wide pool instead of the preset's full bank.
+    pub fn set_capacity(&mut self, node: NodeId, frames: u64) {
+        let n = node.index();
+        assert!(
+            frames >= self.live_per_node[n],
+            "capacity {frames} below live count {} on node {n}",
+            self.live_per_node[n]
+        );
+        self.capacity_per_node[n] = frames;
+    }
+
+    /// Grow `node`'s bank by `frames` (a refill granted from a shared
+    /// [`FrameLedger`] at a window barrier).
+    pub fn grant_capacity(&mut self, node: NodeId, frames: u64) {
+        self.capacity_per_node[node.index()] += frames;
+    }
+
+    /// Shrink `node`'s bank by up to `frames`, never below its live
+    /// count, returning how much was actually taken back. Departing
+    /// tenants use this to return unused headroom to the shared pool.
+    pub fn yield_capacity(&mut self, node: NodeId, frames: u64) -> u64 {
+        let n = node.index();
+        let spare = self.capacity_per_node[n] - self.live_per_node[n];
+        let taken = frames.min(spare);
+        self.capacity_per_node[n] -= taken;
+        taken
+    }
+}
+
+/// Machine-wide pool of frame *capacity* shared by otherwise-independent
+/// tenant allocators.
+///
+/// Each tenant machine owns a private [`FrameAllocator`] (so the per-frame
+/// hot path stays lock-free and shard-local), but the capacity those
+/// allocators may use is metered here: tenants start with a small granted
+/// slice, request refills when they run low, and yield spare capacity back
+/// when mappings are torn down. All ledger traffic happens at window
+/// barriers, applied in tenant-id order, so the grant/denial sequence —
+/// and therefore every downstream allocation failure — is independent of
+/// how tenants are packed into shards or threads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameLedger {
+    /// Unassigned capacity per node, in frames.
+    free_per_node: Vec<u64>,
+    grants: u64,
+    granted_frames: u64,
+    denials: u64,
+    yields: u64,
+    yielded_frames: u64,
+}
+
+impl FrameLedger {
+    /// A ledger holding `free_per_node` unassigned frames per node.
+    pub fn new(free_per_node: Vec<u64>) -> Self {
+        FrameLedger {
+            free_per_node,
+            grants: 0,
+            granted_frames: 0,
+            denials: 0,
+            yields: 0,
+            yielded_frames: 0,
+        }
+    }
+
+    /// Request up to `want` frames of capacity on `node`. Returns the
+    /// granted amount (possibly zero). Short grants and outright refusals
+    /// both count as denials — that is the cross-tenant memory pressure
+    /// signal the multitenant bench reports.
+    pub fn request(&mut self, node: NodeId, want: u64) -> u64 {
+        let slot = &mut self.free_per_node[node.index()];
+        let granted = want.min(*slot);
+        *slot -= granted;
+        if granted > 0 {
+            self.grants += 1;
+            self.granted_frames += granted;
+        }
+        if granted < want {
+            self.denials += 1;
+        }
+        granted
+    }
+
+    /// Return `frames` of capacity on `node` to the pool.
+    pub fn deposit(&mut self, node: NodeId, frames: u64) {
+        if frames > 0 {
+            self.free_per_node[node.index()] += frames;
+            self.yields += 1;
+            self.yielded_frames += frames;
+        }
+    }
+
+    /// Unassigned capacity currently pooled on `node`.
+    pub fn free_on(&self, node: NodeId) -> u64 {
+        self.free_per_node[node.index()]
+    }
+
+    /// Number of (partially or fully) satisfied refill requests.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total frames handed out across all grants.
+    pub fn granted_frames(&self) -> u64 {
+        self.granted_frames
+    }
+
+    /// Number of requests that got less than they asked for.
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+
+    /// Number of capacity returns.
+    pub fn yields(&self) -> u64 {
+        self.yields
+    }
+
+    /// Total frames returned across all yields.
+    pub fn yielded_frames(&self) -> u64 {
+        self.yielded_frames
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +562,49 @@ mod tests {
     fn inverted_watermarks_panic() {
         let mut fa = FrameAllocator::new(1, 10);
         fa.set_watermarks(NodeId(0), 2, 4);
+    }
+
+    #[test]
+    fn capacity_adjustment_roundtrip() {
+        let mut fa = FrameAllocator::new(1, 0);
+        assert!(fa.alloc(NodeId(0)).is_none(), "zero capacity refuses");
+        fa.set_capacity(NodeId(0), 2);
+        let f = fa.alloc(NodeId(0)).unwrap();
+        fa.grant_capacity(NodeId(0), 3);
+        assert_eq!(fa.capacity_of(NodeId(0)), 5);
+        // Only spare headroom (capacity - live) can be yielded.
+        assert_eq!(fa.yield_capacity(NodeId(0), 10), 4);
+        assert_eq!(fa.capacity_of(NodeId(0)), 1);
+        assert!(fa.alloc(NodeId(0)).is_none(), "bank full again");
+        fa.free(f);
+        assert_eq!(fa.yield_capacity(NodeId(0), 10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below live count")]
+    fn set_capacity_below_live_panics() {
+        let mut fa = FrameAllocator::new(1, 4);
+        fa.alloc(NodeId(0)).unwrap();
+        fa.alloc(NodeId(0)).unwrap();
+        fa.set_capacity(NodeId(0), 1);
+    }
+
+    #[test]
+    fn ledger_grants_denies_and_recycles() {
+        let mut ledger = FrameLedger::new(vec![10, 0]);
+        assert_eq!(ledger.request(NodeId(0), 6), 6);
+        // Short grant: counts as both a grant and a denial.
+        assert_eq!(ledger.request(NodeId(0), 6), 4);
+        assert_eq!(ledger.request(NodeId(0), 1), 0);
+        assert_eq!(ledger.request(NodeId(1), 5), 0);
+        assert_eq!(ledger.grants(), 2);
+        assert_eq!(ledger.granted_frames(), 10);
+        assert_eq!(ledger.denials(), 3);
+        ledger.deposit(NodeId(0), 3);
+        assert_eq!(ledger.free_on(NodeId(0)), 3);
+        assert_eq!(ledger.yields(), 1);
+        assert_eq!(ledger.yielded_frames(), 3);
+        assert_eq!(ledger.request(NodeId(0), 2), 2);
     }
 
     #[test]
